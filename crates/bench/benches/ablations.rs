@@ -1,0 +1,162 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! grouping policy (E6), closure materialization (E8), transformation
+//! budget (E7), and matching/tag policy variants.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_constraints::{AssignmentPolicy, ConstraintStore, StoreOptions};
+use sqo_core::{MatchPolicy, OptimizerConfig, SemanticOptimizer, StructuralOracle, TagPolicy};
+use sqo_query::Query;
+use sqo_workload::{
+    bench_schema::bench_catalog, generate_constraints, paper_query_set, ConstraintGenConfig,
+    QueryGenConfig,
+};
+
+struct Env {
+    catalog: Arc<sqo_catalog::Catalog>,
+    constraints: Vec<sqo_constraints::HornConstraint>,
+    queries: Vec<Query>,
+}
+
+fn env() -> Env {
+    let catalog = Arc::new(bench_catalog().expect("schema"));
+    let generated = generate_constraints(
+        &catalog,
+        ConstraintGenConfig { per_class: 4, chain_fraction: 0.3, seed: 42, ..Default::default() },
+    )
+    .expect("constraints");
+    let queries = paper_query_set(
+        &catalog,
+        &generated.forcings,
+        40,
+        &QueryGenConfig { seed: 43, ..Default::default() },
+    );
+    Env { catalog, constraints: generated.constraints, queries }
+}
+
+fn store_with(env: &Env, options: StoreOptions) -> ConstraintStore {
+    ConstraintStore::build(Arc::clone(&env.catalog), env.constraints.clone(), options)
+        .expect("store")
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let e = env();
+    let mut group = c.benchmark_group("ablation_grouping_retrieval");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for policy in [
+        AssignmentPolicy::Arbitrary,
+        AssignmentPolicy::LeastFrequentlyAccessed,
+        AssignmentPolicy::Balanced,
+    ] {
+        let store = store_with(&e, StoreOptions { policy, ..StoreOptions::paper_defaults() });
+        group.bench_function(BenchmarkId::from_parameter(format!("{policy:?}")), |b| {
+            b.iter(|| {
+                for q in &e.queries {
+                    std::hint::black_box(store.relevant_for(q));
+                }
+            })
+        });
+    }
+    // The ungrouped full scan the paper's scheme avoids.
+    let store = store_with(&e, StoreOptions::paper_defaults());
+    group.bench_function("UngroupedScan", |b| {
+        b.iter(|| {
+            for q in &e.queries {
+                std::hint::black_box(store.relevant_for_ungrouped(q));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let e = env();
+    let mut group = c.benchmark_group("ablation_closure");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for materialize in [false, true] {
+        let store = store_with(
+            &e,
+            StoreOptions { materialize_closure: materialize, ..StoreOptions::paper_defaults() },
+        );
+        let optimizer = SemanticOptimizer::new(&store);
+        let name = if materialize { "materialized" } else { "raw" };
+        group.bench_function(BenchmarkId::new("optimize_40_queries", name), |b| {
+            b.iter(|| {
+                for q in &e.queries {
+                    std::hint::black_box(
+                        optimizer.optimize(q, &StructuralOracle).expect("optimize"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let e = env();
+    let store = store_with(&e, StoreOptions::paper_defaults());
+    let mut group = c.benchmark_group("ablation_budget");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for budget in [0usize, 2, 8] {
+        let optimizer =
+            SemanticOptimizer::with_config(&store, OptimizerConfig::budgeted(budget));
+        group.bench_function(BenchmarkId::from_parameter(budget), |b| {
+            b.iter(|| {
+                for q in &e.queries {
+                    std::hint::black_box(
+                        optimizer.optimize(q, &StructuralOracle).expect("optimize"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let e = env();
+    let store = store_with(&e, StoreOptions::paper_defaults());
+    let mut group = c.benchmark_group("ablation_match_and_tag_policy");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (name, config) in [
+        ("implication_tables", OptimizerConfig::paper()),
+        (
+            "syntactic_tables",
+            OptimizerConfig { match_policy: MatchPolicy::Syntactic, ..OptimizerConfig::paper() },
+        ),
+        (
+            "implication_pseudocode",
+            OptimizerConfig { tag_policy: TagPolicy::Pseudocode, ..OptimizerConfig::paper() },
+        ),
+    ] {
+        let optimizer = SemanticOptimizer::with_config(&store, config);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for q in &e.queries {
+                    std::hint::black_box(
+                        optimizer.optimize(q, &StructuralOracle).expect("optimize"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping, bench_closure, bench_budget, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Figure 4.1 — query transformation time as a function of the number of
+//! object classes in the query and the number of constraints.
+//!
+//! The paper's claim: "query transformation time is clearly proportional to
+//! both the number of object classes in the query and, to a lesser extent,
+//! the number of relevant constraints." Criterion measures exactly the
+//! optimizer call (retrieval + table + transformations + formulation).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_constraints::{ConstraintStore, StoreOptions};
+use sqo_core::{SemanticOptimizer, StructuralOracle};
+use sqo_query::Query;
+use sqo_workload::{
+    bench_schema::bench_catalog, generate_constraints, paper_query_set, ConstraintGenConfig,
+    QueryGenConfig,
+};
+
+fn bench_fig41(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig41_transformation_time");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let catalog = Arc::new(bench_catalog().expect("schema"));
+    for per_class in [1usize, 5, 9] {
+        let generated = generate_constraints(
+            &catalog,
+            ConstraintGenConfig { per_class, seed: 42, ..Default::default() },
+        )
+        .expect("constraints");
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            generated.constraints,
+            StoreOptions::paper_defaults(),
+        )
+        .expect("store");
+        let optimizer = SemanticOptimizer::new(&store);
+        let queries = paper_query_set(
+            &catalog,
+            &generated.forcings,
+            40,
+            &QueryGenConfig { seed: 43, ..Default::default() },
+        );
+        for classes in 2..=5usize {
+            let subset: Vec<Query> = queries
+                .iter()
+                .filter(|q| q.classes.len() == classes)
+                .cloned()
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{per_class}_constraints_per_class"), classes),
+                &subset,
+                |b, subset| {
+                    b.iter(|| {
+                        for q in subset {
+                            std::hint::black_box(
+                                optimizer.optimize(q, &StructuralOracle).expect("optimize"),
+                            );
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig41);
+criterion_main!(benches);

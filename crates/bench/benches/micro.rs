@@ -1,0 +1,86 @@
+//! Microbenchmarks of the algorithm's phases on the paper's own Figure 2.3
+//! example: table initialization, the transformation loop, and formulation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqo_catalog::example::figure21;
+use sqo_constraints::{figure22, transitive_closure, ClosureOptions, ConstraintStore, StoreOptions};
+use sqo_core::{
+    formulate, run_transformations, OptimizerConfig, StructuralOracle, TransformationTable,
+};
+use sqo_query::parse_query;
+
+fn bench_phases(c: &mut Criterion) {
+    let catalog = Arc::new(figure21().expect("schema"));
+    let store = ConstraintStore::build(
+        Arc::clone(&catalog),
+        figure22(&catalog).expect("constraints"),
+        StoreOptions::paper_defaults(),
+    )
+    .expect("store");
+    let query = parse_query(
+        r#"(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {}
+            {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+            {collects, supplies} {supplier, cargo, vehicle})"#,
+        &catalog,
+    )
+    .expect("query");
+    let relevant = store.relevant_for(&query);
+    let config = OptimizerConfig::paper();
+
+    let mut group = c.benchmark_group("micro_phases");
+    group
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("initialization", |b| {
+        b.iter(|| {
+            std::hint::black_box(TransformationTable::build(
+                &catalog,
+                &store,
+                &relevant,
+                &query,
+                config.match_policy,
+            ))
+        })
+    });
+    group.bench_function("transformation", |b| {
+        b.iter_batched(
+            || {
+                TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy)
+            },
+            |mut table| std::hint::black_box(run_transformations(&mut table, &config)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("formulation", |b| {
+        let mut table =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
+        run_transformations(&mut table, &config);
+        b.iter(|| {
+            std::hint::black_box(formulate(&catalog, &query, &table, &config, &StructuralOracle))
+        })
+    });
+    group.bench_function("constraint_retrieval", |b| {
+        b.iter(|| std::hint::black_box(store.relevant_for(&query)))
+    });
+    group.bench_function("closure_figure22", |b| {
+        let constraints = figure22(&catalog).expect("constraints");
+        b.iter_batched(
+            || constraints.clone(),
+            |cs| {
+                std::hint::black_box(
+                    transitive_closure(&catalog, cs, ClosureOptions::default())
+                        .expect("closure"),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

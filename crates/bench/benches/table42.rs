@@ -1,0 +1,68 @@
+//! Table 4.2 — execution cost of original vs. semantically optimized
+//! queries on each of the four database instances.
+//!
+//! The criterion series measure the *execution* side of the ratio; the
+//! `report` binary produces the full bucketed table with transformation
+//! cost folded in.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_core::SemanticOptimizer;
+use sqo_exec::{execute, plan_query, CostBasedOracle, CostModel};
+use sqo_query::Query;
+use sqo_workload::{paper_scenario, DbSize};
+
+fn bench_table42(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table42_execution");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let model = CostModel::default();
+    for size in [DbSize::Db1, DbSize::Db4] {
+        let scenario = paper_scenario(size, 42);
+        let oracle = CostBasedOracle::new(&scenario.db);
+        let optimizer = SemanticOptimizer::new(&scenario.store);
+        // The full 40-query workload, original vs optimized.
+        let originals: Vec<Query> = scenario.queries.clone();
+        let optimized: Vec<(Query, bool)> = originals
+            .iter()
+            .map(|q| {
+                let out = optimizer.optimize(q, &oracle).expect("optimize");
+                (out.query, out.report.provably_empty)
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("original", size.name()),
+            &originals,
+            |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        let plan = plan_query(&scenario.db, q, &model).expect("plan");
+                        std::hint::black_box(execute(&scenario.db, &plan).expect("execute"));
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimized", size.name()),
+            &optimized,
+            |b, qs| {
+                b.iter(|| {
+                    for (q, empty) in qs {
+                        if *empty {
+                            continue; // answered without touching the database
+                        }
+                        let plan = plan_query(&scenario.db, q, &model).expect("plan");
+                        std::hint::black_box(execute(&scenario.db, &plan).expect("execute"));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table42);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! `report` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```sh
+//! cargo run --release -p sqo-bench --bin report             # everything
+//! cargo run --release -p sqo-bench --bin report -- table42  # one experiment
+//! cargo run --release -p sqo-bench --bin report -- fig41 --seed 7
+//! ```
+
+use std::env;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|all]* \
+                     [--seed N]"
+                );
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = ["e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    println!(
+        "sqo experiment report — Pang, Lu & Ooi, ICDE 1991 (seed {seed})\n\
+         ================================================================\n"
+    );
+    for exp in selected {
+        match exp.as_str() {
+            "e1" => e1(),
+            "table41" => println!("{}", sqo_bench::table41(seed)),
+            "fig41" => println!("{}", sqo_bench::figure41(seed, 20).1),
+            "table42" => println!("{}", sqo_bench::table42(seed).1),
+            "e5" => println!("{}", sqo_bench::baseline_comparison(seed)),
+            "grouping" => println!("{}", sqo_bench::grouping(seed)),
+            "budget" => println!("{}", sqo_bench::budget_sweep(seed)),
+            "closure" => println!("{}", sqo_bench::closure_ablation(seed)),
+            other => die(&format!("unknown experiment `{other}`")),
+        }
+    }
+}
+
+/// E1: the Figure 2.3 / §3.5 worked example, step by step.
+fn e1() {
+    use sqo_catalog::example::figure21;
+    use sqo_constraints::{figure22, ConstraintStore, StoreOptions};
+    use sqo_core::{
+        run_transformations, OptimizerConfig, SemanticOptimizer, StructuralOracle,
+        TransformationTable,
+    };
+    use sqo_query::{parse_query, QueryExt};
+
+    let catalog = Arc::new(figure21().expect("schema"));
+    let store = ConstraintStore::build(
+        Arc::clone(&catalog),
+        figure22(&catalog).expect("constraints"),
+        StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+    )
+    .expect("store");
+    let query = parse_query(
+        r#"(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {}
+            {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+            {collects, supplies} {supplier, cargo, vehicle})"#,
+        &catalog,
+    )
+    .expect("query");
+    println!("E1: the §3.5 worked example");
+    println!("sample query:\n  {}\n", query.display(&catalog));
+    let relevant = store.relevant_for(&query);
+    let config = OptimizerConfig::paper();
+    let mut table =
+        TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
+    println!("Step 1 — initialization:\n{}", table.render(&catalog, &store));
+    let log = run_transformations(&mut table, &config);
+    println!("Step 2 — transformations:");
+    for t in &log.applied {
+        println!("  [{:?}] {} -> {}", t.kind, t.predicate.display(&catalog), t.to);
+    }
+    println!("\nfinal table:\n{}", table.render(&catalog, &store));
+    let optimizer = SemanticOptimizer::new(&store);
+    let out = optimizer.optimize(&query, &StructuralOracle).expect("optimize");
+    println!("Step 3 — formulated query:\n  {}\n", out.query.display(&catalog));
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("report: {msg}");
+    std::process::exit(2)
+}

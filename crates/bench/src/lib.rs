@@ -1,0 +1,28 @@
+//! # sqo-bench
+//!
+//! Experiment drivers regenerating every table and figure of the paper's
+//! evaluation (§4), plus the DESIGN.md ablations:
+//!
+//! | id | artifact | driver |
+//! |----|----------|--------|
+//! | E1 | Fig 2.3 / §3.5 worked example | `examples/logistics.rs` + `report --exp e1` |
+//! | E2 | Table 4.1 (database sizes) | [`experiments::table41`] |
+//! | E3 | Figure 4.1 (transformation time) | [`experiments::figure41`] |
+//! | E4 | Table 4.2 (cost-ratio distribution) | [`experiments::table42`] |
+//! | E5 | straight-forward baseline comparison | [`experiments::baseline_comparison`] |
+//! | E6 | grouping policies | [`experiments::grouping`] |
+//! | E7 | priority-queue budget | [`experiments::budget_sweep`] |
+//! | E8 | closure materialization | [`experiments::closure_ablation`] |
+//!
+//! The `report` binary prints any subset; the Criterion benches under
+//! `benches/` measure the same code paths with statistical rigor.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod fmt;
+
+pub use experiments::{
+    baseline_comparison, budget_sweep, calibrate_units_per_second, closure_ablation, figure41,
+    grouping, table41, table42, Fig41Point, Table42Row,
+};

@@ -1,0 +1,57 @@
+//! Catalog construction and lookup errors.
+
+use std::fmt;
+
+use crate::ids::{AttrId, ClassId, RelId};
+
+/// Errors raised while building or querying a [`Catalog`](crate::Catalog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    DuplicateClass(String),
+    DuplicateAttribute { class: String, attr: String },
+    DuplicateRelationship(String),
+    UnknownClass(String),
+    UnknownClassId(ClassId),
+    UnknownAttribute { class: String, attr: String },
+    UnknownAttrId { class: ClassId, attr: AttrId },
+    UnknownRelationship(String),
+    UnknownRelId(RelId),
+    /// A subclass named a parent that was not declared before it.
+    UnknownParent { class: String, parent: ClassId },
+    /// Inheritance cycles are rejected (is-a must be a forest).
+    InheritanceCycle(String),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::DuplicateClass(n) => write!(f, "duplicate class `{n}`"),
+            CatalogError::DuplicateAttribute { class, attr } => {
+                write!(f, "duplicate attribute `{attr}` in class `{class}`")
+            }
+            CatalogError::DuplicateRelationship(n) => {
+                write!(f, "duplicate relationship `{n}`")
+            }
+            CatalogError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            CatalogError::UnknownClassId(id) => write!(f, "unknown {id}"),
+            CatalogError::UnknownAttribute { class, attr } => {
+                write!(f, "unknown attribute `{attr}` in class `{class}`")
+            }
+            CatalogError::UnknownAttrId { class, attr } => {
+                write!(f, "unknown {attr} in {class}")
+            }
+            CatalogError::UnknownRelationship(n) => {
+                write!(f, "unknown relationship `{n}`")
+            }
+            CatalogError::UnknownRelId(id) => write!(f, "unknown {id}"),
+            CatalogError::UnknownParent { class, parent } => {
+                write!(f, "class `{class}` names unknown parent {parent}")
+            }
+            CatalogError::InheritanceCycle(n) => {
+                write!(f, "inheritance cycle involving class `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}

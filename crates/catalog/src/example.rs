@@ -1,0 +1,156 @@
+//! The paper's example database schema (Figure 2.1).
+//!
+//! Pointer attributes from the figure (`supplies`, `collects`, …) are modeled
+//! as first-class relationships rather than stored attributes; everything
+//! else follows the figure, including the `is-a` hierarchy
+//! `employee <- {manager, driver}`, `driver <- supervisor`.
+//!
+//! Classification levels (`vehicle.class`, `driver.licenseClass`,
+//! `employee.clearance`) are integers so the ordered constraint c3
+//! (`licenseClass >= class`) is expressible.
+
+use crate::catalog::Catalog;
+use crate::error::CatalogError;
+use crate::schema::{AttributeDef, IndexKind, Multiplicity, RelationshipEnd};
+use crate::types::DataType;
+
+/// Builds the Figure 2.1 catalog.
+///
+/// Indexed attributes: every `name`/`#` key gets a hash index; ordered
+/// classification attributes get B-trees, mirroring the paper's concern with
+/// "predicates on indexed attributes".
+pub fn figure21() -> Result<Catalog, CatalogError> {
+    let mut b = Catalog::builder();
+
+    let supplier = b.class(
+        "supplier",
+        vec![
+            AttributeDef::indexed("name", DataType::Str, IndexKind::Hash),
+            AttributeDef::new("address", DataType::Str),
+        ],
+    )?;
+    let cargo = b.class(
+        "cargo",
+        vec![
+            AttributeDef::indexed("code", DataType::Int, IndexKind::Hash),
+            AttributeDef::new("desc", DataType::Str),
+            AttributeDef::new("quantity", DataType::Int),
+        ],
+    )?;
+    let vehicle = b.class(
+        "vehicle",
+        vec![
+            AttributeDef::indexed("vehicle_no", DataType::Int, IndexKind::Hash),
+            AttributeDef::new("desc", DataType::Str),
+            AttributeDef::indexed("class", DataType::Int, IndexKind::BTree),
+        ],
+    )?;
+    let engine = b.class(
+        "engine",
+        vec![
+            AttributeDef::indexed("engine_no", DataType::Int, IndexKind::Hash),
+            AttributeDef::new("capacity", DataType::Int),
+        ],
+    )?;
+    let employee = b.class(
+        "employee",
+        vec![
+            AttributeDef::indexed("name", DataType::Str, IndexKind::Hash),
+            AttributeDef::new("clearance", DataType::Str),
+            AttributeDef::new("rank", DataType::Str),
+        ],
+    )?;
+    let _manager = b.subclass("manager", employee, vec![])?;
+    let driver = b.subclass(
+        "driver",
+        employee,
+        vec![
+            AttributeDef::indexed("license_no", DataType::Int, IndexKind::Hash),
+            AttributeDef::indexed("license_class", DataType::Int, IndexKind::BTree),
+            AttributeDef::new("license_date", DataType::Int),
+        ],
+    )?;
+    let _supervisor = b.subclass("supervisor", driver, vec![])?;
+    let department = b.class(
+        "department",
+        vec![
+            AttributeDef::indexed("name", DataType::Str, IndexKind::Hash),
+            AttributeDef::new("security_class", DataType::Str),
+        ],
+    )?;
+
+    // Relationships (the italic pointer attributes of Figure 2.1).
+    // supplies: each cargo comes from exactly one supplier; every cargo has one.
+    b.many_to_one("supplies", cargo, supplier)?;
+    // collects: each cargo is collected by exactly one vehicle; every cargo has one.
+    b.many_to_one("collects", cargo, vehicle)?;
+    // eng_comp: each vehicle has exactly one engine.
+    b.many_to_one("eng_comp", vehicle, engine)?;
+    // drives: each vehicle has one assigned driver; drivers may drive many vehicles.
+    b.many_to_one("drives", vehicle, driver)?;
+    // belongs_to: every employee belongs to exactly one department.
+    b.relationship(
+        "belongs_to",
+        RelationshipEnd::new(employee, Multiplicity::One, true),
+        RelationshipEnd::new(department, Multiplicity::Many, false),
+    )?;
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure21_builds() {
+        let cat = figure21().expect("figure 2.1 schema must build");
+        assert_eq!(cat.class_count(), 9);
+        assert_eq!(cat.relationship_count(), 5);
+    }
+
+    #[test]
+    fn figure21_inheritance() {
+        let cat = figure21().unwrap();
+        let employee = cat.class_id("employee").unwrap();
+        let driver = cat.class_id("driver").unwrap();
+        let supervisor = cat.class_id("supervisor").unwrap();
+        let manager = cat.class_id("manager").unwrap();
+        assert!(cat.is_subclass_of(driver, employee));
+        assert!(cat.is_subclass_of(supervisor, driver));
+        assert!(cat.is_subclass_of(supervisor, employee));
+        assert!(cat.is_subclass_of(manager, employee));
+        assert!(!cat.is_subclass_of(manager, driver));
+        // Inherited attribute visible under subclass.
+        assert!(cat.attr_ref("supervisor", "license_class").is_ok());
+        assert!(cat.attr_ref("manager", "rank").is_ok());
+    }
+
+    #[test]
+    fn figure21_key_attributes_are_indexed() {
+        let cat = figure21().unwrap();
+        for (class, attr) in [
+            ("supplier", "name"),
+            ("cargo", "code"),
+            ("vehicle", "vehicle_no"),
+            ("engine", "engine_no"),
+            ("driver", "license_class"),
+        ] {
+            let r = cat.attr_ref(class, attr).unwrap();
+            assert!(cat.is_indexed(r), "{class}.{attr} should be indexed");
+        }
+        let desc = cat.attr_ref("cargo", "desc").unwrap();
+        assert!(!cat.is_indexed(desc), "cargo.desc is deliberately unindexed");
+    }
+
+    #[test]
+    fn figure21_relationships_are_total_on_many_side() {
+        let cat = figure21().unwrap();
+        let cargo = cat.class_id("cargo").unwrap();
+        let supplies = cat.rel_id("supplies").unwrap();
+        let def = cat.relationship(supplies).unwrap();
+        // Every cargo participates: the class-elimination precondition for
+        // the Figure 2.3 example (dropping `supplier`).
+        assert!(def.end_for(cargo).unwrap().total);
+    }
+}

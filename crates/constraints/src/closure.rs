@@ -1,0 +1,296 @@
+//! Transitive-closure materialization (paper §3).
+//!
+//! > "the transitive closures of the constraints are materialized during
+//! > precompilation … e.g. if (A = a) → (B > 20) and (B > 10) → (C = c) then
+//! > deduce (A = a) → (C = c)"
+//!
+//! The derivation step is resolution with *implication-aware* unification
+//! (the `B > 20` / `B > 10` pair above): whenever `cᵢ`'s consequent implies
+//! one or more antecedents of `cⱼ`, a new constraint is derived with those
+//! antecedents discharged. The computation runs to a fixpoint under
+//! configurable limits; truncation is safe (the closure only *adds*
+//! optimization opportunities, never correctness).
+
+use std::collections::HashSet;
+
+use sqo_catalog::Catalog;
+
+use crate::error::ConstraintError;
+use crate::horn::{HornConstraint, Origin};
+
+/// Limits for the fixpoint computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureOptions {
+    /// Maximum number of *derived* constraints to keep.
+    pub max_derived: usize,
+    /// Maximum fixpoint rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for ClosureOptions {
+    fn default() -> Self {
+        Self { max_derived: 4096, max_rounds: 8 }
+    }
+}
+
+/// Outcome of the closure computation.
+#[derive(Debug, Clone)]
+pub struct ClosureResult {
+    /// Original constraints followed by derived ones.
+    pub constraints: Vec<HornConstraint>,
+    pub derived_count: usize,
+    pub rounds: usize,
+    /// True if a limit stopped the fixpoint before convergence.
+    pub truncated: bool,
+}
+
+/// Canonical dedup key: order-insensitive in the antecedents.
+fn key(c: &HornConstraint) -> String {
+    let mut ants: Vec<String> = c.antecedents.iter().map(|p| format!("{p:?}")).collect();
+    ants.sort_unstable();
+    let mut rels: Vec<u32> = c.relationships.iter().map(|r| r.0).collect();
+    rels.sort_unstable();
+    format!("{ants:?}|{rels:?}|{:?}", c.consequent)
+}
+
+/// Attempts the resolution of `ci` into `cj`: discharge every antecedent of
+/// `cj` that `ci`'s consequent implies.
+fn resolve(
+    catalog: &Catalog,
+    ci: &HornConstraint,
+    cj: &HornConstraint,
+) -> Option<HornConstraint> {
+    let discharged: Vec<bool> = cj
+        .antecedents
+        .iter()
+        .map(|a| ci.consequent.implies(a))
+        .collect();
+    if !discharged.iter().any(|&d| d) {
+        return None;
+    }
+    let mut antecedents = ci.antecedents.clone();
+    for (a, &d) in cj.antecedents.iter().zip(&discharged) {
+        if !d && !antecedents.contains(a) {
+            antecedents.push(a.clone());
+        }
+    }
+    let mut relationships = ci.relationships.clone();
+    for r in &cj.relationships {
+        if !relationships.contains(r) {
+            relationships.push(*r);
+        }
+    }
+    let mut extra = ci.classes.clone();
+    extra.extend(cj.classes.iter().copied());
+    let name = format!("{}*{}", ci.name, cj.name);
+    HornConstraint::new(
+        catalog,
+        name,
+        antecedents,
+        relationships,
+        cj.consequent.clone(),
+        extra,
+        Origin::Derived,
+    )
+    .ok() // tautologies / contradictions are silently dropped
+}
+
+/// Materializes the transitive closure of `constraints`.
+pub fn transitive_closure(
+    catalog: &Catalog,
+    constraints: Vec<HornConstraint>,
+    options: ClosureOptions,
+) -> Result<ClosureResult, ConstraintError> {
+    let mut all = constraints;
+    let mut seen: HashSet<String> = all.iter().map(key).collect();
+    let mut derived_count = 0usize;
+    let mut truncated = false;
+    let mut rounds = 0usize;
+
+    // Frontier-based semi-naive iteration: only pair new constraints against
+    // everything each round.
+    let mut frontier: Vec<usize> = (0..all.len()).collect();
+    while !frontier.is_empty() && rounds < options.max_rounds {
+        rounds += 1;
+        let mut fresh: Vec<HornConstraint> = Vec::new();
+        for &fi in &frontier {
+            for j in 0..all.len() {
+                if fi == j {
+                    continue;
+                }
+                // Both directions: frontier as producer and as consumer.
+                for (a, b) in [(fi, j), (j, fi)] {
+                    if let Some(d) = resolve(catalog, &all[a], &all[b]) {
+                        let k = key(&d);
+                        if seen.insert(k) {
+                            if derived_count >= options.max_derived {
+                                truncated = true;
+                            } else {
+                                derived_count += 1;
+                                fresh.push(d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if truncated {
+            break;
+        }
+        let start = all.len();
+        all.extend(fresh);
+        frontier = (start..all.len()).collect();
+    }
+    if !frontier.is_empty() && rounds >= options.max_rounds {
+        truncated = true;
+    }
+    Ok(ClosureResult { constraints: all, derived_count, rounds, truncated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::{AttributeDef, Catalog, DataType};
+    use sqo_query::{CompOp, Predicate};
+
+    /// One class with attributes a, b, c, d — enough for chains.
+    fn chain_catalog() -> Catalog {
+        let mut b = Catalog::builder();
+        b.class(
+            "t",
+            vec![
+                AttributeDef::new("a", DataType::Int),
+                AttributeDef::new("b", DataType::Int),
+                AttributeDef::new("c", DataType::Int),
+                AttributeDef::new("d", DataType::Int),
+            ],
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    fn mk(cat: &Catalog, name: &str, ante: (&str, CompOp, i64), cons: (&str, CompOp, i64)) -> HornConstraint {
+        HornConstraint::new(
+            cat,
+            name,
+            vec![Predicate::sel(cat.attr_ref("t", ante.0).unwrap(), ante.1, ante.2)],
+            vec![],
+            Predicate::sel(cat.attr_ref("t", cons.0).unwrap(), cons.1, cons.2),
+            vec![],
+            Origin::Declared,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn derives_the_papers_example() {
+        // (A = 1) -> (B > 20), (B > 10) -> (C = 3)  ⊢  (A = 1) -> (C = 3)
+        let cat = chain_catalog();
+        let c1 = mk(&cat, "c1", ("a", CompOp::Eq, 1), ("b", CompOp::Gt, 20));
+        let c2 = mk(&cat, "c2", ("b", CompOp::Gt, 10), ("c", CompOp::Eq, 3));
+        let res = transitive_closure(&cat, vec![c1, c2], ClosureOptions::default()).unwrap();
+        assert_eq!(res.derived_count, 1);
+        assert!(!res.truncated);
+        let derived = &res.constraints[2];
+        assert_eq!(derived.origin, Origin::Derived);
+        assert_eq!(
+            derived.antecedents,
+            vec![Predicate::sel(cat.attr_ref("t", "a").unwrap(), CompOp::Eq, 1i64)]
+        );
+        assert_eq!(
+            derived.consequent,
+            Predicate::sel(cat.attr_ref("t", "c").unwrap(), CompOp::Eq, 3i64)
+        );
+    }
+
+    #[test]
+    fn no_derivation_without_implication() {
+        // (A = 1) -> (B > 5) does NOT discharge (B > 10).
+        let cat = chain_catalog();
+        let c1 = mk(&cat, "c1", ("a", CompOp::Eq, 1), ("b", CompOp::Gt, 5));
+        let c2 = mk(&cat, "c2", ("b", CompOp::Gt, 10), ("c", CompOp::Eq, 3));
+        let res = transitive_closure(&cat, vec![c1, c2], ClosureOptions::default()).unwrap();
+        assert_eq!(res.derived_count, 0);
+    }
+
+    #[test]
+    fn three_step_chain_closes() {
+        let cat = chain_catalog();
+        let c1 = mk(&cat, "c1", ("a", CompOp::Eq, 1), ("b", CompOp::Eq, 2));
+        let c2 = mk(&cat, "c2", ("b", CompOp::Eq, 2), ("c", CompOp::Eq, 3));
+        let c3 = mk(&cat, "c3", ("c", CompOp::Eq, 3), ("d", CompOp::Eq, 4));
+        let res = transitive_closure(&cat, vec![c1, c2, c3], ClosureOptions::default()).unwrap();
+        // Derived: a->c, b->d, a->d  (a->d reachable in round 2)
+        assert_eq!(res.derived_count, 3);
+        assert!(res.rounds >= 2);
+        let a_to_d = res.constraints.iter().any(|c| {
+            c.antecedents
+                == vec![Predicate::sel(cat.attr_ref("t", "a").unwrap(), CompOp::Eq, 1i64)]
+                && c.consequent
+                    == Predicate::sel(cat.attr_ref("t", "d").unwrap(), CompOp::Eq, 4i64)
+        });
+        assert!(a_to_d, "a -> d must be derived transitively");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        // a=1 -> b=2, b=2 -> a=1: derivations are tautologies, dropped.
+        let cat = chain_catalog();
+        let c1 = mk(&cat, "c1", ("a", CompOp::Eq, 1), ("b", CompOp::Eq, 2));
+        let c2 = mk(&cat, "c2", ("b", CompOp::Eq, 2), ("a", CompOp::Eq, 1));
+        let res = transitive_closure(&cat, vec![c1, c2], ClosureOptions::default()).unwrap();
+        assert_eq!(res.derived_count, 0);
+        assert!(!res.truncated);
+    }
+
+    #[test]
+    fn limit_truncates_gracefully() {
+        let cat = chain_catalog();
+        let c1 = mk(&cat, "c1", ("a", CompOp::Eq, 1), ("b", CompOp::Eq, 2));
+        let c2 = mk(&cat, "c2", ("b", CompOp::Eq, 2), ("c", CompOp::Eq, 3));
+        let c3 = mk(&cat, "c3", ("c", CompOp::Eq, 3), ("d", CompOp::Eq, 4));
+        let res = transitive_closure(
+            &cat,
+            vec![c1, c2, c3],
+            ClosureOptions { max_derived: 1, max_rounds: 8 },
+        )
+        .unwrap();
+        assert!(res.truncated);
+        assert_eq!(res.derived_count, 1);
+    }
+
+    #[test]
+    fn multi_antecedent_discharge_keeps_remainder() {
+        let cat = chain_catalog();
+        // c1: (a=1) -> (b=2).  c2: (b=2) ∧ (c=3) -> (d=4).
+        let c1 = mk(&cat, "c1", ("a", CompOp::Eq, 1), ("b", CompOp::Eq, 2));
+        let c2 = HornConstraint::new(
+            &cat,
+            "c2",
+            vec![
+                Predicate::sel(cat.attr_ref("t", "b").unwrap(), CompOp::Eq, 2i64),
+                Predicate::sel(cat.attr_ref("t", "c").unwrap(), CompOp::Eq, 3i64),
+            ],
+            vec![],
+            Predicate::sel(cat.attr_ref("t", "d").unwrap(), CompOp::Eq, 4i64),
+            vec![],
+            Origin::Declared,
+        )
+        .unwrap();
+        let res = transitive_closure(&cat, vec![c1, c2], ClosureOptions::default()).unwrap();
+        assert_eq!(res.derived_count, 1);
+        let d = &res.constraints[2];
+        // Derived: (a=1) ∧ (c=3) -> (d=4)
+        assert_eq!(d.antecedents.len(), 2);
+        assert!(d.antecedents.contains(&Predicate::sel(
+            cat.attr_ref("t", "a").unwrap(),
+            CompOp::Eq,
+            1i64
+        )));
+        assert!(d.antecedents.contains(&Predicate::sel(
+            cat.attr_ref("t", "c").unwrap(),
+            CompOp::Eq,
+            3i64
+        )));
+    }
+}

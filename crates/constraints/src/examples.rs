@@ -1,0 +1,79 @@
+//! The paper's semantic constraints (Figure 2.2) over the Figure 2.1 schema.
+
+use sqo_catalog::Catalog;
+use sqo_query::CompOp;
+
+use crate::dsl::ConstraintBuilder;
+use crate::error::ConstraintError;
+use crate::horn::HornConstraint;
+
+/// Builds c1–c5 of Figure 2.2.
+///
+/// 1. *Refrigerated trucks can only be used to carry frozen food.*
+/// 2. *We get frozen food only from the Singapore Food Industries (SFI).*
+/// 3. *A driver can only drive vehicles whose classification is not higher
+///    than his license classification.*
+/// 4. *Only research staff members can be appointed as managers.*
+/// 5. *Only employees whose security clearance is top secret can belong to
+///    the development department.*
+pub fn figure22(catalog: &Catalog) -> Result<Vec<HornConstraint>, ConstraintError> {
+    let c1 = ConstraintBuilder::new(catalog, "c1")
+        .when("vehicle.desc", CompOp::Eq, "refrigerated truck")
+        .via("collects")
+        .then("cargo.desc", CompOp::Eq, "frozen food")
+        .build()?;
+    let c2 = ConstraintBuilder::new(catalog, "c2")
+        .when("cargo.desc", CompOp::Eq, "frozen food")
+        .via("supplies")
+        .then("supplier.name", CompOp::Eq, "SFI")
+        .build()?;
+    let c3 = ConstraintBuilder::new(catalog, "c3")
+        .via("drives")
+        .then_join("driver.license_class", CompOp::Ge, "vehicle.class")
+        .build()?;
+    let c4 = ConstraintBuilder::new(catalog, "c4")
+        .scope("manager")
+        .then("manager.rank", CompOp::Eq, "research staff member")
+        .build()?;
+    let c5 = ConstraintBuilder::new(catalog, "c5")
+        .when("department.name", CompOp::Eq, "development")
+        .via("belongs_to")
+        .then("employee.clearance", CompOp::Eq, "top secret")
+        .build()?;
+    Ok(vec![c1, c2, c3, c4, c5])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::horn::ConstraintClass;
+    use sqo_catalog::example::figure21;
+
+    #[test]
+    fn figure22_builds_five_constraints() {
+        let cat = figure21().unwrap();
+        let cs = figure22(&cat).unwrap();
+        assert_eq!(cs.len(), 5);
+        assert_eq!(cs[0].name, "c1");
+        assert_eq!(cs[4].name, "c5");
+    }
+
+    #[test]
+    fn only_c4_is_intra() {
+        let cat = figure21().unwrap();
+        let cs = figure22(&cat).unwrap();
+        let intra: Vec<&str> = cs
+            .iter()
+            .filter(|c| c.classification() == ConstraintClass::Intra)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(intra, vec!["c4"], "the paper: all of Figure 2.2 except c4 are inter-class");
+    }
+
+    #[test]
+    fn c3_has_join_consequent() {
+        let cat = figure21().unwrap();
+        let cs = figure22(&cat).unwrap();
+        assert!(cs[2].consequent.as_join().is_some());
+    }
+}

@@ -1,0 +1,37 @@
+//! # sqo-constraints
+//!
+//! Horn-clause semantic constraints for the `sqo` workspace — the knowledge
+//! substrate of Pang, Lu & Ooi (ICDE 1991).
+//!
+//! Three pieces, all prescribed by §3 of the paper:
+//!
+//! * **Constraints** ([`HornConstraint`]) with the intra/inter-class
+//!   classification the transformation tables branch on;
+//! * **Transitive-closure materialization** ([`transitive_closure`]) at
+//!   precompile time, so query-time relevance reduces to a class-set test;
+//! * the **grouped constraint store** ([`ConstraintStore`]): constraints are
+//!   attached to one of their referenced classes (arbitrary /
+//!   least-frequently-accessed / balanced policies), and only groups attached
+//!   to a query's classes are consulted, with a shared [`PredicatePool`] so
+//!   the materialized closure stores each predicate once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+mod closure;
+mod dsl;
+mod error;
+mod examples;
+mod horn;
+mod pool;
+mod store;
+
+pub use closure::{transitive_closure, ClosureOptions, ClosureResult};
+pub use dsl::ConstraintBuilder;
+pub use error::ConstraintError;
+pub use examples::figure22;
+pub use horn::{ConstraintClass, ConstraintDisplay, ConstraintId, HornConstraint, Origin};
+pub use pool::{PredId, PredicatePool};
+pub use store::{
+    AssignmentPolicy, CompiledConstraint, ConstraintStore, RetrievalMetrics, StoreOptions,
+};

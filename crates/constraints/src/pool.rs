@@ -1,0 +1,139 @@
+//! The shared predicate pool.
+//!
+//! §3 of the paper: to keep materialized transitive closures cheap, "extract
+//! all the predicates into a separate structure, and [modify] the constraints
+//! to contain only pointers to relevant predicates in the structure". This is
+//! that structure: an interner mapping canonical [`Predicate`]s to dense
+//! [`PredId`]s. Compiled constraints, the transformation table's columns and
+//! the closure algorithm all speak `PredId`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sqo_query::Predicate;
+
+/// Index of a predicate within a [`PredicatePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Deduplicating predicate storage. Since predicates are canonicalized by
+/// `sqo-query`, structural interning equates logically equal atoms within
+/// the supported fragment (e.g. `b.y > a.x` and `a.x < b.y`).
+#[derive(Debug, Clone, Default)]
+pub struct PredicatePool {
+    preds: Vec<Predicate>,
+    index: HashMap<Predicate, PredId>,
+}
+
+impl PredicatePool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a predicate, returning its id (existing or fresh).
+    pub fn intern(&mut self, pred: Predicate) -> PredId {
+        if let Some(&id) = self.index.get(&pred) {
+            return id;
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.index.insert(pred.clone(), id);
+        self.preds.push(pred);
+        id
+    }
+
+    /// Looks up an already-interned predicate.
+    pub fn lookup(&self, pred: &Predicate) -> Option<PredId> {
+        self.index.get(pred).copied()
+    }
+
+    pub fn get(&self, id: PredId) -> &Predicate {
+        &self.preds[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, &Predicate)> {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PredId(i as u32), p))
+    }
+
+    /// Ids of pool predicates implied by `pred` (including itself, if
+    /// interned). Used by implication-aware matching.
+    pub fn implied_by(&self, pred: &Predicate) -> Vec<PredId> {
+        self.iter()
+            .filter(|(_, q)| pred.implies(q))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::{AttrId, AttrRef, ClassId};
+    use sqo_query::CompOp;
+
+    fn aref(c: u32, a: u32) -> AttrRef {
+        AttrRef::new(ClassId(c), AttrId(a))
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut pool = PredicatePool::new();
+        let p1 = Predicate::sel(aref(0, 0), CompOp::Eq, "frozen food");
+        let p2 = Predicate::sel(aref(0, 0), CompOp::Eq, "frozen food");
+        let id1 = pool.intern(p1.clone());
+        let id2 = pool.intern(p2);
+        assert_eq!(id1, id2);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.get(id1), &p1);
+        assert_eq!(pool.lookup(&p1), Some(id1));
+    }
+
+    #[test]
+    fn canonicalized_joins_share_an_id() {
+        let mut pool = PredicatePool::new();
+        let a = Predicate::join(aref(0, 0), CompOp::Lt, aref(1, 0));
+        let b = Predicate::join(aref(1, 0), CompOp::Gt, aref(0, 0));
+        assert_eq!(pool.intern(a), pool.intern(b));
+    }
+
+    #[test]
+    fn distinct_predicates_get_distinct_ids() {
+        let mut pool = PredicatePool::new();
+        let a = pool.intern(Predicate::sel(aref(0, 0), CompOp::Gt, 1i64));
+        let b = pool.intern(Predicate::sel(aref(0, 0), CompOp::Gt, 2i64));
+        assert_ne!(a, b);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn implied_by_finds_weaker_atoms() {
+        let mut pool = PredicatePool::new();
+        let weak = pool.intern(Predicate::sel(aref(0, 0), CompOp::Gt, 10i64));
+        let _other = pool.intern(Predicate::sel(aref(0, 1), CompOp::Gt, 10i64));
+        let strong = Predicate::sel(aref(0, 0), CompOp::Gt, 15i64);
+        assert_eq!(pool.implied_by(&strong), vec![weak]);
+    }
+}

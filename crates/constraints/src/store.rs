@@ -1,0 +1,429 @@
+//! The grouped constraint store (paper §3).
+//!
+//! Constraints are grouped by one of the object classes they reference; to
+//! optimize a query, only groups attached to the query's classes are fetched.
+//! The paper proves the scheme *correct* (all relevant constraints are always
+//! retrieved) but not optimal — irrelevant constraints ride along. The
+//! assignment policy controls how many:
+//!
+//! * [`AssignmentPolicy::Arbitrary`] — the paper's base scheme;
+//! * [`AssignmentPolicy::LeastFrequentlyAccessed`] — the paper's refinement
+//!   ("assigned to the group attached to the less frequently accessed
+//!   classes");
+//! * [`AssignmentPolicy::Balanced`] — the paper's alternative ("distribute
+//!   constraints as evenly as possible among the groups").
+//!
+//! Retrieval metrics are tracked so the E6 experiment can compare policies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sqo_catalog::{AccessTracker, Catalog, ClassId, RelId};
+use sqo_query::Query;
+
+use crate::closure::{transitive_closure, ClosureOptions};
+use crate::error::ConstraintError;
+use crate::horn::{ConstraintClass, ConstraintId, HornConstraint, Origin};
+use crate::pool::{PredId, PredicatePool};
+
+/// How a constraint picks its home group among the classes it references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignmentPolicy {
+    /// First referenced class (deterministic stand-in for "arbitrarily").
+    Arbitrary,
+    /// The least frequently accessed referenced class — the paper's
+    /// enhancement; requires access statistics.
+    #[default]
+    LeastFrequentlyAccessed,
+    /// The referenced class whose group is currently smallest.
+    Balanced,
+}
+
+/// Store construction options.
+#[derive(Debug, Clone, Default)]
+pub struct StoreOptions {
+    /// Materialize the transitive closure at build time (§3; on by default
+    /// via [`StoreOptions::paper_defaults`]).
+    pub materialize_closure: bool,
+    pub closure: ClosureOptions,
+    pub policy: AssignmentPolicy,
+}
+
+impl StoreOptions {
+    /// The configuration the paper describes: closure materialized,
+    /// least-frequently-accessed grouping.
+    pub fn paper_defaults() -> Self {
+        Self {
+            materialize_closure: true,
+            closure: ClosureOptions::default(),
+            policy: AssignmentPolicy::LeastFrequentlyAccessed,
+        }
+    }
+}
+
+/// A constraint compiled against the shared [`PredicatePool`]: antecedents
+/// and consequent are pool pointers, exactly as §3 prescribes for storage
+/// economy.
+#[derive(Debug, Clone)]
+pub struct CompiledConstraint {
+    pub id: ConstraintId,
+    pub antecedents: Vec<PredId>,
+    pub consequent: PredId,
+    pub relationships: Vec<RelId>,
+    pub classes: Vec<ClassId>,
+    pub classification: ConstraintClass,
+    pub origin: Origin,
+}
+
+/// Counters for grouping-scheme effectiveness (experiment E6).
+#[derive(Debug, Default)]
+pub struct RetrievalMetrics {
+    pub queries: AtomicU64,
+    /// Constraints fetched by the group union.
+    pub retrieved: AtomicU64,
+    /// Of those, constraints actually relevant to the query.
+    pub relevant: AtomicU64,
+}
+
+impl RetrievalMetrics {
+    /// Fraction of retrieved constraints that were irrelevant, over the
+    /// store's lifetime.
+    pub fn waste_ratio(&self) -> f64 {
+        let retrieved = self.retrieved.load(Ordering::Relaxed);
+        if retrieved == 0 {
+            return 0.0;
+        }
+        let relevant = self.relevant.load(Ordering::Relaxed);
+        1.0 - relevant as f64 / retrieved as f64
+    }
+}
+
+/// The grouped semantic-constraint store.
+#[derive(Debug)]
+pub struct ConstraintStore {
+    catalog: Arc<Catalog>,
+    constraints: Vec<HornConstraint>,
+    compiled: Vec<CompiledConstraint>,
+    pool: PredicatePool,
+    /// groups[class] = constraints assigned to that class.
+    groups: RwLock<Vec<Vec<ConstraintId>>>,
+    policy: AssignmentPolicy,
+    access: AccessTracker,
+    metrics: RetrievalMetrics,
+    /// Closure bookkeeping for reporting.
+    pub derived_count: usize,
+    pub closure_truncated: bool,
+}
+
+impl ConstraintStore {
+    /// Builds the store: optional closure materialization, compilation into
+    /// the predicate pool, then group assignment.
+    pub fn build(
+        catalog: Arc<Catalog>,
+        constraints: Vec<HornConstraint>,
+        options: StoreOptions,
+    ) -> Result<Self, ConstraintError> {
+        let (constraints, derived_count, closure_truncated) = if options.materialize_closure {
+            let res = transitive_closure(&catalog, constraints, options.closure)?;
+            (res.constraints, res.derived_count, res.truncated)
+        } else {
+            (constraints, 0, false)
+        };
+
+        let mut pool = PredicatePool::new();
+        let compiled: Vec<CompiledConstraint> = constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CompiledConstraint {
+                id: ConstraintId(i as u32),
+                antecedents: c.antecedents.iter().cloned().map(|p| pool.intern(p)).collect(),
+                consequent: pool.intern(c.consequent.clone()),
+                relationships: c.relationships.clone(),
+                classes: c.classes.clone(),
+                classification: c.classification(),
+                origin: c.origin,
+            })
+            .collect();
+
+        let access = AccessTracker::new(catalog.class_count());
+        let store = Self {
+            groups: RwLock::new(vec![Vec::new(); catalog.class_count()]),
+            catalog,
+            constraints,
+            compiled,
+            pool,
+            policy: options.policy,
+            access,
+            metrics: RetrievalMetrics::default(),
+            derived_count,
+            closure_truncated,
+        };
+        store.regroup();
+        Ok(store)
+    }
+
+    /// Convenience: paper defaults.
+    pub fn with_paper_defaults(
+        catalog: Arc<Catalog>,
+        constraints: Vec<HornConstraint>,
+    ) -> Result<Self, ConstraintError> {
+        Self::build(catalog, constraints, StoreOptions::paper_defaults())
+    }
+
+    /// (Re)assigns every constraint to a group according to the policy.
+    /// The paper notes the LFA grouping "has to be updated as database access
+    /// pattern changes" — callers invoke this periodically.
+    pub fn regroup(&self) {
+        let mut groups = vec![Vec::new(); self.catalog.class_count()];
+        for c in &self.compiled {
+            if c.classes.is_empty() {
+                continue; // unreachable for validated constraints
+            }
+            let home = match self.policy {
+                AssignmentPolicy::Arbitrary => c.classes[0],
+                AssignmentPolicy::LeastFrequentlyAccessed => self
+                    .access
+                    .least_accessed(&c.classes)
+                    .expect("non-empty class list"),
+                AssignmentPolicy::Balanced => c
+                    .classes
+                    .iter()
+                    .copied()
+                    .min_by_key(|cl| (groups[cl.index()].len(), cl.index()))
+                    .expect("non-empty class list"),
+            };
+            groups[home.index()].push(c.id);
+        }
+        *self.groups.write() = groups;
+    }
+
+    // ---- retrieval -------------------------------------------------------
+
+    /// §3 group fetch: the union of groups attached to the query's classes.
+    /// Every relevant constraint is guaranteed to be in the result.
+    pub fn retrieve_candidates(&self, query: &Query) -> Vec<ConstraintId> {
+        let groups = self.groups.read();
+        let mut out = Vec::new();
+        for class in &query.classes {
+            if let Some(g) = groups.get(class.index()) {
+                for &id in g {
+                    if !out.contains(&id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Candidates filtered down to constraints relevant to `query`
+    /// (classes ⊆ query classes ∧ relationships ⊆ query relationships).
+    /// Updates retrieval metrics and the access-frequency counters.
+    pub fn relevant_for(&self, query: &Query) -> Vec<ConstraintId> {
+        let candidates = self.retrieve_candidates(query);
+        self.metrics.queries.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .retrieved
+            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        self.access.record(query.classes.iter().copied());
+        let relevant: Vec<ConstraintId> = candidates
+            .into_iter()
+            .filter(|id| self.constraints[id.index()].relevant_to(query))
+            .collect();
+        self.metrics
+            .relevant
+            .fetch_add(relevant.len() as u64, Ordering::Relaxed);
+        relevant
+    }
+
+    /// Exhaustive relevance scan, bypassing the grouping scheme — the
+    /// ungrouped baseline for experiment E6 and the recall property tests.
+    pub fn relevant_for_ungrouped(&self, query: &Query) -> Vec<ConstraintId> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.relevant_to(query))
+            .map(|(i, _)| ConstraintId(i as u32))
+            .collect()
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    pub fn constraint(&self, id: ConstraintId) -> &HornConstraint {
+        &self.constraints[id.index()]
+    }
+
+    pub fn compiled(&self, id: ConstraintId) -> &CompiledConstraint {
+        &self.compiled[id.index()]
+    }
+
+    pub fn constraints(&self) -> impl Iterator<Item = (ConstraintId, &HornConstraint)> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ConstraintId(i as u32), c))
+    }
+
+    pub fn pool(&self) -> &PredicatePool {
+        &self.pool
+    }
+
+    pub fn metrics(&self) -> &RetrievalMetrics {
+        &self.metrics
+    }
+
+    pub fn access_tracker(&self) -> &AccessTracker {
+        &self.access
+    }
+
+    /// Group sizes per class, for diagnostics and the E6 report.
+    pub fn group_sizes(&self) -> Vec<(ClassId, usize)> {
+        self.groups
+            .read()
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (ClassId(i as u32), g.len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::figure22;
+    use sqo_catalog::example::figure21;
+    use sqo_query::{CompOp, QueryBuilder};
+
+    fn setup(policy: AssignmentPolicy) -> (Arc<Catalog>, ConstraintStore) {
+        let catalog = Arc::new(figure21().unwrap());
+        let constraints = figure22(&catalog).unwrap();
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            constraints,
+            StoreOptions { materialize_closure: true, closure: ClosureOptions::default(), policy },
+        )
+        .unwrap();
+        (catalog, store)
+    }
+
+    fn figure23_query(catalog: &Catalog) -> Query {
+        QueryBuilder::new(catalog)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .select("cargo.quantity")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "SFI")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn closure_derives_c1_c2_chain() {
+        let (_, store) = setup(AssignmentPolicy::Arbitrary);
+        // c1: vehicle desc -> cargo desc; c2: cargo desc -> supplier name.
+        // Derived: vehicle desc -> supplier name.
+        assert!(store.derived_count >= 1, "derived {}", store.derived_count);
+        assert!(!store.closure_truncated);
+        assert!(store
+            .constraints()
+            .any(|(_, c)| c.origin == Origin::Derived && c.name.contains("c1")));
+    }
+
+    #[test]
+    fn grouping_recall_matches_ungrouped_scan() {
+        let (catalog, store) = setup(AssignmentPolicy::LeastFrequentlyAccessed);
+        let q = figure23_query(&catalog);
+        let mut grouped = store.relevant_for(&q);
+        let mut full = store.relevant_for_ungrouped(&q);
+        grouped.sort_unstable();
+        full.sort_unstable();
+        assert_eq!(grouped, full, "grouping must never lose a relevant constraint");
+        assert!(!full.is_empty(), "c1 and c2 are relevant to the Figure 2.3 query");
+    }
+
+    #[test]
+    fn relevant_set_for_figure23() {
+        let (catalog, store) = setup(AssignmentPolicy::Arbitrary);
+        let q = figure23_query(&catalog);
+        let relevant = store.relevant_for(&q);
+        let names: Vec<&str> = relevant
+            .iter()
+            .map(|&id| store.constraint(id).name.as_str())
+            .collect();
+        assert!(names.contains(&"c1"), "{names:?}");
+        assert!(names.contains(&"c2"), "{names:?}");
+        assert!(!names.contains(&"c3"), "driver/vehicle constraint is irrelevant: {names:?}");
+        assert!(!names.contains(&"c4"), "{names:?}");
+        assert!(!names.contains(&"c5"), "{names:?}");
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let (catalog, store) = setup(AssignmentPolicy::Arbitrary);
+        let q = figure23_query(&catalog);
+        let _ = store.relevant_for(&q);
+        let m = store.metrics();
+        assert_eq!(m.queries.load(Ordering::Relaxed), 1);
+        assert!(m.retrieved.load(Ordering::Relaxed) >= m.relevant.load(Ordering::Relaxed));
+        // Access counters bumped for the query's classes.
+        let cargo = catalog.class_id("cargo").unwrap();
+        assert_eq!(store.access_tracker().count(cargo), 1);
+    }
+
+    #[test]
+    fn balanced_policy_spreads_groups() {
+        let (_, store) = setup(AssignmentPolicy::Balanced);
+        let sizes: Vec<usize> = store.group_sizes().iter().map(|(_, s)| *s).collect();
+        let max = sizes.iter().copied().max().unwrap();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, store.len());
+        // With balancing, no single group may hoard everything.
+        assert!(max < store.len(), "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn lfa_regroup_follows_access_pattern() {
+        let (catalog, store) = setup(AssignmentPolicy::LeastFrequentlyAccessed);
+        // Hammer cargo+vehicle+supplier, leaving others cold.
+        let q = figure23_query(&catalog);
+        for _ in 0..10 {
+            let _ = store.relevant_for(&q);
+        }
+        store.regroup();
+        // c1 references cargo and vehicle (both hot, equally) — the tie falls
+        // to the smaller id; the important property is that every constraint
+        // still lives in exactly one group.
+        let total: usize = store.group_sizes().iter().map(|(_, s)| *s).sum();
+        assert_eq!(total, store.len());
+    }
+
+    #[test]
+    fn compiled_constraints_point_into_pool() {
+        let (_, store) = setup(AssignmentPolicy::Arbitrary);
+        for (id, _) in store.constraints() {
+            let c = store.compiled(id);
+            let _ = store.pool().get(c.consequent);
+            for &a in &c.antecedents {
+                let _ = store.pool().get(a);
+            }
+        }
+        // Pool deduplicates: c1's consequent (cargo.desc = "frozen food")
+        // equals c2's antecedent — one entry serves both.
+        assert!(store.pool().len() < store.len() * 2 + 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! The profitability oracle interface (§3.4).
+//!
+//! Query formulation delegates its two cost–benefit decisions to "the cost
+//! model in the conventional query optimizer". `sqo-core` stays independent
+//! of any particular engine by asking a [`ProfitOracle`]; `sqo-exec`
+//! provides the real, plan-cost-based implementation
+//! (`CostBasedOracle`), while the structural oracles here serve tests and
+//! engine-free use.
+
+use std::fmt;
+
+use sqo_catalog::ClassId;
+use sqo_query::{Predicate, Query};
+
+/// Cost–benefit decisions for query formulation.
+pub trait ProfitOracle: fmt::Debug {
+    /// Whether retaining the optional predicate `pred` is profitable.
+    /// `with` is the current candidate query containing `pred`; `without` is
+    /// the same query with `pred` removed.
+    fn retain_optional(&self, with: &Query, without: &Query, pred: &Predicate) -> bool;
+
+    /// Whether eliminating `class` is profitable. `without` is the candidate
+    /// query with the class (and its relationship and predicates) removed.
+    /// Structural soundness has already been established by the caller.
+    fn eliminate_class(&self, with: &Query, without: &Query, class: ClassId) -> bool;
+}
+
+/// Keeps every optional predicate and performs every sound class
+/// elimination. Engine-free; useful as the "optimistic" baseline and in
+/// unit tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StructuralOracle;
+
+impl ProfitOracle for StructuralOracle {
+    fn retain_optional(&self, _with: &Query, _without: &Query, _pred: &Predicate) -> bool {
+        true
+    }
+
+    fn eliminate_class(&self, _with: &Query, _without: &Query, _class: ClassId) -> bool {
+        true
+    }
+}
+
+/// Drops every optional predicate (reclassifies them redundant) and performs
+/// every sound class elimination — the "pessimistic" counterpart.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropAllOracle;
+
+impl ProfitOracle for DropAllOracle {
+    fn retain_optional(&self, _with: &Query, _without: &Query, _pred: &Predicate) -> bool {
+        false
+    }
+
+    fn eliminate_class(&self, _with: &Query, _without: &Query, _class: ClassId) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_oracle_is_optimistic() {
+        let q = Query::new();
+        let p = Predicate::sel(
+            sqo_catalog::AttrRef::new(ClassId(0), sqo_catalog::AttrId(0)),
+            sqo_query::CompOp::Eq,
+            1i64,
+        );
+        assert!(StructuralOracle.retain_optional(&q, &q, &p));
+        assert!(StructuralOracle.eliminate_class(&q, &q, ClassId(0)));
+    }
+
+    #[test]
+    fn drop_all_oracle_is_pessimistic_about_predicates() {
+        let q = Query::new();
+        let p = Predicate::sel(
+            sqo_catalog::AttrRef::new(ClassId(0), sqo_catalog::AttrId(0)),
+            sqo_query::CompOp::Eq,
+            1i64,
+        );
+        assert!(!DropAllOracle.retain_optional(&q, &q, &p));
+        assert!(DropAllOracle.eliminate_class(&q, &q, ClassId(0)));
+    }
+}

@@ -1,0 +1,155 @@
+//! The transformation queue `Q` (§3.2, §4).
+//!
+//! The base algorithm uses FIFO order — and proves order immaterial. The §4
+//! extension turns `Q` into a priority queue so that, under a transformation
+//! budget, the likely-profitable transformations run first:
+//! *index introduction* > *restriction elimination* > *restriction
+//! introduction*.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::QueueDiscipline;
+
+/// What popping a row is expected to do — determines priority (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionKind {
+    /// Introduce a predicate on a non-indexed attribute.
+    RestrictionIntroduction = 1,
+    /// Lower the tag of a predicate already present.
+    RestrictionElimination = 2,
+    /// Introduce a predicate on an indexed attribute.
+    IndexIntroduction = 3,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct HeapEntry {
+    kind: ActionKind,
+    /// FIFO tiebreak within a priority class (larger seq = later).
+    seq: usize,
+    row: usize,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher kind first, then earlier seq.
+        (self.kind as u8)
+            .cmp(&(other.kind as u8))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Queue of pending transformations, identified by table row index.
+#[derive(Debug)]
+pub struct TransformationQueue {
+    discipline: QueueDiscipline,
+    fifo: VecDeque<usize>,
+    heap: BinaryHeap<HeapEntry>,
+    queued: Vec<bool>,
+    seq: usize,
+}
+
+impl TransformationQueue {
+    pub fn new(discipline: QueueDiscipline, rows: usize) -> Self {
+        Self {
+            discipline,
+            fifo: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            queued: vec![false; rows],
+            seq: 0,
+        }
+    }
+
+    /// Enqueues a row (idempotent while the row is queued).
+    pub fn push(&mut self, row: usize, kind: ActionKind) {
+        if self.queued[row] {
+            return;
+        }
+        self.queued[row] = true;
+        self.seq += 1;
+        match self.discipline {
+            QueueDiscipline::Fifo => self.fifo.push_back(row),
+            QueueDiscipline::Priority => self.heap.push(HeapEntry { kind, seq: self.seq, row }),
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<usize> {
+        let row = match self.discipline {
+            QueueDiscipline::Fifo => self.fifo.pop_front(),
+            QueueDiscipline::Priority => self.heap.pop().map(|e| e.row),
+        }?;
+        self.queued[row] = false;
+        Some(row)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self.discipline {
+            QueueDiscipline::Fifo => self.fifo.is_empty(),
+            QueueDiscipline::Priority => self.heap.is_empty(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self.discipline {
+            QueueDiscipline::Fifo => self.fifo.len(),
+            QueueDiscipline::Priority => self.heap.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_insertion_order() {
+        let mut q = TransformationQueue::new(QueueDiscipline::Fifo, 5);
+        q.push(3, ActionKind::RestrictionIntroduction);
+        q.push(1, ActionKind::IndexIntroduction);
+        q.push(4, ActionKind::RestrictionElimination);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn priority_orders_by_kind_then_fifo() {
+        let mut q = TransformationQueue::new(QueueDiscipline::Priority, 6);
+        q.push(0, ActionKind::RestrictionIntroduction);
+        q.push(1, ActionKind::RestrictionElimination);
+        q.push(2, ActionKind::IndexIntroduction);
+        q.push(3, ActionKind::RestrictionElimination);
+        assert_eq!(q.pop(), Some(2), "index introduction first");
+        assert_eq!(q.pop(), Some(1), "then eliminations, FIFO among equals");
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(0), "plain introduction last");
+    }
+
+    #[test]
+    fn duplicate_pushes_ignored_while_queued() {
+        let mut q = TransformationQueue::new(QueueDiscipline::Fifo, 3);
+        q.push(1, ActionKind::RestrictionElimination);
+        q.push(1, ActionKind::RestrictionElimination);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(1));
+        // After popping, the row may be requeued.
+        q.push(1, ActionKind::RestrictionElimination);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut q = TransformationQueue::new(QueueDiscipline::Priority, 2);
+        assert!(q.is_empty());
+        q.push(0, ActionKind::IndexIntroduction);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,504 @@
+//! The transformation table `T` (§3.1).
+//!
+//! Rows are the relevant constraints `C`, columns the predicate set `P`
+//! (query predicates plus all predicates of relevant constraints, interned
+//! into a per-query [`PredicatePool`] so structural duplicates share a
+//! column). Cells hold [`CellState`]s; alongside the matrix the table tracks
+//! each column's [`ColumnPresence`] and current [`PredicateTag`].
+//!
+//! Two deliberate refinements over the paper's literal pseudocode, both
+//! required to make the claimed order-immateriality a theorem (DESIGN.md §3):
+//!
+//! 1. tag assignment is a *meet* (`min`) on the lattice, so concurrent
+//!    lowerings from different constraints can never raise a tag;
+//! 2. all consequent cells of a column stay synchronized (the paper leaves
+//!    `AbsentConsequent` rows stale after an introduction).
+
+use std::collections::HashMap;
+
+use sqo_catalog::Catalog;
+use sqo_constraints::{
+    ConstraintClass, ConstraintId, ConstraintStore, PredId, PredicatePool,
+};
+use sqo_query::{Predicate, Query};
+
+use crate::config::MatchPolicy;
+use crate::tag::{CellState, ColumnPresence, PredicateTag};
+
+/// One row: a relevant constraint compiled against the table's own pool.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub constraint: ConstraintId,
+    pub antecedents: Vec<PredId>,
+    pub consequent: PredId,
+    pub classification: ConstraintClass,
+    /// Whether the consequent predicate sits on an indexed attribute —
+    /// the branch condition of Tables 3.1/3.2.
+    pub consequent_indexed: bool,
+    /// Still a member of `C` (not yet fired or discarded).
+    pub active: bool,
+}
+
+/// The transformation table.
+#[derive(Debug)]
+pub struct TransformationTable {
+    rows: Vec<Row>,
+    pool: PredicatePool,
+    presence: Vec<ColumnPresence>,
+    tags: Vec<Option<PredicateTag>>,
+    cells: Vec<CellState>,
+    cols: usize,
+    /// Columns of the original query's predicates, in query order.
+    query_columns: Vec<PredId>,
+    /// antecedent column -> rows listing it (for incremental wake-ups).
+    antecedent_rows: HashMap<PredId, Vec<usize>>,
+}
+
+impl TransformationTable {
+    /// Builds and initializes the table for `query` and the given relevant
+    /// constraints — the paper's *Initialization* algorithm.
+    pub fn build(
+        catalog: &Catalog,
+        store: &ConstraintStore,
+        relevant: &[ConstraintId],
+        query: &Query,
+        match_policy: MatchPolicy,
+    ) -> Self {
+        let mut pool = PredicatePool::new();
+        // Query predicates first: stable, paper-like column order.
+        let query_columns: Vec<PredId> =
+            query.predicates().map(|p| pool.intern(p)).collect();
+        let rows: Vec<Row> = relevant
+            .iter()
+            .map(|&id| {
+                let c = store.constraint(id);
+                Row {
+                    constraint: id,
+                    antecedents: c.antecedents.iter().cloned().map(|p| pool.intern(p)).collect(),
+                    consequent: pool.intern(c.consequent.clone()),
+                    classification: c.classification(),
+                    consequent_indexed: c.consequent.is_indexed(catalog),
+                    active: true,
+                }
+            })
+            .collect();
+        let cols = pool.len();
+
+        // Column presence and initial tags: every query predicate starts
+        // imperative ("unless proven otherwise, we have to assume that all
+        // the predicates contribute to the results").
+        let mut presence = vec![ColumnPresence::Absent; cols];
+        let mut tags = vec![None; cols];
+        for &qc in &query_columns {
+            presence[qc.index()] = ColumnPresence::InQuery;
+            tags[qc.index()] = Some(PredicateTag::Imperative);
+        }
+        if match_policy == MatchPolicy::Implication {
+            for (id, pred) in pool.iter() {
+                if presence[id.index()] == ColumnPresence::Absent
+                    && query.satisfies_predicate(pred)
+                {
+                    presence[id.index()] = ColumnPresence::Implied;
+                }
+            }
+        }
+
+        // Cells.
+        let mut cells = vec![CellState::NotPresent; rows.len() * cols];
+        let mut antecedent_rows: HashMap<PredId, Vec<usize>> = HashMap::new();
+        for (ri, row) in rows.iter().enumerate() {
+            for &a in &row.antecedents {
+                antecedent_rows.entry(a).or_default().push(ri);
+                cells[ri * cols + a.index()] = if presence[a.index()].satisfies_antecedent() {
+                    CellState::PresentAntecedent
+                } else {
+                    CellState::AbsentAntecedent
+                };
+            }
+            let cj = row.consequent;
+            cells[ri * cols + cj.index()] = match presence[cj.index()] {
+                ColumnPresence::InQuery => CellState::Tagged(PredicateTag::Imperative),
+                // Implied-but-absent consequents are introduction candidates,
+                // same as absent ones (the introduction will be vacuous and
+                // the cost model will reject it, but chaining through it is
+                // legitimate).
+                ColumnPresence::Implied | ColumnPresence::Absent => CellState::AbsentConsequent,
+                ColumnPresence::Introduced => unreachable!("nothing introduced at init"),
+            };
+        }
+
+        Self { rows, pool, presence, tags, cells, cols, query_columns, antecedent_rows }
+    }
+
+    // ---- basic accessors ---------------------------------------------------
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn column_count(&self) -> usize {
+        self.cols
+    }
+
+    pub fn row(&self, ri: usize) -> &Row {
+        &self.rows[ri]
+    }
+
+    pub fn rows(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows.iter().enumerate()
+    }
+
+    pub fn pool(&self) -> &PredicatePool {
+        &self.pool
+    }
+
+    pub fn cell(&self, ri: usize, col: PredId) -> CellState {
+        self.cells[ri * self.cols + col.index()]
+    }
+
+    pub fn presence(&self, col: PredId) -> ColumnPresence {
+        self.presence[col.index()]
+    }
+
+    pub fn tag(&self, col: PredId) -> Option<PredicateTag> {
+        self.tags[col.index()]
+    }
+
+    pub fn query_columns(&self) -> &[PredId] {
+        &self.query_columns
+    }
+
+    pub fn deactivate(&mut self, ri: usize) {
+        self.rows[ri].active = false;
+    }
+
+    /// Rows that list `col` among their antecedents.
+    pub fn rows_watching(&self, col: PredId) -> &[usize] {
+        self.antecedent_rows.get(&col).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// All antecedents of row `ri` present/implied/introduced?
+    pub fn antecedents_satisfied(&self, ri: usize) -> bool {
+        self.rows[ri]
+            .antecedents
+            .iter()
+            .all(|a| self.presence[a.index()].satisfies_antecedent())
+    }
+
+    // ---- mutation (the transformation primitives) -------------------------
+
+    /// Introduces the column's predicate into the (virtual) query.
+    /// Returns columns whose presence changed (for wake-ups).
+    pub fn introduce(&mut self, col: PredId, match_policy: MatchPolicy) -> Vec<PredId> {
+        let mut changed = Vec::new();
+        if self.presence[col.index()] == ColumnPresence::Absent
+            || self.presence[col.index()] == ColumnPresence::Implied
+        {
+            self.presence[col.index()] = ColumnPresence::Introduced;
+            self.mark_antecedents_present(col);
+            changed.push(col);
+        }
+        if match_policy == MatchPolicy::Implication {
+            // The introduced predicate may satisfy weaker antecedents
+            // elsewhere in the pool.
+            let introduced = self.pool.get(col).clone();
+            let weaker: Vec<PredId> = self
+                .pool
+                .iter()
+                .filter(|(id, q)| {
+                    *id != col
+                        && self.presence[id.index()] == ColumnPresence::Absent
+                        && introduced.implies(q)
+                })
+                .map(|(id, _)| id)
+                .collect();
+            for w in weaker {
+                self.presence[w.index()] = ColumnPresence::Implied;
+                self.mark_antecedents_present(w);
+                changed.push(w);
+            }
+        }
+        changed
+    }
+
+    fn mark_antecedents_present(&mut self, col: PredId) {
+        if let Some(rows) = self.antecedent_rows.get(&col) {
+            for &ri in rows.clone().iter() {
+                let idx = ri * self.cols + col.index();
+                if self.cells[idx] == CellState::AbsentAntecedent {
+                    self.cells[idx] = CellState::PresentAntecedent;
+                }
+            }
+        }
+    }
+
+    /// Meet-assigns `new_tag` to the column and synchronizes every consequent
+    /// cell of that column. Returns the resulting tag.
+    pub fn assign_tag(&mut self, col: PredId, new_tag: PredicateTag) -> PredicateTag {
+        let merged = match self.tags[col.index()] {
+            Some(old) => old.min(new_tag),
+            None => new_tag,
+        };
+        self.tags[col.index()] = Some(merged);
+        for ri in 0..self.rows.len() {
+            if self.rows[ri].consequent == col {
+                let idx = ri * self.cols + col.index();
+                match self.cells[idx] {
+                    CellState::Tagged(_) | CellState::AbsentConsequent => {
+                        self.cells[idx] = CellState::Tagged(merged);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        merged
+    }
+
+    /// Renders the matrix in the paper's §3.5 style.
+    pub fn render(&self, catalog: &Catalog, store: &ConstraintStore) -> String {
+        let mut out = String::new();
+        out.push_str("T =\n");
+        // Header.
+        out.push_str("        ");
+        for (id, _) in self.pool.iter() {
+            out.push_str(&format!("{:>4} ", format!("p{}", id.0 + 1)));
+        }
+        out.push('\n');
+        for (ri, row) in self.rows.iter().enumerate() {
+            let name = &store.constraint(row.constraint).name;
+            out.push_str(&format!("{name:>6}: "));
+            for (id, _) in self.pool.iter() {
+                out.push_str(&format!("{:>4} ", self.cell(ri, id).code()));
+            }
+            if !row.active {
+                out.push_str("  (inactive)");
+            }
+            out.push('\n');
+        }
+        out.push_str("where\n");
+        for (id, pred) in self.pool.iter() {
+            out.push_str(&format!(
+                "  p{} = {}   [{:?}, tag {:?}]\n",
+                id.0 + 1,
+                pred.display(catalog),
+                self.presence(id),
+                self.tag(id)
+            ));
+        }
+        out
+    }
+
+    /// The final classification of a predicate column for query formulation
+    /// (§3.4): tagged columns report their tag; untouched query predicates
+    /// stay imperative; absent columns report `None`.
+    pub fn final_tag(&self, col: PredId) -> Option<PredicateTag> {
+        match self.presence[col.index()] {
+            ColumnPresence::InQuery | ColumnPresence::Introduced => {
+                Some(self.tags[col.index()].unwrap_or(PredicateTag::Imperative))
+            }
+            ColumnPresence::Implied | ColumnPresence::Absent => None,
+        }
+    }
+
+    /// Clones the predicate behind a column.
+    pub fn predicate(&self, col: PredId) -> &Predicate {
+        self.pool.get(col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::example::figure21;
+    use sqo_constraints::figure22;
+    use sqo_query::{CompOp, QueryBuilder};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Catalog>, ConstraintStore, Query) {
+        let catalog = Arc::new(figure21().unwrap());
+        // No closure: keep rows exactly c1..c5 for §3.5 comparisons.
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            figure22(&catalog).unwrap(),
+            sqo_constraints::StoreOptions {
+                materialize_closure: false,
+                ..sqo_constraints::StoreOptions::paper_defaults()
+            },
+        )
+        .unwrap();
+        let query = QueryBuilder::new(&catalog)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .select("cargo.quantity")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "SFI")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap();
+        (catalog, store, query)
+    }
+
+    /// Reproduces the exact initialization matrix of §3.5:
+    /// T = (PresentAntecedent  _           AbsentConsequent)
+    ///     (_                  Imperative  AbsentAntecedent)
+    #[test]
+    fn initialization_matches_section_3_5() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        assert_eq!(relevant.len(), 2, "c1 and c2");
+        let t = TransformationTable::build(
+            &catalog,
+            &store,
+            &relevant,
+            &query,
+            MatchPolicy::Implication,
+        );
+        assert_eq!(t.row_count(), 2);
+        // Columns: p1 = vehicle.desc = "refrigerated truck",
+        //          p2 = supplier.name = "SFI",
+        //          p3 = cargo.desc = "frozen food".
+        assert_eq!(t.column_count(), 3);
+        let p1 = PredId(0);
+        let p2 = PredId(1);
+        let p3 = PredId(2);
+        // Row order follows `relevant`; find c1's row.
+        let c1_row = t
+            .rows()
+            .position(|(_, r)| store.constraint(r.constraint).name == "c1")
+            .unwrap();
+        let c2_row = 1 - c1_row;
+        assert_eq!(t.cell(c1_row, p1), CellState::PresentAntecedent);
+        assert_eq!(t.cell(c1_row, p2), CellState::NotPresent);
+        assert_eq!(t.cell(c1_row, p3), CellState::AbsentConsequent);
+        assert_eq!(t.cell(c2_row, p1), CellState::NotPresent);
+        assert_eq!(t.cell(c2_row, p2), CellState::Tagged(PredicateTag::Imperative));
+        assert_eq!(t.cell(c2_row, p3), CellState::AbsentAntecedent);
+        // Query predicates start imperative.
+        assert_eq!(t.tag(p1), Some(PredicateTag::Imperative));
+        assert_eq!(t.tag(p2), Some(PredicateTag::Imperative));
+        assert_eq!(t.tag(p3), None);
+    }
+
+    #[test]
+    fn introduce_flips_presence_and_wakes_antecedents() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        let mut t = TransformationTable::build(
+            &catalog,
+            &store,
+            &relevant,
+            &query,
+            MatchPolicy::Implication,
+        );
+        let p3 = PredId(2);
+        let c2_row = t
+            .rows()
+            .position(|(_, r)| store.constraint(r.constraint).name == "c2")
+            .unwrap();
+        assert!(!t.antecedents_satisfied(c2_row));
+        let changed = t.introduce(p3, MatchPolicy::Implication);
+        assert!(changed.contains(&p3));
+        assert_eq!(t.presence(p3), ColumnPresence::Introduced);
+        assert_eq!(t.cell(c2_row, p3), CellState::PresentAntecedent);
+        assert!(t.antecedents_satisfied(c2_row));
+    }
+
+    #[test]
+    fn assign_tag_is_monotone_meet() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        let mut t = TransformationTable::build(
+            &catalog,
+            &store,
+            &relevant,
+            &query,
+            MatchPolicy::Implication,
+        );
+        let p2 = PredId(1);
+        assert_eq!(t.assign_tag(p2, PredicateTag::Optional), PredicateTag::Optional);
+        // A later attempt to "raise" is absorbed by the meet.
+        assert_eq!(t.assign_tag(p2, PredicateTag::Imperative), PredicateTag::Optional);
+        assert_eq!(t.assign_tag(p2, PredicateTag::Redundant), PredicateTag::Redundant);
+        assert_eq!(t.tag(p2), Some(PredicateTag::Redundant));
+    }
+
+    #[test]
+    fn final_tags_default_to_imperative_for_query_predicates() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        let t = TransformationTable::build(
+            &catalog,
+            &store,
+            &relevant,
+            &query,
+            MatchPolicy::Implication,
+        );
+        for &qc in t.query_columns() {
+            assert_eq!(t.final_tag(qc), Some(PredicateTag::Imperative));
+        }
+        // Absent constraint predicates have no final tag.
+        assert_eq!(t.final_tag(PredId(2)), None);
+    }
+
+    #[test]
+    fn render_contains_matrix_and_legend() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        let t = TransformationTable::build(
+            &catalog,
+            &store,
+            &relevant,
+            &query,
+            MatchPolicy::Implication,
+        );
+        let s = t.render(&catalog, &store);
+        assert!(s.contains("PA"), "{s}");
+        assert!(s.contains("AC"), "{s}");
+        assert!(s.contains("cargo.desc = \"frozen food\""), "{s}");
+    }
+
+    #[test]
+    fn syntactic_policy_ignores_implication() {
+        let (catalog, store, _) = setup();
+        // Query with a *stronger* predicate than c-antecedent would need.
+        let query = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.quantity", CompOp::Gt, 20i64)
+            .build()
+            .unwrap();
+        let c = sqo_constraints::ConstraintBuilder::new(&catalog, "cx")
+            .when("cargo.quantity", CompOp::Gt, 10i64)
+            .then("cargo.desc", CompOp::Eq, "bulk")
+            .build()
+            .unwrap();
+        let store2 = ConstraintStore::build(
+            Arc::clone(&catalog),
+            vec![c],
+            sqo_constraints::StoreOptions {
+                materialize_closure: false,
+                ..sqo_constraints::StoreOptions::paper_defaults()
+            },
+        )
+        .unwrap();
+        let relevant = store2.relevant_for(&query);
+        assert_eq!(relevant.len(), 1);
+        let t_imp = TransformationTable::build(
+            &catalog,
+            &store2,
+            &relevant,
+            &query,
+            MatchPolicy::Implication,
+        );
+        assert!(t_imp.antecedents_satisfied(0), "quantity > 20 implies quantity > 10");
+        let t_syn = TransformationTable::build(
+            &catalog,
+            &store2,
+            &relevant,
+            &query,
+            MatchPolicy::Syntactic,
+        );
+        assert!(!t_syn.antecedents_satisfied(0));
+        let _ = store.len(); // keep `store` used
+    }
+}

@@ -1,0 +1,422 @@
+//! The tentative-transformation engine (§3.2 *Update Transformation Queue* +
+//! §3.3 *Transformation*).
+//!
+//! The engine never touches the query. It walks the transformation table:
+//! every eligible constraint fires exactly once, lowering (or assigning) its
+//! consequent's tag per Tables 3.1/3.2 and flipping `AbsentAntecedent` cells
+//! to `PresentAntecedent`, which may enable further constraints. Because tag
+//! assignment is a lattice meet and enabling is monotone, the fixpoint is
+//! unique — the order of transformations is immaterial (property-tested in
+//! `tests/order_immaterial.rs`).
+
+use sqo_constraints::{ConstraintClass, ConstraintId};
+use sqo_query::Predicate;
+
+use crate::config::{OptimizerConfig, TagPolicy};
+use crate::queue::{ActionKind, TransformationQueue};
+use crate::tag::{CellState, ColumnPresence, PredicateTag};
+use crate::table::TransformationTable;
+
+/// What a fired constraint did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformationKind {
+    /// Lowered the tag of a predicate present in the original query
+    /// (restriction elimination).
+    RestrictionElimination,
+    /// Introduced a predicate on a non-indexed attribute.
+    RestrictionIntroduction,
+    /// Introduced a predicate on an indexed attribute (index introduction).
+    IndexIntroduction,
+    /// Lowered the tag of an already-introduced predicate further.
+    TagLowering,
+}
+
+/// One applied transformation, for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformationRecord {
+    pub constraint: ConstraintId,
+    pub predicate: Predicate,
+    pub kind: TransformationKind,
+    pub from: Option<PredicateTag>,
+    pub to: PredicateTag,
+}
+
+/// Outcome of the transformation phase.
+#[derive(Debug, Clone, Default)]
+pub struct TransformLog {
+    pub applied: Vec<TransformationRecord>,
+    /// Rows popped that turned out to be no-ops (already at target tag).
+    pub noops: usize,
+    /// True if the §4 budget stopped the loop early.
+    pub budget_exhausted: bool,
+}
+
+/// The target tag a row's firing assigns, per the configured policy
+/// (Tables 3.1/3.2 vs. the §3.3 pseudocode).
+pub fn target_tag(
+    classification: ConstraintClass,
+    consequent_indexed: bool,
+    policy: TagPolicy,
+) -> PredicateTag {
+    match (policy, classification) {
+        (TagPolicy::Tables, ConstraintClass::Intra) => {
+            if consequent_indexed {
+                PredicateTag::Optional
+            } else {
+                PredicateTag::Redundant
+            }
+        }
+        (TagPolicy::Pseudocode, ConstraintClass::Intra) => PredicateTag::Redundant,
+        (_, ConstraintClass::Inter) => PredicateTag::Optional,
+    }
+}
+
+/// Pending action of a row given the current table state; `None` when the
+/// row cannot contribute (and should leave `C`).
+fn pending_action(table: &TransformationTable, ri: usize, config: &OptimizerConfig) -> Option<ActionKind> {
+    let row = table.row(ri);
+    if !row.active || !table.antecedents_satisfied(ri) {
+        return None;
+    }
+    let target = target_tag(row.classification, row.consequent_indexed, config.tag_policy);
+    match table.cell(ri, row.consequent) {
+        CellState::Tagged(current) => {
+            if current.can_lower_to(target) {
+                Some(ActionKind::RestrictionElimination)
+            } else {
+                None
+            }
+        }
+        CellState::AbsentConsequent => Some(if row.consequent_indexed {
+            ActionKind::IndexIntroduction
+        } else {
+            ActionKind::RestrictionIntroduction
+        }),
+        _ => None,
+    }
+}
+
+/// Whether a row might become eligible later (antecedents still missing but
+/// the consequent could still be lowered). Rows that can never contribute
+/// are deactivated — the paper's "remove cᵢ from C".
+fn could_become_eligible(table: &TransformationTable, ri: usize, config: &OptimizerConfig) -> bool {
+    let row = table.row(ri);
+    if !row.active {
+        return false;
+    }
+    let target = target_tag(row.classification, row.consequent_indexed, config.tag_policy);
+    match table.cell(ri, row.consequent) {
+        CellState::Tagged(current) => current.can_lower_to(target),
+        CellState::AbsentConsequent => true,
+        _ => false,
+    }
+}
+
+/// Runs the transformation loop to its fixpoint (or budget), §3.2 + §3.3.
+pub fn run_transformations(
+    table: &mut TransformationTable,
+    config: &OptimizerConfig,
+) -> TransformLog {
+    let mut log = TransformLog::default();
+    let mut queue = TransformationQueue::new(config.queue, table.row_count());
+
+    // Initial Update-Transformation-Queue pass.
+    for ri in 0..table.row_count() {
+        match pending_action(table, ri, config) {
+            Some(kind) => queue.push(ri, kind),
+            None => {
+                if !could_become_eligible(table, ri, config) {
+                    table.deactivate(ri);
+                }
+            }
+        }
+    }
+
+    let mut budget = config.budget;
+    while let Some(ri) = queue.pop() {
+        // Re-validate at pop time: earlier transformations may have lowered
+        // this row's consequent already ("some cₖ ahead of cᵢ in Q has
+        // already lowered t(cᵢ, pⱼ) — ignore cᵢ then").
+        let Some(_) = pending_action(table, ri, config) else {
+            log.noops += 1;
+            table.deactivate(ri);
+            continue;
+        };
+        if let Some(b) = budget.as_mut() {
+            if *b == 0 {
+                log.budget_exhausted = true;
+                break;
+            }
+            *b -= 1;
+        }
+
+        let row = table.row(ri).clone();
+        let target = target_tag(row.classification, row.consequent_indexed, config.tag_policy);
+        let col = row.consequent;
+        let presence_before = table.presence(col);
+        let tag_before = table.tag(col);
+
+        // Apply: introduce if absent, then meet-assign the tag.
+        let mut woken_cols = Vec::new();
+        if !matches!(presence_before, ColumnPresence::InQuery | ColumnPresence::Introduced) {
+            woken_cols = table.introduce(col, config.match_policy);
+        }
+        let final_tag = table.assign_tag(col, target);
+
+        let kind = match presence_before {
+            ColumnPresence::InQuery => TransformationKind::RestrictionElimination,
+            ColumnPresence::Introduced => TransformationKind::TagLowering,
+            ColumnPresence::Absent | ColumnPresence::Implied => {
+                if row.consequent_indexed {
+                    TransformationKind::IndexIntroduction
+                } else {
+                    TransformationKind::RestrictionIntroduction
+                }
+            }
+        };
+        log.applied.push(TransformationRecord {
+            constraint: row.constraint,
+            predicate: table.predicate(col).clone(),
+            kind,
+            from: tag_before,
+            to: final_tag,
+        });
+        table.deactivate(ri);
+
+        // Update Q: wake rows watching any column whose presence changed,
+        // and re-examine rows whose consequent is this column (they may now
+        // be unable to contribute).
+        for &wcol in woken_cols.iter().chain(std::iter::once(&col)) {
+            for &watcher in table.rows_watching(wcol).to_vec().iter() {
+                if let Some(kind) = pending_action(table, watcher, config) {
+                    queue.push(watcher, kind);
+                }
+            }
+        }
+        for rj in 0..table.row_count() {
+            if table.row(rj).active && !could_become_eligible(table, rj, config) {
+                table.deactivate(rj);
+            }
+        }
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::{example::figure21, Catalog};
+    use sqo_constraints::{figure22, ConstraintStore, StoreOptions};
+    use sqo_query::{CompOp, Query, QueryBuilder};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Catalog>, ConstraintStore, Query) {
+        let catalog = Arc::new(figure21().unwrap());
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            figure22(&catalog).unwrap(),
+            StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+        )
+        .unwrap();
+        let query = QueryBuilder::new(&catalog)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .select("cargo.quantity")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "SFI")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap();
+        (catalog, store, query)
+    }
+
+    /// The full §3.5 walk-through: transformation #1 introduces p3 via c1
+    /// (optional, inter-class), which enables c2; transformation #2 lowers
+    /// p2 from imperative to optional.
+    #[test]
+    fn section_3_5_transformation_sequence() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        let config = OptimizerConfig::paper();
+        let mut table = TransformationTable::build(
+            &catalog,
+            &store,
+            &relevant,
+            &query,
+            config.match_policy,
+        );
+        let log = run_transformations(&mut table, &config);
+        assert_eq!(log.applied.len(), 2, "{log:?}");
+        assert!(!log.budget_exhausted);
+
+        let names: Vec<&str> = log
+            .applied
+            .iter()
+            .map(|r| store.constraint(r.constraint).name.as_str())
+            .collect();
+        assert_eq!(names, vec!["c1", "c2"]);
+        assert_eq!(log.applied[0].kind, TransformationKind::RestrictionIntroduction);
+        assert_eq!(log.applied[0].to, PredicateTag::Optional);
+        assert_eq!(log.applied[1].kind, TransformationKind::RestrictionElimination);
+        assert_eq!(log.applied[1].from, Some(PredicateTag::Imperative));
+        assert_eq!(log.applied[1].to, PredicateTag::Optional);
+
+        // Final state (the paper's closing matrix): p1 imperative,
+        // p2 optional, p3 optional+introduced.
+        use sqo_constraints::PredId;
+        assert_eq!(table.final_tag(PredId(0)), Some(PredicateTag::Imperative));
+        assert_eq!(table.final_tag(PredId(1)), Some(PredicateTag::Optional));
+        assert_eq!(table.final_tag(PredId(2)), Some(PredicateTag::Optional));
+        assert_eq!(table.presence(PredId(2)), ColumnPresence::Introduced);
+    }
+
+    #[test]
+    fn intra_class_constraint_lowers_to_redundant() {
+        let catalog = Arc::new(figure21().unwrap());
+        // Intra constraint with a non-indexed consequent.
+        let c = sqo_constraints::ConstraintBuilder::new(&catalog, "intra")
+            .when("manager.name", CompOp::Eq, "alice")
+            .then("manager.rank", CompOp::Eq, "research staff member")
+            .build()
+            .unwrap();
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            vec![c],
+            StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+        )
+        .unwrap();
+        let query = QueryBuilder::new(&catalog)
+            .select("manager.clearance")
+            .filter("manager.name", CompOp::Eq, "alice")
+            .filter("manager.rank", CompOp::Eq, "research staff member")
+            .build()
+            .unwrap();
+        let relevant = store.relevant_for(&query);
+        let config = OptimizerConfig::paper();
+        let mut table =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
+        let log = run_transformations(&mut table, &config);
+        assert_eq!(log.applied.len(), 1);
+        assert_eq!(log.applied[0].kind, TransformationKind::RestrictionElimination);
+        assert_eq!(log.applied[0].to, PredicateTag::Redundant);
+    }
+
+    #[test]
+    fn indexed_intra_consequent_stays_optional_under_tables_policy() {
+        let catalog = Arc::new(figure21().unwrap());
+        // manager.name is hash-indexed; rank -> name is intra with an indexed
+        // consequent.
+        let c = sqo_constraints::ConstraintBuilder::new(&catalog, "ix")
+            .when("manager.rank", CompOp::Eq, "research staff member")
+            .then("manager.name", CompOp::Eq, "alice")
+            .build()
+            .unwrap();
+        let mk_store = |cs| {
+            ConstraintStore::build(
+                Arc::clone(&catalog),
+                cs,
+                StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+            )
+            .unwrap()
+        };
+        let store = mk_store(vec![c]);
+        let query = QueryBuilder::new(&catalog)
+            .select("manager.clearance")
+            .filter("manager.rank", CompOp::Eq, "research staff member")
+            .build()
+            .unwrap();
+        let relevant = store.relevant_for(&query);
+        // Tables policy: introduction lands at optional (index introduction).
+        let config = OptimizerConfig::paper();
+        let mut table =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
+        let log = run_transformations(&mut table, &config);
+        assert_eq!(log.applied[0].kind, TransformationKind::IndexIntroduction);
+        assert_eq!(log.applied[0].to, PredicateTag::Optional);
+        // Pseudocode policy: redundant.
+        let config2 = OptimizerConfig {
+            tag_policy: TagPolicy::Pseudocode,
+            ..OptimizerConfig::paper()
+        };
+        let mut table2 =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config2.match_policy);
+        let log2 = run_transformations(&mut table2, &config2);
+        assert_eq!(log2.applied[0].to, PredicateTag::Redundant);
+    }
+
+    #[test]
+    fn budget_stops_early() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        let config = OptimizerConfig::budgeted(1);
+        let mut table =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
+        let log = run_transformations(&mut table, &config);
+        assert_eq!(log.applied.len(), 1);
+        assert!(log.budget_exhausted);
+    }
+
+    #[test]
+    fn chain_of_three_fires_transitively() {
+        // a=1 present; c1: a=1 -> b=2 ; c2: b=2 -> c=3. No closure: the
+        // chain must still resolve through queue wake-ups.
+        let catalog = {
+            let mut b = Catalog::builder();
+            b.class(
+                "t",
+                vec![
+                    sqo_catalog::AttributeDef::new("a", sqo_catalog::DataType::Int),
+                    sqo_catalog::AttributeDef::new("b", sqo_catalog::DataType::Int),
+                    sqo_catalog::AttributeDef::new("c", sqo_catalog::DataType::Int),
+                ],
+            )
+            .unwrap();
+            Arc::new(b.build().unwrap())
+        };
+        let c1 = sqo_constraints::ConstraintBuilder::new(&catalog, "c1")
+            .when("t.a", CompOp::Eq, 1i64)
+            .then("t.b", CompOp::Eq, 2i64)
+            .build()
+            .unwrap();
+        let c2 = sqo_constraints::ConstraintBuilder::new(&catalog, "c2")
+            .when("t.b", CompOp::Eq, 2i64)
+            .then("t.c", CompOp::Eq, 3i64)
+            .build()
+            .unwrap();
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            vec![c1, c2],
+            StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+        )
+        .unwrap();
+        let query = QueryBuilder::new(&catalog)
+            .select("t.c")
+            .filter("t.a", CompOp::Eq, 1i64)
+            .build()
+            .unwrap();
+        let relevant = store.relevant_for(&query);
+        let config = OptimizerConfig::paper();
+        let mut table =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
+        let log = run_transformations(&mut table, &config);
+        assert_eq!(log.applied.len(), 2, "both introductions fire: {log:?}");
+    }
+
+    #[test]
+    fn fired_constraints_never_refire() {
+        let (catalog, store, query) = setup();
+        let relevant = store.relevant_for(&query);
+        let config = OptimizerConfig::paper();
+        let mut table =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
+        let log = run_transformations(&mut table, &config);
+        let mut fired: Vec<ConstraintId> = log.applied.iter().map(|r| r.constraint).collect();
+        fired.sort_unstable();
+        fired.dedup();
+        assert_eq!(fired.len(), log.applied.len(), "each constraint fires at most once");
+        // And the table is quiescent: re-running changes nothing.
+        let log2 = run_transformations(&mut table, &config);
+        assert!(log2.applied.is_empty());
+    }
+}

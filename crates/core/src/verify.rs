@@ -1,0 +1,249 @@
+//! Post-optimization verification.
+//!
+//! An independent check that an [`Optimized`] outcome respects the
+//! soundness contract, usable in debug builds, tests and audits:
+//!
+//! 1. the optimized query validates against the catalog;
+//! 2. no new classes or relationships appear;
+//! 3. projections are preserved attribute-for-attribute;
+//! 4. every original predicate is either retained or *accounted for* — its
+//!    final tag shows it optional/redundant (i.e. a constraint justified the
+//!    removal) or it vanished with an eliminated class;
+//! 5. every predicate added to the query corresponds to an applied
+//!    introduction recorded in the transformation log.
+//!
+//! The verifier deliberately re-derives everything from the report rather
+//! than trusting formulation internals.
+
+use sqo_catalog::Catalog;
+use sqo_query::{Predicate, Query};
+
+use crate::optimizer::Optimized;
+use crate::tag::PredicateTag;
+
+/// Outcome of verification: empty `issues` means all checks passed.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationReport {
+    pub issues: Vec<String>,
+}
+
+impl VerificationReport {
+    pub fn is_ok(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+/// Verifies `out` against the `original` query it was produced from.
+pub fn verify_optimization(
+    catalog: &Catalog,
+    original: &Query,
+    out: &Optimized,
+) -> VerificationReport {
+    let mut report = VerificationReport::default();
+    let optimized = &out.query;
+    let mut issue = |s: String| report.issues.push(s);
+
+    // 1. Well-formedness.
+    if let Err(e) = optimized.validate(catalog) {
+        issue(format!("optimized query does not validate: {e}"));
+    }
+
+    // 2. No new classes / relationships; eliminated ones are reported.
+    for c in &optimized.classes {
+        if !original.has_class(*c) {
+            issue(format!("class {} appeared out of nowhere", catalog.class_name(*c)));
+        }
+    }
+    for r in &optimized.relationships {
+        if !original.has_relationship(*r) {
+            issue(format!("relationship {} appeared out of nowhere", catalog.rel_name(*r)));
+        }
+    }
+    for c in &original.classes {
+        let gone = !optimized.has_class(*c);
+        let reported = out.report.eliminated_classes.contains(c);
+        if gone != reported {
+            issue(format!(
+                "class {} elimination bookkeeping mismatch (gone={gone}, reported={reported})",
+                catalog.class_name(*c)
+            ));
+        }
+    }
+
+    // 3. Projections: same attributes, in order (bindings may be added).
+    if original.projections.len() != optimized.projections.len() {
+        issue(format!(
+            "projection count changed: {} -> {}",
+            original.projections.len(),
+            optimized.projections.len()
+        ));
+    } else {
+        for (a, b) in original.projections.iter().zip(&optimized.projections) {
+            if a.attr != b.attr {
+                issue(format!(
+                    "projection changed: {} -> {}",
+                    catalog.qualified_attr_name(a.attr),
+                    catalog.qualified_attr_name(b.attr)
+                ));
+            }
+        }
+    }
+
+    // 4. Every original predicate retained or justified.
+    for pred in original.predicates() {
+        if optimized.contains_predicate(&pred) {
+            continue;
+        }
+        let class_eliminated = pred
+            .classes()
+            .iter()
+            .any(|c| out.report.eliminated_classes.contains(c));
+        let tag = out
+            .report
+            .final_tags
+            .iter()
+            .find(|(p, _)| p == &pred)
+            .map(|(_, t)| *t);
+        let justified = matches!(tag, Some(PredicateTag::Optional | PredicateTag::Redundant));
+        if !class_eliminated && !justified {
+            issue(format!(
+                "predicate {} was dropped without justification (tag {tag:?})",
+                pred.display(catalog)
+            ));
+        }
+    }
+
+    // 5. Every added predicate is a recorded introduction.
+    let added: Vec<Predicate> = optimized
+        .predicates()
+        .filter(|p| !original.contains_predicate(p))
+        .collect();
+    for pred in added {
+        let recorded = out
+            .report
+            .transformations
+            .applied
+            .iter()
+            .any(|t| t.predicate == pred);
+        if !recorded {
+            issue(format!(
+                "predicate {} was added without a recorded transformation",
+                pred.display(catalog)
+            ));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{DropAllOracle, StructuralOracle};
+    use crate::optimizer::SemanticOptimizer;
+    use sqo_catalog::example::figure21;
+    use sqo_constraints::{figure22, ConstraintStore, StoreOptions};
+    use sqo_query::parse_query;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Catalog>, ConstraintStore, Query) {
+        let catalog = Arc::new(figure21().unwrap());
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            figure22(&catalog).unwrap(),
+            StoreOptions::paper_defaults(),
+        )
+        .unwrap();
+        let query = parse_query(
+            r#"(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {}
+                {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+                {collects, supplies} {supplier, cargo, vehicle})"#,
+            &catalog,
+        )
+        .unwrap();
+        (catalog, store, query)
+    }
+
+    #[test]
+    fn figure23_outcome_verifies() {
+        let (catalog, store, query) = setup();
+        let out = SemanticOptimizer::new(&store)
+            .optimize(&query, &StructuralOracle)
+            .unwrap();
+        let report = verify_optimization(&catalog, &query, &out);
+        assert!(report.is_ok(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn drop_all_outcome_verifies() {
+        let (catalog, store, query) = setup();
+        let out = SemanticOptimizer::new(&store)
+            .optimize(&query, &DropAllOracle)
+            .unwrap();
+        let report = verify_optimization(&catalog, &query, &out);
+        assert!(report.is_ok(), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let (catalog, store, query) = setup();
+        let mut out = SemanticOptimizer::new(&store)
+            .optimize(&query, &StructuralOracle)
+            .unwrap();
+        // Forge an unjustified predicate drop.
+        out.query.selective_predicates.clear();
+        let report = verify_optimization(&catalog, &query, &out);
+        assert!(!report.is_ok());
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| i.contains("dropped without justification")), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn forged_addition_is_detected() {
+        let (catalog, store, query) = setup();
+        let mut out = SemanticOptimizer::new(&store)
+            .optimize(&query, &StructuralOracle)
+            .unwrap();
+        out.query.selective_predicates.push(sqo_query::SelPredicate::new(
+            catalog.attr_ref("cargo", "quantity").unwrap(),
+            sqo_query::CompOp::Gt,
+            sqo_catalog::Value::Int(5),
+        ));
+        let report = verify_optimization(&catalog, &query, &out);
+        assert!(!report.is_ok());
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| i.contains("added without a recorded transformation")));
+    }
+
+    #[test]
+    fn forged_class_is_detected() {
+        let (catalog, store, query) = setup();
+        let mut out = SemanticOptimizer::new(&store)
+            .optimize(&query, &StructuralOracle)
+            .unwrap();
+        out.query.classes.push(catalog.class_id("engine").unwrap());
+        let report = verify_optimization(&catalog, &query, &out);
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn verification_passes_across_several_query_shapes() {
+        let (catalog, store, _) = setup();
+        let queries = [
+            r#"(SELECT {cargo.code} {} {cargo.desc = "frozen food"} {supplies} {supplier, cargo})"#,
+            r#"(SELECT {driver.name} {} {} {drives} {driver, vehicle})"#,
+            r#"(SELECT {employee.name} {} {department.name = "development"} {belongs_to} {employee, department})"#,
+        ];
+        let optimizer = SemanticOptimizer::new(&store);
+        for src in queries {
+            let q = parse_query(src, &catalog).unwrap();
+            let out = optimizer.optimize(&q, &StructuralOracle).unwrap();
+            let report = verify_optimization(&catalog, &q, &out);
+            assert!(report.is_ok(), "{src}: {:?}", report.issues);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The conventional cost model (selectivity estimation + plan costing).
+//!
+//! §3.4 of the paper delegates two decisions to "the cost model in the
+//! conventional query optimizer": whether an optional predicate is worth
+//! retaining, and whether eliminating a class is profitable. This module is
+//! that cost model. Estimates mirror the executor's actual counting (same
+//! [`PageModel`]/[`CostWeights`]) so estimated and measured work track.
+
+use sqo_catalog::{StatsSnapshot, Value};
+use sqo_query::{CompOp, SelPredicate, ValueSet};
+use sqo_storage::{CostCounters, CostWeights, PageModel};
+
+use crate::plan::{AccessPath, ClassAccess, PhysicalPlan};
+
+/// Cost model: page model + scalar weights + statistics access.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel {
+    pub pages: PageModel,
+    pub weights: CostWeights,
+}
+
+impl CostModel {
+    pub fn new(pages: PageModel, weights: CostWeights) -> Self {
+        Self { pages, weights }
+    }
+
+    /// Estimated fraction of a class's objects satisfying `pred`.
+    pub fn selectivity(&self, stats: &StatsSnapshot, pred: &SelPredicate) -> f64 {
+        let Some(attr) = stats.attr(pred.attr) else {
+            return 1.0;
+        };
+        match pred.op {
+            CompOp::Eq => attr.eq_selectivity_for(&pred.value),
+            CompOp::Ne => 1.0 - attr.eq_selectivity_for(&pred.value),
+            CompOp::Lt => attr.range_selectivity(&pred.value, true, false),
+            CompOp::Le => attr.range_selectivity(&pred.value, true, true),
+            CompOp::Gt => attr.range_selectivity(&pred.value, false, false),
+            CompOp::Ge => attr.range_selectivity(&pred.value, false, true),
+        }
+    }
+
+    /// Combined selectivity of a conjunction (independence assumption — the
+    /// System R inheritance the paper's optimizer would have shared).
+    pub fn conjunction_selectivity(
+        &self,
+        stats: &StatsSnapshot,
+        preds: &[SelPredicate],
+    ) -> f64 {
+        preds
+            .iter()
+            .map(|p| self.selectivity(stats, p))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Estimated (work units, produced rows) for one class access.
+    pub fn access_estimate(
+        &self,
+        stats: &StatsSnapshot,
+        access: &ClassAccess,
+        indexed_sel: Option<f64>,
+    ) -> (f64, f64) {
+        let n = stats.cardinality(access.class) as f64;
+        let residual_sel = self.conjunction_selectivity(stats, &access.residual);
+        let mut counters = CostCounters::default();
+        let rows;
+        match &access.path {
+            AccessPath::SeqScan => {
+                counters.seq_tuples = n as u64;
+                counters.predicate_evals = (n * access.residual.len() as f64) as u64;
+                rows = n * residual_sel;
+            }
+            AccessPath::Index { set, .. } => {
+                let sel = indexed_sel.unwrap_or_else(|| self.set_selectivity(stats, access, set));
+                let matched = n * sel;
+                counters.index_probes = 1;
+                counters.index_entries = matched as u64;
+                counters.predicate_evals = (matched * access.residual.len() as f64) as u64;
+                rows = matched * residual_sel;
+            }
+        }
+        counters.tuples_out = rows as u64;
+        (self.weights.work_units(&self.pages, &counters), rows)
+    }
+
+    fn set_selectivity(&self, stats: &StatsSnapshot, access: &ClassAccess, set: &ValueSet) -> f64 {
+        // Derive a representative predicate for the set to reuse the scalar
+        // estimators; point sets map to equality.
+        match set {
+            ValueSet::Range { lo, hi } => {
+                match (lo, hi) {
+                    (sqo_query::Bound::Included(a), sqo_query::Bound::Included(b))
+                        if a.compare(b) == Some(std::cmp::Ordering::Equal) =>
+                    {
+                        stats
+                            .attr(match &access.path {
+                                AccessPath::Index { attr, .. } => *attr,
+                                AccessPath::SeqScan => return 1.0,
+                            })
+                            .map(|s| s.eq_selectivity_for(a))
+                            .unwrap_or(1.0)
+                    }
+                    _ => 1.0 / 3.0, // generic range default
+                }
+            }
+            ValueSet::Hole(_) => 1.0,
+        }
+    }
+
+    /// Estimated work units for one pointer-join fan-out step.
+    pub fn join_step_estimate(
+        &self,
+        stats: &StatsSnapshot,
+        input_rows: f64,
+        fanout: f64,
+        residual: &[SelPredicate],
+        join_filter_count: usize,
+    ) -> (f64, f64) {
+        let produced = input_rows * fanout;
+        let residual_sel = self.conjunction_selectivity(stats, residual);
+        // Join filters default to the classic 1/3 selectivity each.
+        let join_sel = (1.0f64 / 3.0).powi(join_filter_count as i32);
+        let mut counters = CostCounters::default();
+        counters.link_traversals = produced as u64;
+        counters.predicate_evals =
+            (produced * (residual.len() + join_filter_count) as f64) as u64;
+        let rows = produced * residual_sel * join_sel;
+        counters.tuples_out = rows as u64;
+        (self.weights.work_units(&self.pages, &counters), rows)
+    }
+
+    /// Total estimated work units of a fully-formed plan (already annotated
+    /// by the planner). Exposed for diagnostics.
+    pub fn plan_cost(&self, plan: &PhysicalPlan) -> f64 {
+        plan.estimated_cost
+    }
+
+    /// Work units for a measured counter snapshot — the single figure used as
+    /// "execution cost" throughout the benchmarks.
+    pub fn measured(&self, counters: &CostCounters) -> f64 {
+        self.weights.work_units(&self.pages, counters)
+    }
+
+    /// Work units charged for evaluating a selective predicate once; used by
+    /// profitability reasoning about CPU savings (restriction elimination).
+    pub fn eval_unit_cost(&self) -> f64 {
+        self.weights.predicate_eval
+    }
+
+    /// A crude equality-probe cost used when comparing index access to a
+    /// scan: descent pages plus one entry.
+    pub fn probe_cost(&self, expected_matches: f64) -> f64 {
+        let counters = CostCounters {
+            index_probes: 1,
+            index_entries: expected_matches.max(1.0) as u64,
+            ..Default::default()
+        };
+        self.weights.work_units(&self.pages, &counters)
+    }
+}
+
+/// Helper: point-equality value for an access path, if it is one.
+pub fn point_of(set: &ValueSet) -> Option<&Value> {
+    match set {
+        ValueSet::Range {
+            lo: sqo_query::Bound::Included(a),
+            hi: sqo_query::Bound::Included(b),
+        } if a.compare(b) == Some(std::cmp::Ordering::Equal) => Some(a),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::{AttrId, AttrRef, AttrStats, ClassId, ClassStats};
+
+    fn stats_one_class(card: u64, distinct: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            classes: vec![ClassStats {
+                cardinality: card,
+                attrs: vec![AttrStats {
+                    rows: card,
+                    distinct,
+                    min: Some(Value::Int(0)),
+                    max: Some(Value::Int(distinct as i64)),
+                    mcvs: vec![],
+                    histogram: vec![],
+                }],
+            }],
+            relationships: vec![],
+        }
+    }
+
+    fn pred(op: CompOp, v: i64) -> SelPredicate {
+        SelPredicate::new(AttrRef::new(ClassId(0), AttrId(0)), op, Value::Int(v))
+    }
+
+    #[test]
+    fn selectivity_shapes() {
+        let m = CostModel::default();
+        let s = stats_one_class(100, 10);
+        assert!((m.selectivity(&s, &pred(CompOp::Eq, 5)) - 0.1).abs() < 1e-9);
+        assert!((m.selectivity(&s, &pred(CompOp::Ne, 5)) - 0.9).abs() < 1e-9);
+        let lt = m.selectivity(&s, &pred(CompOp::Lt, 5));
+        assert!(lt > 0.3 && lt < 0.7, "lt = {lt}");
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let m = CostModel::default();
+        let s = stats_one_class(100, 10);
+        let sel = m.conjunction_selectivity(&s, &[pred(CompOp::Eq, 1), pred(CompOp::Eq, 2)]);
+        assert!((sel - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_access_cheaper_than_scan_when_selective() {
+        let m = CostModel::default();
+        let s = stats_one_class(10_000, 1000);
+        let scan = ClassAccess {
+            class: ClassId(0),
+            path: AccessPath::SeqScan,
+            residual: vec![pred(CompOp::Eq, 5)],
+        };
+        let (scan_cost, scan_rows) = m.access_estimate(&s, &scan, None);
+        let ix = ClassAccess {
+            class: ClassId(0),
+            path: AccessPath::Index {
+                attr: AttrRef::new(ClassId(0), AttrId(0)),
+                set: ValueSet::point(Value::Int(5)),
+            },
+            residual: vec![],
+        };
+        let (ix_cost, ix_rows) = m.access_estimate(&s, &ix, None);
+        assert!(ix_cost < scan_cost, "index {ix_cost} vs scan {scan_cost}");
+        assert!((scan_rows - ix_rows).abs() < 1.0, "{scan_rows} vs {ix_rows}");
+    }
+
+    #[test]
+    fn join_step_scales_with_fanout() {
+        let m = CostModel::default();
+        let s = stats_one_class(100, 10);
+        let (c1, r1) = m.join_step_estimate(&s, 10.0, 1.0, &[], 0);
+        let (c2, r2) = m.join_step_estimate(&s, 10.0, 4.0, &[], 0);
+        assert!(c2 > c1);
+        assert!((r2 - 4.0 * r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_of_extracts_equality() {
+        assert_eq!(point_of(&ValueSet::point(Value::Int(5))), Some(&Value::Int(5)));
+        assert_eq!(point_of(&ValueSet::at_least(Value::Int(5))), None);
+        assert_eq!(point_of(&ValueSet::hole(Value::Int(5))), None);
+    }
+}

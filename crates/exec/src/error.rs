@@ -1,0 +1,60 @@
+//! Execution-layer errors.
+
+use std::fmt;
+
+use sqo_catalog::{CatalogError, ClassId};
+use sqo_query::QueryError;
+use sqo_storage::StorageError;
+
+/// Errors raised by the planner or executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    Catalog(CatalogError),
+    Query(QueryError),
+    Storage(StorageError),
+    /// No relationship path reaches this class from the chosen root.
+    Unreachable(ClassId),
+    /// The query has no classes to drive from.
+    EmptyQuery,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Catalog(e) => write!(f, "catalog error: {e}"),
+            ExecError::Query(e) => write!(f, "query error: {e}"),
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Unreachable(c) => write!(f, "{c} is unreachable from the plan root"),
+            ExecError::EmptyQuery => write!(f, "query accesses no classes"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Catalog(e) => Some(e),
+            ExecError::Query(e) => Some(e),
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for ExecError {
+    fn from(e: CatalogError) -> Self {
+        ExecError::Catalog(e)
+    }
+}
+
+impl From<QueryError> for ExecError {
+    fn from(e: QueryError) -> Self {
+        ExecError::Query(e)
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}

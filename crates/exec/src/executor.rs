@@ -1,0 +1,389 @@
+//! Pull-free recursive executor for pointer-join plans.
+//!
+//! Every operation is counted in [`CostCounters`], which the cost model folds
+//! into the work-unit figure the benchmarks report as "execution cost". The
+//! executor is deliberately simple: plans are small (≤ a handful of classes),
+//! and determinism matters more than raw speed for reproducing the paper's
+//! cost *ratios*.
+
+use sqo_catalog::{AttrRef, ClassId, Value};
+use sqo_query::Projection;
+use sqo_storage::{CostCounters, Database, ObjectId};
+
+use crate::error::ExecError;
+use crate::plan::{AccessPath, ClassAccess, PhysicalPlan};
+use crate::result::ResultSet;
+
+/// Executes `plan` against `db`, returning the result set and the operation
+/// counters.
+pub fn execute(db: &Database, plan: &PhysicalPlan) -> Result<(ResultSet, CostCounters), ExecError> {
+    let mut counters = CostCounters::new();
+    let columns: Vec<AttrRef> = plan.projections.iter().map(|p| p.attr).collect();
+    let mut result = ResultSet::new(columns);
+
+    // Root candidates.
+    let roots = produce(db, &plan.root, &mut counters)?;
+    let mut binding: Vec<(ClassId, ObjectId)> = Vec::with_capacity(plan.steps.len() + 1);
+    for oid in roots {
+        binding.push((plan.root.class, oid));
+        descend(db, plan, 0, &mut binding, &mut counters, &mut result)?;
+        binding.pop();
+    }
+    Ok((result, counters))
+}
+
+/// Produces the objects of one class access (root only), counting work.
+fn produce(
+    db: &Database,
+    access: &ClassAccess,
+    counters: &mut CostCounters,
+) -> Result<Vec<ObjectId>, ExecError> {
+    let mut out = Vec::new();
+    match &access.path {
+        AccessPath::SeqScan => {
+            let n = db.cardinality(access.class);
+            counters.seq_tuples += n as u64;
+            for i in 0..n as u32 {
+                let oid = ObjectId(i);
+                if eval_residual(db, access, oid, counters)? {
+                    out.push(oid);
+                }
+            }
+        }
+        AccessPath::Index { attr, set } => {
+            let index = db
+                .index(*attr)
+                .expect("planner only emits index paths for indexed attributes");
+            let scan = index
+                .probe(set)
+                .expect("planner only emits supported probe sets");
+            counters.index_probes += 1;
+            counters.index_entries += scan.probes.saturating_sub(1);
+            for oid in scan.oids {
+                if eval_residual(db, access, oid, counters)? {
+                    out.push(oid);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn eval_residual(
+    db: &Database,
+    access: &ClassAccess,
+    oid: ObjectId,
+    counters: &mut CostCounters,
+) -> Result<bool, ExecError> {
+    for p in &access.residual {
+        counters.predicate_evals += 1;
+        let v = db.value(p.attr, oid)?;
+        if !p.eval(v) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn descend(
+    db: &Database,
+    plan: &PhysicalPlan,
+    depth: usize,
+    binding: &mut Vec<(ClassId, ObjectId)>,
+    counters: &mut CostCounters,
+    result: &mut ResultSet,
+) -> Result<(), ExecError> {
+    let Some(step) = plan.steps.get(depth) else {
+        emit(db, plan, binding, counters, result)?;
+        return Ok(());
+    };
+    let &(_, from_oid) = binding
+        .iter()
+        .find(|(c, _)| *c == step.from_class)
+        .expect("planner binds from_class before the step");
+    let targets = db.traverse(step.rel, step.from_class, from_oid)?.to_vec();
+    counters.link_traversals += targets.len() as u64;
+    'target: for oid in targets {
+        if !eval_residual(db, &step.access, oid, counters)? {
+            continue;
+        }
+        // Join filters: both sides bound now.
+        for j in &step.join_filters {
+            counters.predicate_evals += 1;
+            let l = value_of(db, binding, step.access.class, oid, j.left)?;
+            let r = value_of(db, binding, step.access.class, oid, j.right)?;
+            if !j.eval(&l, &r) {
+                continue 'target;
+            }
+        }
+        // Cycle edges: the pair must be linked in the extra relationship.
+        for &(rel, a, b) in &step.link_filters {
+            let (pivot_class, pivot_oid) = if a == step.access.class {
+                (a, oid)
+            } else if b == step.access.class {
+                (b, oid)
+            } else {
+                unreachable!("link filter must involve the step's class")
+            };
+            let other_class = if pivot_class == a { b } else { a };
+            let &(_, other_oid) = binding
+                .iter()
+                .find(|(c, _)| *c == other_class)
+                .expect("other endpoint bound earlier");
+            counters.link_traversals += 1;
+            let neigh = db.traverse(rel, pivot_class, pivot_oid)?;
+            if !neigh.contains(&other_oid) {
+                continue 'target;
+            }
+        }
+        binding.push((step.access.class, oid));
+        descend(db, plan, depth + 1, binding, counters, result)?;
+        binding.pop();
+    }
+    Ok(())
+}
+
+fn value_of(
+    db: &Database,
+    binding: &[(ClassId, ObjectId)],
+    current_class: ClassId,
+    current_oid: ObjectId,
+    attr: AttrRef,
+) -> Result<Value, ExecError> {
+    let oid = if attr.class == current_class {
+        current_oid
+    } else {
+        binding
+            .iter()
+            .find(|(c, _)| *c == attr.class)
+            .map(|(_, o)| *o)
+            .expect("join filter endpoints are bound")
+    };
+    Ok(db.value(attr, oid)?.clone())
+}
+
+fn emit(
+    db: &Database,
+    plan: &PhysicalPlan,
+    binding: &[(ClassId, ObjectId)],
+    counters: &mut CostCounters,
+    result: &mut ResultSet,
+) -> Result<(), ExecError> {
+    let mut row = Vec::with_capacity(plan.projections.len());
+    for p in &plan.projections {
+        row.push(project_value(db, p, binding)?);
+    }
+    counters.tuples_out += 1;
+    result.rows.push(row);
+    Ok(())
+}
+
+fn project_value(
+    db: &Database,
+    projection: &Projection,
+    binding: &[(ClassId, ObjectId)],
+) -> Result<Value, ExecError> {
+    // A bound projection's value is known without touching the database —
+    // exactly the saving the paper's restriction introduction enables.
+    if let Some(v) = &projection.binding {
+        return Ok(v.clone());
+    }
+    let (_, oid) = binding
+        .iter()
+        .find(|(c, _)| *c == projection.attr.class)
+        .expect("projection classes are part of the plan");
+    Ok(db.value(projection.attr, *oid)?.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::planner::plan_query;
+    use sqo_catalog::example::figure21;
+    use sqo_query::{CompOp, QueryBuilder};
+    use sqo_storage::IntegrityOptions;
+    use std::sync::Arc;
+
+    fn db() -> Database {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let vehicle = catalog.class_id("vehicle").unwrap();
+        for i in 0..4 {
+            b.insert(supplier, vec![Value::str(format!("s{i}")), Value::str("x")]).unwrap();
+        }
+        for i in 0..6 {
+            let desc = if i < 2 { "refrigerated truck" } else { "flatbed" };
+            b.insert(vehicle, vec![Value::Int(i), Value::str(desc), Value::Int(i % 3)]).unwrap();
+        }
+        for i in 0..12i64 {
+            let desc = if i % 2 == 0 { "frozen food" } else { "dry goods" };
+            b.insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i)]).unwrap();
+        }
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        for i in 0..12u32 {
+            b.link(supplies, ObjectId(i), ObjectId(i % 4)).unwrap();
+            b.link(collects, ObjectId(i), ObjectId(i % 6)).unwrap();
+        }
+        b.finalize(IntegrityOptions {
+            enforce_total_participation: false,
+            enforce_multiplicity: true,
+        })
+        .unwrap()
+    }
+
+    fn run(db: &Database, q: &sqo_query::Query) -> (ResultSet, CostCounters) {
+        let plan = plan_query(db, q, &CostModel::default()).unwrap();
+        execute(db, &plan).unwrap()
+    }
+
+    #[test]
+    fn single_class_filter() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        let (res, counters) = run(&db, &q);
+        assert_eq!(res.len(), 6);
+        assert!(counters.seq_tuples >= 12, "{counters}");
+        assert!(counters.predicate_evals >= 12);
+    }
+
+    #[test]
+    fn index_probe_counts_less_work() {
+        // Big enough that the planner prefers the index over a scan.
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        for i in 0..500 {
+            b.insert(supplier, vec![Value::str(format!("s{i}")), Value::str("x")]).unwrap();
+        }
+        let db = b
+            .finalize(IntegrityOptions {
+                enforce_total_participation: false,
+                enforce_multiplicity: true,
+            })
+            .unwrap();
+        let q = QueryBuilder::new(&catalog)
+            .select("supplier.address")
+            .filter("supplier.name", CompOp::Eq, "s1")
+            .build()
+            .unwrap();
+        let (res, counters) = run(&db, &q);
+        assert_eq!(res.len(), 1);
+        assert_eq!(counters.seq_tuples, 0);
+        assert_eq!(counters.index_probes, 1);
+    }
+
+    #[test]
+    fn tiny_extent_prefers_scan() {
+        // On a 4-row extent the 2-page index descent loses to a 1-page scan;
+        // the planner must notice.
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("supplier.address")
+            .filter("supplier.name", CompOp::Eq, "s1")
+            .build()
+            .unwrap();
+        let (res, counters) = run(&db, &q);
+        assert_eq!(res.len(), 1);
+        assert_eq!(counters.index_probes, 0);
+        assert!(counters.seq_tuples > 0);
+    }
+
+    #[test]
+    fn two_class_pointer_join() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .select("vehicle.vehicle_no")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .via("collects")
+            .build()
+            .unwrap();
+        let (res, counters) = run(&db, &q);
+        // vehicles 0 and 1 are refrigerated; cargoes i with i%6 in {0,1}.
+        assert_eq!(res.len(), 4);
+        assert!(counters.link_traversals > 0);
+    }
+
+    #[test]
+    fn three_class_chain_returns_consistent_rows() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .select("cargo.quantity")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "s0")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap();
+        let (res, _) = run(&db, &q);
+        // cargoes with i%6 in {0,1} and i%4 == 0: i in {0, 4, 12...} ∩ [0,12): {0} i%6=0 ok; {4} i%6=4 no; {8} i%6=2 no.
+        assert_eq!(res.len(), 1);
+        assert_eq!(res.rows[0][1], Value::str("frozen food"));
+    }
+
+    #[test]
+    fn bound_projection_emits_constant_without_fetch() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let mut q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        q.projections.push(sqo_query::Projection::bound(
+            catalog.attr_ref("cargo", "desc").unwrap(),
+            Value::str("frozen food"),
+        ));
+        let (res, _) = run(&db, &q);
+        assert_eq!(res.len(), 6);
+        for row in &res.rows {
+            assert_eq!(row[1], Value::str("frozen food"));
+        }
+    }
+
+    #[test]
+    fn join_filter_applies() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .join("cargo.quantity", CompOp::Lt, "vehicle.vehicle_no")
+            .via("collects")
+            .build()
+            .unwrap();
+        let (res, _) = run(&db, &q);
+        // cargo i collected by vehicle i%6; need i < i%6 → i in {}: for i<6,
+        // i%6 == i (never i<i); for i>=6, i%6 = i-6 < i. So no rows... wait:
+        // condition is quantity < vehicle_no, quantity = i, vehicle_no = i%6.
+        // i < i%6 is impossible, so empty.
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn deterministic_counters() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        let (_, c1) = run(&db, &q);
+        let (_, c2) = run(&db, &q);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,327 @@
+//! The conventional query optimizer: access-path selection and greedy
+//! pointer-join ordering.
+//!
+//! This is deliberately a classic early-90s planner: per-class access paths
+//! (index when a predicate allows it, scan otherwise), then a greedy join
+//! order that always expands the cheapest frontier relationship, with
+//! System-R-style selectivity estimates. The semantic optimizer consults it
+//! through [`crate::CostBasedOracle`] for every cost–benefit decision.
+
+use sqo_catalog::{ClassId, RelId};
+use sqo_query::{JoinPredicate, Query, SelPredicate};
+use sqo_storage::Database;
+
+use crate::cost::CostModel;
+use crate::error::ExecError;
+use crate::plan::{AccessPath, ClassAccess, JoinStep, PhysicalPlan};
+
+/// Plans `query` against `db` with `model`.
+///
+/// `query` must be valid (see `Query::validate`); the planner checks
+/// reachability as it goes and reports `Unreachable` otherwise.
+pub fn plan_query(
+    db: &Database,
+    query: &Query,
+    model: &CostModel,
+) -> Result<PhysicalPlan, ExecError> {
+    let catalog = db.catalog();
+    let stats = db.stats();
+    if query.classes.is_empty() {
+        return Err(ExecError::EmptyQuery);
+    }
+
+    // Selective predicates per class.
+    let preds_of = |class: ClassId| -> Vec<SelPredicate> {
+        query
+            .selective_predicates
+            .iter()
+            .filter(|p| p.attr.class == class)
+            .cloned()
+            .collect()
+    };
+
+    // Best access path for a class if it were the driving class.
+    let best_access = |class: ClassId| -> (ClassAccess, f64, f64) {
+        let preds = preds_of(class);
+        let scan = ClassAccess { class, path: AccessPath::SeqScan, residual: preds.clone() };
+        let (scan_cost, scan_rows) = model.access_estimate(stats, &scan, None);
+        let mut best = (scan, scan_cost, scan_rows);
+        for (i, p) in preds.iter().enumerate() {
+            let Some(index) = db.index(p.attr) else {
+                continue;
+            };
+            let set = p.value_set();
+            if !index.supports(&set) {
+                continue;
+            }
+            let mut residual = preds.clone();
+            residual.remove(i);
+            let access = ClassAccess {
+                class,
+                path: AccessPath::Index { attr: p.attr, set },
+                residual,
+            };
+            let sel = model.selectivity(stats, p);
+            let (cost, rows) = model.access_estimate(stats, &access, Some(sel));
+            if cost < best.1 {
+                best = (access, cost, rows);
+            }
+        }
+        best
+    };
+
+    // Driving class: fewest estimated output rows, then cheapest access.
+    let mut root_choice: Option<(ClassAccess, f64, f64)> = None;
+    for &class in &query.classes {
+        let cand = best_access(class);
+        let better = match &root_choice {
+            None => true,
+            Some((_, cost, rows)) => {
+                (cand.2, cand.1) < (*rows, *cost)
+            }
+        };
+        if better {
+            root_choice = Some(cand);
+        }
+    }
+    let (root, mut total_cost, mut current_rows) = root_choice.expect("non-empty class list");
+
+    // Greedy expansion over relationships.
+    let mut bound: Vec<ClassId> = vec![root.class];
+    let mut used_rels: Vec<RelId> = Vec::new();
+    let mut applied_joins: Vec<JoinPredicate> = Vec::new();
+    let mut steps: Vec<JoinStep> = Vec::new();
+
+    while bound.len() < query.classes.len() {
+        // Frontier: relationships with exactly one endpoint bound.
+        let mut best: Option<(f64, f64, JoinStep)> = None;
+        for &rel in &query.relationships {
+            if used_rels.contains(&rel) {
+                continue;
+            }
+            let def = catalog.relationship(rel)?;
+            let (a, b) = def.classes();
+            let (from_class, to_class) = if bound.contains(&a) && !bound.contains(&b) {
+                (a, b)
+            } else if bound.contains(&b) && !bound.contains(&a) {
+                (b, a)
+            } else {
+                continue;
+            };
+            // Fan-out seen from `from_class`.
+            let rstats = stats.relationship(rel).cloned().unwrap_or_default();
+            let fanout = if def.left.class == from_class {
+                rstats.avg_left_fanout
+            } else {
+                rstats.avg_right_fanout
+            }
+            .max(0.0);
+            let residual = preds_of(to_class);
+            // Join predicates that become checkable.
+            let join_filters: Vec<JoinPredicate> = query
+                .join_predicates
+                .iter()
+                .filter(|j| !applied_joins.contains(j))
+                .filter(|j| {
+                    let (x, y) = j.classes();
+                    let after_bound =
+                        |c: ClassId| c == to_class || bound.contains(&c);
+                    after_bound(x) && after_bound(y) && (x == to_class || y == to_class)
+                })
+                .copied()
+                .collect();
+            // Cycle edges closed by this step.
+            let link_filters: Vec<(RelId, ClassId, ClassId)> = query
+                .relationships
+                .iter()
+                .filter(|&&r2| r2 != rel && !used_rels.contains(&r2))
+                .filter_map(|&r2| {
+                    let d2 = catalog.relationship(r2).ok()?;
+                    let (x, y) = d2.classes();
+                    let after_bound = |c: ClassId| c == to_class || bound.contains(&c);
+                    if after_bound(x) && after_bound(y) && (x == to_class || y == to_class) {
+                        Some((r2, x, y))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let (step_cost, out_rows) = model.join_step_estimate(
+                stats,
+                current_rows,
+                fanout,
+                &residual,
+                join_filters.len() + link_filters.len(),
+            );
+            let step = JoinStep {
+                rel,
+                from_class,
+                access: ClassAccess {
+                    class: to_class,
+                    path: AccessPath::SeqScan, // pointer access; path unused
+                    residual,
+                },
+                join_filters,
+                link_filters,
+            };
+            if best.as_ref().map(|(r, c, _)| (out_rows, step_cost) < (*r, *c)).unwrap_or(true) {
+                best = Some((out_rows, step_cost, step));
+            }
+        }
+        let Some((out_rows, step_cost, step)) = best else {
+            let missing = query
+                .classes
+                .iter()
+                .copied()
+                .find(|c| !bound.contains(c))
+                .expect("loop condition guarantees a missing class");
+            return Err(ExecError::Unreachable(missing));
+        };
+        for lf in &step.link_filters {
+            used_rels.push(lf.0);
+        }
+        for j in &step.join_filters {
+            applied_joins.push(*j);
+        }
+        used_rels.push(step.rel);
+        bound.push(step.access.class);
+        total_cost += step_cost;
+        current_rows = out_rows;
+        steps.push(step);
+    }
+
+    // Materialization cost of the final rows.
+    total_cost += current_rows * model.weights.tuple_out;
+
+    Ok(PhysicalPlan {
+        root,
+        steps,
+        projections: query.projections.clone(),
+        estimated_cost: total_cost,
+        estimated_rows: current_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::{example::figure21, Value};
+    use sqo_query::{CompOp, QueryBuilder};
+    use sqo_storage::IntegrityOptions;
+    use std::sync::Arc;
+
+    /// A small but non-trivial instance: 40 suppliers, 120 cargoes,
+    /// 30 vehicles; supplies/collects wired round-robin.
+    fn db() -> Database {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let vehicle = catalog.class_id("vehicle").unwrap();
+        for i in 0..40 {
+            b.insert(
+                supplier,
+                vec![Value::str(format!("s{i}")), Value::str(format!("addr{i}"))],
+            )
+            .unwrap();
+        }
+        for i in 0..30 {
+            let desc = if i % 3 == 0 { "refrigerated truck" } else { "flatbed" };
+            b.insert(vehicle, vec![Value::Int(i), Value::str(desc), Value::Int(i % 5)])
+                .unwrap();
+        }
+        for i in 0..120i64 {
+            let desc = if i % 4 == 0 { "frozen food" } else { "dry goods" };
+            b.insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i * 3 % 50)])
+                .unwrap();
+        }
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        for i in 0..120u32 {
+            b.link(supplies, sqo_storage::ObjectId(i), sqo_storage::ObjectId(i % 40)).unwrap();
+            b.link(collects, sqo_storage::ObjectId(i), sqo_storage::ObjectId(i % 30)).unwrap();
+        }
+        b.finalize(IntegrityOptions {
+            enforce_total_participation: false,
+            enforce_multiplicity: true,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn picks_index_for_equality_on_indexed_attr() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("supplier.address")
+            .filter("supplier.name", CompOp::Eq, "s7")
+            .build()
+            .unwrap();
+        let plan = plan_query(&db, &q, &CostModel::default()).unwrap();
+        assert!(matches!(plan.root.path, AccessPath::Index { .. }));
+        assert!(plan.root.residual.is_empty());
+        assert!(plan.steps.is_empty());
+    }
+
+    #[test]
+    fn falls_back_to_scan_for_unindexed_attr() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        let plan = plan_query(&db, &q, &CostModel::default()).unwrap();
+        assert!(matches!(plan.root.path, AccessPath::SeqScan));
+        assert_eq!(plan.root.residual.len(), 1);
+    }
+
+    #[test]
+    fn three_class_chain_plans_all_steps() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "s3")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap();
+        let plan = plan_query(&db, &q, &CostModel::default()).unwrap();
+        assert_eq!(plan.binding_order().len(), 3);
+        assert_eq!(plan.steps.len(), 2);
+        assert!(plan.estimated_cost > 0.0);
+        // The highly selective indexed supplier.name=s3 should drive.
+        assert_eq!(plan.root.class, catalog.class_id("supplier").unwrap());
+    }
+
+    #[test]
+    fn join_predicates_become_filters() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .join("cargo.quantity", CompOp::Lt, "vehicle.vehicle_no")
+            .via("collects")
+            .build()
+            .unwrap();
+        let plan = plan_query(&db, &q, &CostModel::default()).unwrap();
+        let filters: usize = plan.steps.iter().map(|s| s.join_filters.len()).sum();
+        assert_eq!(filters, 1);
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let db = db();
+        let q = Query::new();
+        assert_eq!(
+            plan_query(&db, &q, &CostModel::default()).unwrap_err(),
+            ExecError::EmptyQuery
+        );
+    }
+
+    use sqo_query::Query;
+}

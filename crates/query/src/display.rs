@@ -1,0 +1,148 @@
+//! Pretty printer emitting the paper's query syntax.
+//!
+//! The output is exactly the shape used throughout the paper:
+//!
+//! ```text
+//! (SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {}
+//!         {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+//!         {collects, supplies} {supplier, cargo, vehicle})
+//! ```
+//!
+//! and round-trips through [`crate::parse_query`].
+
+use std::fmt;
+
+use sqo_catalog::Catalog;
+
+use crate::ast::Query;
+
+/// Name-resolved display wrapper; obtain via [`QueryExt::display`].
+#[derive(Debug)]
+pub struct QueryDisplay<'a> {
+    query: &'a Query,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let q = self.query;
+        let c = self.catalog;
+        write!(f, "(SELECT {{")?;
+        for (i, p) in q.projections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.qualified_attr_name(p.attr))?;
+            if let Some(b) = &p.binding {
+                write!(f, "={b}")?;
+            }
+        }
+        write!(f, "}} {{")?;
+        for (i, j) in q.join_predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(
+                f,
+                "{} {} {}",
+                c.qualified_attr_name(j.left),
+                j.op,
+                c.qualified_attr_name(j.right)
+            )?;
+        }
+        write!(f, "}} {{")?;
+        for (i, s) in q.selective_predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {} {}", c.qualified_attr_name(s.attr), s.op, s.value)?;
+        }
+        write!(f, "}} {{")?;
+        for (i, r) in q.relationships.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.rel_name(*r))?;
+        }
+        write!(f, "}} {{")?;
+        for (i, cl) in q.classes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.class_name(*cl))?;
+        }
+        write!(f, "}})")
+    }
+}
+
+/// Extension trait providing `query.display(&catalog)`.
+pub trait QueryExt {
+    fn display<'a>(&'a self, catalog: &'a Catalog) -> QueryDisplay<'a>;
+}
+
+impl QueryExt for Query {
+    fn display<'a>(&'a self, catalog: &'a Catalog) -> QueryDisplay<'a> {
+        QueryDisplay { query: self, catalog }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::predicate::CompOp;
+    use sqo_catalog::example::figure21;
+
+    #[test]
+    fn renders_paper_shape() {
+        let cat = figure21().unwrap();
+        let q = QueryBuilder::new(&cat)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .select("cargo.quantity")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "SFI")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap();
+        let s = q.display(&cat).to_string();
+        assert_eq!(
+            s,
+            "(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {} \
+             {vehicle.desc = \"refrigerated truck\", supplier.name = \"SFI\"} \
+             {collects, supplies} {vehicle, cargo, supplier})"
+        );
+    }
+
+    #[test]
+    fn renders_bound_projection() {
+        use crate::ast::Projection;
+        use sqo_catalog::Value;
+        let cat = figure21().unwrap();
+        let mut q = QueryBuilder::new(&cat).select("cargo.quantity").build().unwrap();
+        q.projections.push(Projection::bound(
+            cat.attr_ref("cargo", "desc").unwrap(),
+            Value::str("frozen food"),
+        ));
+        let s = q.display(&cat).to_string();
+        assert!(s.contains("cargo.desc=\"frozen food\""), "{s}");
+    }
+
+    #[test]
+    fn renders_join_predicates() {
+        let cat = figure21().unwrap();
+        let q = QueryBuilder::new(&cat)
+            .select("driver.name")
+            .join("driver.license_class", CompOp::Ge, "vehicle.class")
+            .via("drives")
+            .build()
+            .unwrap();
+        let s = q.display(&cat).to_string();
+        assert!(
+            s.contains("vehicle.class <= driver.license_class")
+                || s.contains("driver.license_class >= vehicle.class"),
+            "{s}"
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Query construction and validation errors.
+
+use std::fmt;
+
+use sqo_catalog::{CatalogError, ClassId, RelId};
+
+/// Errors raised by query validation, building or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    Catalog(CatalogError),
+    /// A predicate or projection references a class absent from the class list.
+    ClassNotInQuery(ClassId),
+    /// A relationship's endpoint class is absent from the class list.
+    RelationshipEndpointMissing { rel: RelId, class: ClassId },
+    DuplicateClass(ClassId),
+    DuplicateRelationship(RelId),
+    /// The comparison constant's type differs from the attribute's type.
+    TypeMismatch { context: String },
+    /// The query graph is not connected (the paper's path queries always are).
+    Disconnected,
+    EmptyClassList,
+    /// Parser-level syntax error with a human-oriented message.
+    Syntax { position: usize, message: String },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Catalog(e) => write!(f, "catalog error: {e}"),
+            QueryError::ClassNotInQuery(c) => {
+                write!(f, "predicate references {c} which is not in the class list")
+            }
+            QueryError::RelationshipEndpointMissing { rel, class } => {
+                write!(f, "{rel} endpoint {class} is not in the class list")
+            }
+            QueryError::DuplicateClass(c) => write!(f, "duplicate {c} in class list"),
+            QueryError::DuplicateRelationship(r) => {
+                write!(f, "duplicate {r} in relationship list")
+            }
+            QueryError::TypeMismatch { context } => write!(f, "type mismatch: {context}"),
+            QueryError::Disconnected => write!(f, "query graph is not connected"),
+            QueryError::EmptyClassList => write!(f, "query must access at least one class"),
+            QueryError::Syntax { position, message } => {
+                write!(f, "syntax error at byte {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Catalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for QueryError {
+    fn from(e: CatalogError) -> Self {
+        QueryError::Catalog(e)
+    }
+}

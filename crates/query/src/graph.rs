@@ -1,0 +1,190 @@
+//! The query graph: classes as nodes, relationships as edges.
+//!
+//! Class elimination (King's rule, paper §3.4) needs exactly the structural
+//! questions answered here: which classes are *dangling* (linked to just one
+//! other class) and whether removing a class keeps the rest connected.
+
+use std::collections::HashMap;
+
+use sqo_catalog::{Catalog, ClassId, RelId};
+
+use crate::ast::Query;
+use crate::error::QueryError;
+
+/// Adjacency view of a query's classes and relationship edges.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    nodes: Vec<ClassId>,
+    /// node -> list of (edge, neighbour)
+    adjacency: HashMap<ClassId, Vec<(RelId, ClassId)>>,
+}
+
+impl QueryGraph {
+    /// Builds the graph; relationship endpoints must be classes of the query
+    /// (checked, so `Query::validate` can rely on it).
+    pub fn build(query: &Query, catalog: &Catalog) -> Result<Self, QueryError> {
+        let mut adjacency: HashMap<ClassId, Vec<(RelId, ClassId)>> = HashMap::new();
+        for &c in &query.classes {
+            adjacency.entry(c).or_default();
+        }
+        for &rel in &query.relationships {
+            let def = catalog.relationship(rel)?;
+            let (a, b) = def.classes();
+            for end in [a, b] {
+                if !query.has_class(end) {
+                    return Err(QueryError::RelationshipEndpointMissing { rel, class: end });
+                }
+            }
+            adjacency.get_mut(&a).expect("endpoint present").push((rel, b));
+            if a != b {
+                adjacency.get_mut(&b).expect("endpoint present").push((rel, a));
+            }
+        }
+        Ok(Self { nodes: query.classes.clone(), adjacency })
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn nodes(&self) -> &[ClassId] {
+        &self.nodes
+    }
+
+    /// Degree = number of incident relationship edges.
+    pub fn degree(&self, class: ClassId) -> usize {
+        self.adjacency.get(&class).map(|v| v.len()).unwrap_or(0)
+    }
+
+    pub fn neighbours(&self, class: ClassId) -> &[(RelId, ClassId)] {
+        self.adjacency.get(&class).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Connected in the undirected sense; the empty graph counts as
+    /// connected, a single node always is.
+    pub fn is_connected(&self) -> bool {
+        let Some(&start) = self.nodes.first() else {
+            return true;
+        };
+        let reached = self.reachable_from(start, None);
+        reached.len() == self.nodes.len()
+    }
+
+    /// Classes linked to exactly one other class — *candidates* for class
+    /// elimination ("linked to just one object class", King's rule). The
+    /// remaining conditions (no projections, no imperative predicates, total
+    /// participation) are checked by the formulation step.
+    pub fn dangling_classes(&self) -> Vec<ClassId> {
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let n = self.neighbours(c);
+                n.len() == 1 && n[0].1 != c && self.node_count() > 1
+            })
+            .collect()
+    }
+
+    /// Whether removing `class` (and its incident edges) leaves the remaining
+    /// nodes connected. Dangling nodes always satisfy this.
+    pub fn connected_without(&self, class: ClassId) -> bool {
+        let remaining: Vec<ClassId> =
+            self.nodes.iter().copied().filter(|&c| c != class).collect();
+        let Some(&start) = remaining.first() else {
+            return true;
+        };
+        let reached = self.reachable_from(start, Some(class));
+        reached.len() == remaining.len()
+    }
+
+    fn reachable_from(&self, start: ClassId, skip: Option<ClassId>) -> Vec<ClassId> {
+        let mut stack = vec![start];
+        let mut seen = vec![start];
+        while let Some(cur) = stack.pop() {
+            for &(_, next) in self.neighbours(cur) {
+                if Some(next) == skip || Some(cur) == skip {
+                    continue;
+                }
+                if !seen.contains(&next) {
+                    seen.push(next);
+                    stack.push(next);
+                }
+            }
+        }
+        seen.retain(|&c| Some(c) != skip);
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::example::figure21;
+
+    fn chain_query(catalog: &Catalog) -> Query {
+        // supplier - supplies - cargo - collects - vehicle
+        let mut q = Query::new();
+        q.classes = vec![
+            catalog.class_id("supplier").unwrap(),
+            catalog.class_id("cargo").unwrap(),
+            catalog.class_id("vehicle").unwrap(),
+        ];
+        q.relationships = vec![
+            catalog.rel_id("supplies").unwrap(),
+            catalog.rel_id("collects").unwrap(),
+        ];
+        q
+    }
+
+    #[test]
+    fn chain_is_connected_with_two_dangling_ends() {
+        let cat = figure21().unwrap();
+        let q = chain_query(&cat);
+        let g = q.graph(&cat).unwrap();
+        assert!(g.is_connected());
+        let supplier = cat.class_id("supplier").unwrap();
+        let cargo = cat.class_id("cargo").unwrap();
+        let vehicle = cat.class_id("vehicle").unwrap();
+        let mut dangling = g.dangling_classes();
+        dangling.sort_unstable();
+        let mut expect = vec![supplier, vehicle];
+        expect.sort_unstable();
+        assert_eq!(dangling, expect);
+        assert_eq!(g.degree(cargo), 2);
+        assert!(g.connected_without(supplier));
+        assert!(g.connected_without(vehicle));
+        // Removing the middle disconnects the ends.
+        assert!(!g.connected_without(cargo));
+    }
+
+    #[test]
+    fn single_class_graph() {
+        let cat = figure21().unwrap();
+        let mut q = Query::new();
+        q.classes = vec![cat.class_id("cargo").unwrap()];
+        let g = q.graph(&cat).unwrap();
+        assert!(g.is_connected());
+        assert!(g.dangling_classes().is_empty());
+        assert_eq!(g.degree(cat.class_id("cargo").unwrap()), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let cat = figure21().unwrap();
+        let mut q = chain_query(&cat);
+        q.classes.push(cat.class_id("engine").unwrap());
+        let g = q.graph(&cat).unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn endpoint_missing_is_error() {
+        let cat = figure21().unwrap();
+        let mut q = chain_query(&cat);
+        q.classes.retain(|&c| c != cat.class_id("supplier").unwrap());
+        assert!(matches!(
+            QueryGraph::build(&q, &cat),
+            Err(QueryError::RelationshipEndpointMissing { .. })
+        ));
+    }
+}

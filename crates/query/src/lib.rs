@@ -1,0 +1,32 @@
+//! # sqo-query
+//!
+//! Query model for the `sqo` workspace: predicates with a sound implication
+//! fragment, the paper's five-part query AST, a query graph for class
+//! elimination, plus a builder, a parser and a pretty printer for the
+//! paper's textual `(SELECT …)` syntax.
+//!
+//! Predicates are kept in canonical form so that structural equality is
+//! logical equality over the supported fragment — the property the
+//! transformation table of `sqo-core` relies on when it deduplicates the
+//! predicate set `P`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+mod ast;
+mod builder;
+mod display;
+mod error;
+pub mod interval;
+mod graph;
+mod parser;
+mod predicate;
+
+pub use ast::{Projection, Query};
+pub use builder::QueryBuilder;
+pub use display::{QueryDisplay, QueryExt};
+pub use error::QueryError;
+pub use graph::QueryGraph;
+pub use interval::{Bound, ValueSet};
+pub use parser::parse_query;
+pub use predicate::{CompOp, JoinPredicate, Predicate, PredicateDisplay, SelPredicate};

@@ -1,0 +1,647 @@
+//! The in-memory object database: extents, indexes, links, statistics.
+//!
+//! A [`Database`] is immutable once built. [`DatabaseBuilder`] validates
+//! tuples against the catalog, wires relationship links, and at
+//! [`DatabaseBuilder::finalize`] builds the declared indexes, computes the
+//! statistics snapshot and enforces the integrity declarations (total
+//! participation, to-one multiplicity) that class elimination relies on.
+
+use std::collections::HashMap;
+
+use sqo_catalog::{
+    AttrRef, AttrStats, Catalog, ClassId, ClassStats, Multiplicity, RelId, RelStats,
+    StatsSnapshot, Value,
+};
+use sqo_constraints::HornConstraint;
+use sqo_query::Predicate;
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::index::AttrIndex;
+use crate::links::RelLinks;
+use crate::object::ObjectId;
+
+/// Which integrity declarations to enforce at load time.
+#[derive(Debug, Clone, Copy)]
+pub struct IntegrityOptions {
+    pub enforce_total_participation: bool,
+    pub enforce_multiplicity: bool,
+}
+
+impl Default for IntegrityOptions {
+    fn default() -> Self {
+        Self { enforce_total_participation: true, enforce_multiplicity: true }
+    }
+}
+
+/// One witness of a violated semantic constraint (see
+/// [`Database::check_constraint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Binding of constraint classes to objects that falsifies the clause.
+    pub binding: Vec<(ClassId, ObjectId)>,
+}
+
+/// An immutable, loaded database instance.
+#[derive(Debug)]
+pub struct Database {
+    catalog: Arc<Catalog>,
+    extents: Vec<Vec<Vec<Value>>>,
+    indexes: Vec<Vec<Option<AttrIndex>>>,
+    links: Vec<RelLinks>,
+    stats: StatsSnapshot,
+}
+
+impl Database {
+    pub fn builder(catalog: Arc<Catalog>) -> DatabaseBuilder {
+        DatabaseBuilder::new(catalog)
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn cardinality(&self, class: ClassId) -> usize {
+        self.extents.get(class.index()).map(|e| e.len()).unwrap_or(0)
+    }
+
+    pub fn tuple(&self, class: ClassId, oid: ObjectId) -> Result<&[Value], StorageError> {
+        self.extents
+            .get(class.index())
+            .and_then(|e| e.get(oid.index()))
+            .map(|t| t.as_slice())
+            .ok_or(StorageError::UnknownObject { class, object: oid })
+    }
+
+    pub fn value(&self, attr: AttrRef, oid: ObjectId) -> Result<&Value, StorageError> {
+        let t = self.tuple(attr.class, oid)?;
+        t.get(attr.attr.index()).ok_or(StorageError::UnknownObject {
+            class: attr.class,
+            object: oid,
+        })
+    }
+
+    pub fn index(&self, attr: AttrRef) -> Option<&AttrIndex> {
+        self.indexes
+            .get(attr.class.index())
+            .and_then(|v| v.get(attr.attr.index()))
+            .and_then(|ix| ix.as_ref())
+    }
+
+    pub fn links(&self, rel: RelId) -> &RelLinks {
+        &self.links[rel.index()]
+    }
+
+    /// Pointer-chase from `class`'s side of `rel`. For self-relationships the
+    /// left side is used.
+    pub fn traverse(
+        &self,
+        rel: RelId,
+        from_class: ClassId,
+        oid: ObjectId,
+    ) -> Result<&[ObjectId], StorageError> {
+        let def = self.catalog.relationship(rel)?;
+        let links = &self.links[rel.index()];
+        if def.left.class == from_class {
+            Ok(links.from_left(oid))
+        } else if def.right.class == from_class {
+            Ok(links.from_right(oid))
+        } else {
+            Err(StorageError::LinkClassMismatch { rel })
+        }
+    }
+
+    pub fn stats(&self) -> &StatsSnapshot {
+        &self.stats
+    }
+
+    /// Exhaustively checks a semantic constraint against the data, returning
+    /// every falsifying binding. Enumeration follows the constraint's
+    /// relationships (linked pairs) and falls back to cross products for
+    /// unconnected classes — fine at the paper's cardinalities; generators
+    /// and property tests use this to certify instances.
+    pub fn check_constraint(&self, constraint: &HornConstraint) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let classes = constraint.classes.clone();
+        let mut binding: Vec<(ClassId, ObjectId)> = Vec::new();
+        self.enumerate(constraint, &classes, &mut binding, &mut violations);
+        violations
+    }
+
+    fn enumerate(
+        &self,
+        constraint: &HornConstraint,
+        remaining: &[ClassId],
+        binding: &mut Vec<(ClassId, ObjectId)>,
+        violations: &mut Vec<Violation>,
+    ) {
+        let Some((&next, rest)) = pick_next(self, constraint, remaining, binding) else {
+            // Complete binding: evaluate the clause.
+            if self.eval_all(&constraint.antecedents, binding)
+                && !self.eval_pred(&constraint.consequent, binding)
+            {
+                violations.push(Violation { binding: binding.clone() });
+            }
+            return;
+        };
+        // Candidate objects for `next`: via a relationship to a bound class
+        // when possible, otherwise the whole extent.
+        let candidates: Vec<ObjectId> = self
+            .link_candidates(constraint, next, binding)
+            .unwrap_or_else(|| (0..self.cardinality(next) as u32).map(ObjectId).collect());
+        for oid in candidates {
+            // The same object must be consistent with *all* relationships to
+            // already-bound classes.
+            if !self.consistent(constraint, next, oid, binding) {
+                continue;
+            }
+            binding.push((next, oid));
+            self.enumerate(constraint, rest, binding, violations);
+            binding.pop();
+        }
+    }
+
+    fn link_candidates(
+        &self,
+        constraint: &HornConstraint,
+        class: ClassId,
+        binding: &[(ClassId, ObjectId)],
+    ) -> Option<Vec<ObjectId>> {
+        for &rel in &constraint.relationships {
+            let def = self.catalog.relationship(rel).ok()?;
+            let other = def.other_end(class)?;
+            if let Some(&(_, oid)) = binding.iter().find(|(c, _)| *c == other) {
+                if other != class {
+                    return self.traverse(rel, other, oid).ok().map(|s| s.to_vec());
+                }
+            }
+        }
+        None
+    }
+
+    fn consistent(
+        &self,
+        constraint: &HornConstraint,
+        class: ClassId,
+        oid: ObjectId,
+        binding: &[(ClassId, ObjectId)],
+    ) -> bool {
+        for &rel in &constraint.relationships {
+            let Ok(def) = self.catalog.relationship(rel) else {
+                return false;
+            };
+            let (a, b) = def.classes();
+            if a == b {
+                continue; // self-relationship consistency is skipped
+            }
+            let other = if a == class {
+                b
+            } else if b == class {
+                a
+            } else {
+                continue;
+            };
+            if let Some(&(_, other_oid)) = binding.iter().find(|(c, _)| *c == other) {
+                match self.traverse(rel, class, oid) {
+                    Ok(neigh) if neigh.contains(&other_oid) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    fn eval_all(&self, preds: &[Predicate], binding: &[(ClassId, ObjectId)]) -> bool {
+        preds.iter().all(|p| self.eval_pred(p, binding))
+    }
+
+    fn eval_pred(&self, pred: &Predicate, binding: &[(ClassId, ObjectId)]) -> bool {
+        let lookup = |attr: AttrRef| -> Option<&Value> {
+            let (_, oid) = binding.iter().find(|(c, _)| *c == attr.class)?;
+            self.value(attr, *oid).ok()
+        };
+        match pred {
+            Predicate::Sel(s) => lookup(s.attr).map(|v| s.eval(v)).unwrap_or(false),
+            Predicate::Join(j) => match (lookup(j.left), lookup(j.right)) {
+                (Some(l), Some(r)) => j.eval(l, r),
+                _ => false,
+            },
+        }
+    }
+}
+
+fn pick_next<'a>(
+    _db: &Database,
+    _constraint: &HornConstraint,
+    remaining: &'a [ClassId],
+    _binding: &[(ClassId, ObjectId)],
+) -> Option<(&'a ClassId, &'a [ClassId])> {
+    // Enumeration order only affects cost, never correctness:
+    // `link_candidates` narrows candidates when a relationship to a bound
+    // class exists and `consistent` re-checks every relationship regardless.
+    remaining.split_first()
+}
+
+/// Staged loader for [`Database`].
+#[derive(Debug)]
+pub struct DatabaseBuilder {
+    catalog: Arc<Catalog>,
+    extents: Vec<Vec<Vec<Value>>>,
+    pending_links: Vec<(RelId, ObjectId, ObjectId)>,
+}
+
+impl DatabaseBuilder {
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        let extents = vec![Vec::new(); catalog.class_count()];
+        Self { catalog, extents, pending_links: Vec::new() }
+    }
+
+    /// Inserts a tuple, validating arity and types.
+    pub fn insert(&mut self, class: ClassId, tuple: Vec<Value>) -> Result<ObjectId, StorageError> {
+        let def = self.catalog.class(class)?;
+        if tuple.len() != def.attributes.len() {
+            return Err(StorageError::ArityMismatch {
+                class,
+                expected: def.attributes.len(),
+                got: tuple.len(),
+            });
+        }
+        for (i, (v, a)) in tuple.iter().zip(&def.attributes).enumerate() {
+            if v.data_type() != a.ty {
+                return Err(StorageError::TypeMismatch {
+                    class,
+                    attr: i,
+                    context: format!("expected {}, got {}", a.ty, v.data_type()),
+                });
+            }
+        }
+        let extent = &mut self.extents[class.index()];
+        let oid = ObjectId(extent.len() as u32);
+        extent.push(tuple);
+        Ok(oid)
+    }
+
+    /// Links `left` (an object of the relationship's left class) to `right`.
+    pub fn link(
+        &mut self,
+        rel: RelId,
+        left: ObjectId,
+        right: ObjectId,
+    ) -> Result<(), StorageError> {
+        let def = self.catalog.relationship(rel)?;
+        let lcard = self.extents[def.left.class.index()].len();
+        let rcard = self.extents[def.right.class.index()].len();
+        if left.index() >= lcard {
+            return Err(StorageError::UnknownObject { class: def.left.class, object: left });
+        }
+        if right.index() >= rcard {
+            return Err(StorageError::UnknownObject { class: def.right.class, object: right });
+        }
+        self.pending_links.push((rel, left, right));
+        Ok(())
+    }
+
+    /// Builds indexes, statistics and link structures; enforces integrity.
+    pub fn finalize(self, options: IntegrityOptions) -> Result<Database, StorageError> {
+        let catalog = self.catalog;
+        // Links.
+        let mut links: Vec<RelLinks> = catalog
+            .relationships()
+            .map(|(_, def)| {
+                RelLinks::new(
+                    self.extents[def.left.class.index()].len(),
+                    self.extents[def.right.class.index()].len(),
+                )
+            })
+            .collect();
+        for (rel, l, r) in &self.pending_links {
+            links[rel.index()].add(*l, *r);
+        }
+        // Integrity.
+        for (rel, def) in catalog.relationships() {
+            let lk = &links[rel.index()];
+            if options.enforce_total_participation {
+                if def.left.total {
+                    if let Some(o) = lk.unlinked_left().next() {
+                        return Err(StorageError::TotalParticipationViolated {
+                            rel,
+                            class: def.left.class,
+                            object: o,
+                        });
+                    }
+                }
+                if def.right.total {
+                    if let Some(o) = lk.unlinked_right().next() {
+                        return Err(StorageError::TotalParticipationViolated {
+                            rel,
+                            class: def.right.class,
+                            object: o,
+                        });
+                    }
+                }
+            }
+            if options.enforce_multiplicity {
+                // `left.multiplicity == One` means each left object links to
+                // at most one right object.
+                if def.left.multiplicity == Multiplicity::One && lk.max_left_fanout() > 1 {
+                    let object = (0..lk.left_cardinality() as u32)
+                        .map(ObjectId)
+                        .find(|o| lk.from_left(*o).len() > 1)
+                        .expect("fanout > 1 implies a witness");
+                    return Err(StorageError::MultiplicityViolated {
+                        rel,
+                        class: def.left.class,
+                        object,
+                        links: lk.from_left(object).len(),
+                    });
+                }
+                if def.right.multiplicity == Multiplicity::One && lk.max_right_fanout() > 1 {
+                    let object = (0..lk.right_cardinality() as u32)
+                        .map(ObjectId)
+                        .find(|o| lk.from_right(*o).len() > 1)
+                        .expect("fanout > 1 implies a witness");
+                    return Err(StorageError::MultiplicityViolated {
+                        rel,
+                        class: def.right.class,
+                        object,
+                        links: lk.from_right(object).len(),
+                    });
+                }
+            }
+        }
+        // Indexes.
+        let mut indexes: Vec<Vec<Option<AttrIndex>>> = Vec::with_capacity(catalog.class_count());
+        for (cid, cdef) in catalog.classes() {
+            let mut per_attr: Vec<Option<AttrIndex>> = Vec::with_capacity(cdef.attributes.len());
+            for (ai, adef) in cdef.attributes.iter().enumerate() {
+                per_attr.push(adef.index.map(|kind| {
+                    let mut ix = AttrIndex::new(kind);
+                    for (oi, tuple) in self.extents[cid.index()].iter().enumerate() {
+                        ix.insert(tuple[ai].clone(), ObjectId(oi as u32));
+                    }
+                    ix
+                }));
+            }
+            indexes.push(per_attr);
+        }
+        // Statistics.
+        let stats = compute_stats(&catalog, &self.extents, &links);
+        Ok(Database { catalog, extents: self.extents, indexes, links, stats })
+    }
+}
+
+fn compute_stats(
+    catalog: &Catalog,
+    extents: &[Vec<Vec<Value>>],
+    links: &[RelLinks],
+) -> StatsSnapshot {
+    let classes = catalog
+        .classes()
+        .map(|(cid, cdef)| {
+            let extent = &extents[cid.index()];
+            let attrs = (0..cdef.attributes.len())
+                .map(|ai| {
+                    let mut counts: HashMap<&Value, u64> = HashMap::new();
+                    let mut min: Option<&Value> = None;
+                    let mut max: Option<&Value> = None;
+                    for tuple in extent {
+                        let v = &tuple[ai];
+                        *counts.entry(v).or_insert(0) += 1;
+                        min = Some(match min {
+                            None => v,
+                            Some(m) => {
+                                if v.compare(m) == Some(std::cmp::Ordering::Less) {
+                                    v
+                                } else {
+                                    m
+                                }
+                            }
+                        });
+                        max = Some(match max {
+                            None => v,
+                            Some(m) => {
+                                if v.compare(m) == Some(std::cmp::Ordering::Greater) {
+                                    v
+                                } else {
+                                    m
+                                }
+                            }
+                        });
+                    }
+                    // Top-3 most common values, ties broken by rendering for
+                    // determinism.
+                    let mut mcvs: Vec<(Value, u64)> =
+                        counts.iter().map(|(v, c)| ((*v).clone(), *c)).collect();
+                    mcvs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+                    mcvs.truncate(3);
+                    AttrStats {
+                        rows: extent.len() as u64,
+                        distinct: counts.len() as u64,
+                        min: min.cloned(),
+                        max: max.cloned(),
+                        mcvs,
+                        histogram: Vec::new(),
+                    }
+                })
+                .collect();
+            ClassStats { cardinality: extent.len() as u64, attrs }
+        })
+        .collect();
+    let relationships = links
+        .iter()
+        .map(|lk| RelStats {
+            links: lk.link_count(),
+            avg_left_fanout: if lk.left_cardinality() == 0 {
+                0.0
+            } else {
+                lk.link_count() as f64 / lk.left_cardinality() as f64
+            },
+            avg_right_fanout: if lk.right_cardinality() == 0 {
+                0.0
+            } else {
+                lk.link_count() as f64 / lk.right_cardinality() as f64
+            },
+        })
+        .collect();
+    StatsSnapshot { classes, relationships }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::example::figure21;
+    use sqo_constraints::figure22;
+    use sqo_query::CompOp;
+
+    fn mini_db() -> (Arc<Catalog>, Database) {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let vehicle = catalog.class_id("vehicle").unwrap();
+        let sfi = b
+            .insert(supplier, vec![Value::str("SFI"), Value::str("1 Food St")])
+            .unwrap();
+        let ntuc = b
+            .insert(supplier, vec![Value::str("NTUC"), Value::str("2 Mart Ave")])
+            .unwrap();
+        let frozen = b
+            .insert(cargo, vec![Value::Int(100), Value::str("frozen food"), Value::Int(40)])
+            .unwrap();
+        let fresh = b
+            .insert(cargo, vec![Value::Int(101), Value::str("fresh fruit"), Value::Int(7)])
+            .unwrap();
+        let reefer = b
+            .insert(vehicle, vec![Value::Int(1), Value::str("refrigerated truck"), Value::Int(3)])
+            .unwrap();
+        let flatbed = b
+            .insert(vehicle, vec![Value::Int(2), Value::str("flatbed"), Value::Int(1)])
+            .unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        b.link(supplies, frozen, sfi).unwrap();
+        b.link(supplies, fresh, ntuc).unwrap();
+        b.link(collects, frozen, reefer).unwrap();
+        b.link(collects, fresh, flatbed).unwrap();
+        let db = b
+            .finalize(IntegrityOptions {
+                enforce_total_participation: false, // other classes are empty
+                enforce_multiplicity: true,
+            })
+            .unwrap();
+        (catalog, db)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        assert_eq!(db.cardinality(cargo), 2);
+        let desc = catalog.attr_ref("cargo", "desc").unwrap();
+        assert_eq!(db.value(desc, ObjectId(0)).unwrap(), &Value::str("frozen food"));
+        assert!(db.value(desc, ObjectId(9)).is_err());
+    }
+
+    #[test]
+    fn arity_and_type_validation() {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let cargo = catalog.class_id("cargo").unwrap();
+        assert!(matches!(
+            b.insert(cargo, vec![Value::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            b.insert(cargo, vec![Value::str("x"), Value::str("d"), Value::Int(1)]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn traversal_both_directions() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplier = catalog.class_id("supplier").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        assert_eq!(db.traverse(supplies, cargo, ObjectId(0)).unwrap(), &[ObjectId(0)]);
+        assert_eq!(db.traverse(supplies, supplier, ObjectId(0)).unwrap(), &[ObjectId(0)]);
+        let engine = catalog.class_id("engine").unwrap();
+        assert!(db.traverse(supplies, engine, ObjectId(0)).is_err());
+    }
+
+    #[test]
+    fn indexes_built_from_declarations() {
+        let (catalog, db) = mini_db();
+        let name = catalog.attr_ref("supplier", "name").unwrap();
+        let ix = db.index(name).expect("supplier.name is hash-indexed");
+        assert_eq!(ix.probe_eq(&Value::str("SFI")), &[ObjectId(0)]);
+        let desc = catalog.attr_ref("cargo", "desc").unwrap();
+        assert!(db.index(desc).is_none(), "cargo.desc is unindexed");
+    }
+
+    #[test]
+    fn stats_collected() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        assert_eq!(db.stats().cardinality(cargo), 2);
+        let qty = catalog.attr_ref("cargo", "quantity").unwrap();
+        let s = db.stats().attr(qty).unwrap();
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.min, Some(Value::Int(7)));
+        assert_eq!(s.max, Some(Value::Int(40)));
+        let supplies = catalog.rel_id("supplies").unwrap();
+        assert_eq!(db.stats().relationship(supplies).unwrap().links, 2);
+    }
+
+    #[test]
+    fn multiplicity_enforced() {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let s1 = b.insert(supplier, vec![Value::str("A"), Value::str("x")]).unwrap();
+        let s2 = b.insert(supplier, vec![Value::str("B"), Value::str("y")]).unwrap();
+        let c1 = b
+            .insert(cargo, vec![Value::Int(1), Value::str("d"), Value::Int(1)])
+            .unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        // cargo is the to-one side: two suppliers for one cargo violates.
+        b.link(supplies, c1, s1).unwrap();
+        b.link(supplies, c1, s2).unwrap();
+        let err = b.finalize(IntegrityOptions {
+            enforce_total_participation: false,
+            enforce_multiplicity: true,
+        });
+        assert!(matches!(err, Err(StorageError::MultiplicityViolated { .. })));
+    }
+
+    #[test]
+    fn total_participation_enforced() {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let cargo = catalog.class_id("cargo").unwrap();
+        // A cargo with no supplier violates `supplies` (total on cargo side).
+        b.insert(cargo, vec![Value::Int(1), Value::str("d"), Value::Int(1)]).unwrap();
+        let err = b.finalize(IntegrityOptions::default());
+        assert!(matches!(err, Err(StorageError::TotalParticipationViolated { .. })));
+    }
+
+    #[test]
+    fn constraint_checking_finds_violations() {
+        let (catalog, db) = mini_db();
+        let constraints = figure22(&catalog).unwrap();
+        // c1 and c2 hold on the mini instance.
+        assert!(db.check_constraint(&constraints[0]).is_empty(), "c1 holds");
+        assert!(db.check_constraint(&constraints[1]).is_empty(), "c2 holds");
+        // A made-up constraint that fails: all cargo is frozen food.
+        let bogus = sqo_constraints::ConstraintBuilder::new(&catalog, "bogus")
+            .scope("cargo")
+            .then("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        let v = db.check_constraint(&bogus);
+        assert_eq!(v.len(), 1, "the fresh-fruit cargo violates");
+        assert_eq!(v[0].binding[0].1, ObjectId(1));
+    }
+
+    #[test]
+    fn constraint_checking_respects_links() {
+        let (catalog, db) = mini_db();
+        // "Flatbeds only carry fresh fruit" — true because of the link shape.
+        let c = sqo_constraints::ConstraintBuilder::new(&catalog, "flatbed")
+            .when("vehicle.desc", CompOp::Eq, "flatbed")
+            .via("collects")
+            .then("cargo.desc", CompOp::Eq, "fresh fruit")
+            .build()
+            .unwrap();
+        assert!(db.check_constraint(&c).is_empty());
+        // "Flatbeds only carry frozen food" — violated by the fresh-fruit link.
+        let c2 = sqo_constraints::ConstraintBuilder::new(&catalog, "flatbed2")
+            .when("vehicle.desc", CompOp::Eq, "flatbed")
+            .via("collects")
+            .then("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        assert_eq!(db.check_constraint(&c2).len(), 1);
+    }
+}

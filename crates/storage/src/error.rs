@@ -1,0 +1,68 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use sqo_catalog::{CatalogError, ClassId, RelId};
+
+use crate::object::ObjectId;
+
+/// Errors raised while loading or validating a database instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    Catalog(CatalogError),
+    /// Tuple arity differs from the class's attribute count.
+    ArityMismatch { class: ClassId, expected: usize, got: usize },
+    /// Tuple value type differs from the attribute declaration.
+    TypeMismatch { class: ClassId, attr: usize, context: String },
+    UnknownObject { class: ClassId, object: ObjectId },
+    /// A link references a class that is not an endpoint of the relationship.
+    LinkClassMismatch { rel: RelId },
+    /// Referential integrity: an end declared `total` has unlinked objects.
+    TotalParticipationViolated { rel: RelId, class: ClassId, object: ObjectId },
+    /// A to-one end carries more than one link for an object.
+    MultiplicityViolated { rel: RelId, class: ClassId, object: ObjectId, links: usize },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Catalog(e) => write!(f, "catalog error: {e}"),
+            StorageError::ArityMismatch { class, expected, got } => {
+                write!(f, "{class}: tuple has {got} values, class declares {expected}")
+            }
+            StorageError::TypeMismatch { class, attr, context } => {
+                write!(f, "{class} attribute {attr}: {context}")
+            }
+            StorageError::UnknownObject { class, object } => {
+                write!(f, "{class} has no object {object}")
+            }
+            StorageError::LinkClassMismatch { rel } => {
+                write!(f, "link endpoints do not match {rel}")
+            }
+            StorageError::TotalParticipationViolated { rel, class, object } => {
+                write!(f, "{class} {object} must participate in {rel} (declared total)")
+            }
+            StorageError::MultiplicityViolated { rel, class, object, links } => {
+                write!(
+                    f,
+                    "{class} {object} has {links} links in {rel}, but the end is to-one"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Catalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CatalogError> for StorageError {
+    fn from(e: CatalogError) -> Self {
+        StorageError::Catalog(e)
+    }
+}

@@ -1,0 +1,35 @@
+//! # sqo-storage
+//!
+//! In-memory object store for the `sqo` workspace — the storage substrate the
+//! paper's prototype ran on (their OODB plus the relational DBMS used for
+//! cost measurements; see DESIGN.md S5 for the substitution argument).
+//!
+//! * class **extents** of typed tuples;
+//! * **hash and B-tree indexes** built from catalog declarations;
+//! * bidirectional **relationship links** (the pointer attributes of the
+//!   paper's schema);
+//! * load-time **integrity enforcement**: total participation and to-one
+//!   multiplicity — the declarations that make class elimination sound;
+//! * **cost accounting**: raw operation counters, a page-I/O model and
+//!   scalar work units, so "execution cost" is deterministic and
+//!   machine-independent;
+//! * **semantic-constraint checking** against the data, used by generators
+//!   and property tests to certify that instances satisfy the constraint set
+//!   the optimizer will trust.
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod db;
+mod error;
+mod index;
+mod links;
+mod object;
+
+pub use cost::{CostCounters, CostWeights, PageModel};
+pub use db::{Database, DatabaseBuilder, IntegrityOptions, Violation};
+pub use error::StorageError;
+pub use index::{AttrIndex, IndexScanResult, OrdValue};
+pub use links::{RelLinks, Side, Traversal};
+pub use object::ObjectId;

@@ -1,0 +1,154 @@
+//! Relationship link storage.
+//!
+//! The paper's OODB implements relationships as pointer attributes; we store
+//! them as bidirectional adjacency lists per relationship, which gives the
+//! executor O(1) pointer-chasing in either direction.
+
+use sqo_catalog::RelId;
+
+use crate::object::ObjectId;
+
+/// Links of one relationship: adjacency in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct RelLinks {
+    /// left object -> linked right objects.
+    left_to_right: Vec<Vec<ObjectId>>,
+    /// right object -> linked left objects.
+    right_to_left: Vec<Vec<ObjectId>>,
+    links: u64,
+}
+
+impl RelLinks {
+    pub fn new(left_cardinality: usize, right_cardinality: usize) -> Self {
+        Self {
+            left_to_right: vec![Vec::new(); left_cardinality],
+            right_to_left: vec![Vec::new(); right_cardinality],
+            links: 0,
+        }
+    }
+
+    pub fn add(&mut self, left: ObjectId, right: ObjectId) {
+        self.left_to_right[left.index()].push(right);
+        self.right_to_left[right.index()].push(left);
+        self.links += 1;
+    }
+
+    /// Right-side neighbours of a left object.
+    pub fn from_left(&self, left: ObjectId) -> &[ObjectId] {
+        self.left_to_right
+            .get(left.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Left-side neighbours of a right object.
+    pub fn from_right(&self, right: ObjectId) -> &[ObjectId] {
+        self.right_to_left
+            .get(right.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn link_count(&self) -> u64 {
+        self.links
+    }
+
+    pub fn left_cardinality(&self) -> usize {
+        self.left_to_right.len()
+    }
+
+    pub fn right_cardinality(&self) -> usize {
+        self.right_to_left.len()
+    }
+
+    /// Left objects with no links (total-participation check).
+    pub fn unlinked_left(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.left_to_right
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_empty())
+            .map(|(i, _)| ObjectId(i as u32))
+    }
+
+    pub fn unlinked_right(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.right_to_left
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_empty())
+            .map(|(i, _)| ObjectId(i as u32))
+    }
+
+    /// Max links per left object (multiplicity check).
+    pub fn max_left_fanout(&self) -> usize {
+        self.left_to_right.iter().map(|v| v.len()).max().unwrap_or(0)
+    }
+
+    pub fn max_right_fanout(&self) -> usize {
+        self.right_to_left.iter().map(|v| v.len()).max().unwrap_or(0)
+    }
+}
+
+/// A link endpoint reference used by the executor when walking either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+impl Side {
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// Convenience wrapper naming a relationship traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Traversal {
+    pub rel: RelId,
+    pub from: Side,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bidirectional_adjacency() {
+        let mut l = RelLinks::new(3, 2);
+        l.add(ObjectId(0), ObjectId(1));
+        l.add(ObjectId(2), ObjectId(1));
+        l.add(ObjectId(0), ObjectId(0));
+        assert_eq!(l.from_left(ObjectId(0)), &[ObjectId(1), ObjectId(0)]);
+        assert_eq!(l.from_right(ObjectId(1)), &[ObjectId(0), ObjectId(2)]);
+        assert_eq!(l.link_count(), 3);
+        assert_eq!(l.from_left(ObjectId(1)), &[] as &[ObjectId]);
+    }
+
+    #[test]
+    fn unlinked_detection() {
+        let mut l = RelLinks::new(3, 2);
+        l.add(ObjectId(0), ObjectId(0));
+        let unlinked: Vec<ObjectId> = l.unlinked_left().collect();
+        assert_eq!(unlinked, vec![ObjectId(1), ObjectId(2)]);
+        let unlinked_r: Vec<ObjectId> = l.unlinked_right().collect();
+        assert_eq!(unlinked_r, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn fanout_tracking() {
+        let mut l = RelLinks::new(2, 2);
+        l.add(ObjectId(0), ObjectId(0));
+        l.add(ObjectId(0), ObjectId(1));
+        assert_eq!(l.max_left_fanout(), 2);
+        assert_eq!(l.max_right_fanout(), 1);
+    }
+
+    #[test]
+    fn side_opposite() {
+        assert_eq!(Side::Left.opposite(), Side::Right);
+        assert_eq!(Side::Right.opposite(), Side::Left);
+    }
+}

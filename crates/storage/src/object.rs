@@ -1,0 +1,33 @@
+//! Object identifiers and tuples at rest.
+
+use std::fmt;
+
+/// Class-local object identifier: the position of the object in its class
+/// extent. `(ClassId, ObjectId)` is globally unique within a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_ordering() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(ObjectId(7).index(), 7);
+        assert_eq!(ObjectId(7).to_string(), "o7");
+    }
+}

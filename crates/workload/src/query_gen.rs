@@ -1,0 +1,260 @@
+//! Path-query generation (§4).
+//!
+//! One query per schema path, as in the paper; predicates are drawn so that
+//! a controllable fraction line up with constraint antecedents (enabling
+//! introductions) or antecedent+consequent pairs (enabling eliminations).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sqo_catalog::{AttrRef, Catalog, ClassId, Value};
+use sqo_query::{CompOp, Projection, Query, SelPredicate};
+
+use crate::bench_schema::FEATURE_ATTRS;
+use crate::constraint_gen::Forcing;
+use crate::path_enum::{enumerate_directed_paths, SchemaPath};
+
+/// Query-generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryGenConfig {
+    pub seed: u64,
+    /// Probability that a class on the path receives a selective predicate.
+    pub pred_prob: f64,
+    /// Given a predicate, probability it is a constraint antecedent.
+    pub antecedent_prob: f64,
+    /// Given an antecedent predicate, probability of also emitting the
+    /// matching consequent (a restriction-elimination opportunity).
+    pub consequent_pair_prob: f64,
+    /// Given an antecedent predicate, probability of emitting a predicate
+    /// *conflicting* with the forced consequent — a query the optimizer can
+    /// prove empty (the paper's "output obtained without going to the
+    /// database" case).
+    pub contradiction_prob: f64,
+    /// Maximum projected attributes.
+    pub max_projections: usize,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 13,
+            pred_prob: 0.8,
+            antecedent_prob: 0.6,
+            consequent_pair_prob: 0.4,
+            contradiction_prob: 0.12,
+            max_projections: 3,
+        }
+    }
+}
+
+/// Generates the query for one schema path.
+pub fn generate_query(
+    catalog: &Catalog,
+    path: &SchemaPath,
+    forcings: &[Forcing],
+    config: &QueryGenConfig,
+    rng: &mut StdRng,
+) -> Query {
+    let mut q = Query::new();
+    q.classes = path.classes.clone();
+    q.relationships = path.relationships.clone();
+
+    // Projections: feature attributes of random path classes. Derived
+    // attributes are avoided so class elimination is not starved.
+    let n_proj = rng.gen_range(1..=config.max_projections);
+    for _ in 0..n_proj {
+        let class = *path.classes.as_slice().choose(rng).expect("non-empty path");
+        let attr_name = FEATURE_ATTRS[rng.gen_range(0..FEATURE_ATTRS.len())];
+        if let Ok(attr) = catalog.attr_ref(catalog.class_name(class), attr_name) {
+            let proj = Projection::plain(attr);
+            if !q.projections.contains(&proj) {
+                q.projections.push(proj);
+            }
+        }
+    }
+    if q.projections.is_empty() {
+        // Guarantee at least one projection.
+        let class = path.classes[0];
+        if let Ok(attr) = catalog.attr_ref(catalog.class_name(class), "key") {
+            q.projections.push(Projection::plain(attr));
+        }
+    }
+
+    // Predicates per class.
+    for &class in &path.classes {
+        if !rng.gen_bool(config.pred_prob) {
+            continue;
+        }
+        // Forcings applicable from this class within this path: intra, or
+        // inter whose relationship lies on the path.
+        let applicable: Vec<&Forcing> = forcings
+            .iter()
+            .filter(|f| f.antecedent.0 == class)
+            .filter(|f| match f.rel {
+                None => true,
+                Some(r) => path.relationships.contains(&r),
+            })
+            .collect();
+        if !applicable.is_empty() && rng.gen_bool(config.antecedent_prob) {
+            let f = applicable.choose(rng).expect("non-empty");
+            push_unique(
+                &mut q.selective_predicates,
+                SelPredicate::new(
+                    AttrRef::new(f.antecedent.0, f.antecedent.1),
+                    CompOp::Eq,
+                    f.antecedent.2.clone(),
+                ),
+            );
+            // Optionally pair with the consequent: the optimizer should
+            // then classify it optional/redundant and possibly drop it —
+            // or, with `contradiction_prob`, demand a *conflicting* value
+            // so the optimizer can prove the answer empty.
+            if path.classes.contains(&f.consequent.0) {
+                if rng.gen_bool(config.contradiction_prob) {
+                    let conflicting = match &f.consequent.2 {
+                        Value::Int(i) => Value::Int(i + 1),
+                        Value::Str(s) => Value::str(format!("not_{s}")),
+                        other => other.clone(),
+                    };
+                    push_unique(
+                        &mut q.selective_predicates,
+                        SelPredicate::new(
+                            AttrRef::new(f.consequent.0, f.consequent.1),
+                            CompOp::Eq,
+                            conflicting,
+                        ),
+                    );
+                } else if rng.gen_bool(config.consequent_pair_prob) {
+                    push_unique(
+                        &mut q.selective_predicates,
+                        SelPredicate::new(
+                            AttrRef::new(f.consequent.0, f.consequent.1),
+                            CompOp::Eq,
+                            f.consequent.2.clone(),
+                        ),
+                    );
+                }
+            }
+        } else {
+            push_unique(&mut q.selective_predicates, random_predicate(catalog, class, rng));
+        }
+    }
+    q
+}
+
+fn push_unique(preds: &mut Vec<SelPredicate>, p: SelPredicate) {
+    // One predicate per attribute keeps generated queries satisfiable.
+    if !preds.iter().any(|x| x.attr == p.attr) {
+        preds.push(p);
+    }
+}
+
+fn random_predicate(catalog: &Catalog, class: ClassId, rng: &mut StdRng) -> SelPredicate {
+    let name = catalog.class_name(class).to_string();
+    match rng.gen_range(0..3) {
+        0 => SelPredicate::new(
+            catalog.attr_ref(&name, "a2").expect("bench layout"),
+            *[CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge]
+                .choose(rng)
+                .expect("non-empty"),
+            Value::Int(rng.gen_range(10..90)),
+        ),
+        1 => SelPredicate::new(
+            catalog.attr_ref(&name, "a3").expect("bench layout"),
+            *[CompOp::Lt, CompOp::Ge].choose(rng).expect("non-empty"),
+            Value::Int(rng.gen_range(100..900)),
+        ),
+        _ => SelPredicate::new(
+            catalog.attr_ref(&name, "key").expect("bench layout"),
+            CompOp::Ge,
+            Value::Int(rng.gen_range(0..40)),
+        ),
+    }
+}
+
+/// The §4 query population: one query per simple path (≥ 2 classes),
+/// from which `n` are sampled ("40 test queries were randomly chosen").
+pub fn paper_query_set(
+    catalog: &Catalog,
+    forcings: &[Forcing],
+    n: usize,
+    config: &QueryGenConfig,
+) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut paths = enumerate_directed_paths(catalog, 2);
+    paths.shuffle(&mut rng);
+    paths
+        .into_iter()
+        .take(n)
+        .map(|p| generate_query(catalog, &p, forcings, config, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_schema::bench_catalog;
+    use crate::constraint_gen::{generate_constraints, ConstraintGenConfig};
+
+    fn setup() -> (Catalog, Vec<Forcing>) {
+        let catalog = bench_catalog().unwrap();
+        let gen = generate_constraints(&catalog, ConstraintGenConfig::default()).unwrap();
+        (catalog, gen.forcings)
+    }
+
+    #[test]
+    fn forty_queries_all_validate() {
+        let (catalog, forcings) = setup();
+        let queries = paper_query_set(&catalog, &forcings, 40, &QueryGenConfig::default());
+        assert_eq!(queries.len(), 40);
+        for q in &queries {
+            q.validate(&catalog).expect("generated query must validate");
+            assert!(!q.has_contradiction());
+            assert!(!q.projections.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (catalog, forcings) = setup();
+        let a = paper_query_set(&catalog, &forcings, 10, &QueryGenConfig::default());
+        let b = paper_query_set(&catalog, &forcings, 10, &QueryGenConfig::default());
+        assert_eq!(a, b);
+        let c = paper_query_set(
+            &catalog,
+            &forcings,
+            10,
+            &QueryGenConfig { seed: 999, ..Default::default() },
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn some_queries_match_constraint_antecedents() {
+        let (catalog, forcings) = setup();
+        let queries = paper_query_set(&catalog, &forcings, 40, &QueryGenConfig::default());
+        let hits = queries
+            .iter()
+            .filter(|q| {
+                q.selective_predicates.iter().any(|p| {
+                    forcings.iter().any(|f| {
+                        f.antecedent.0 == p.attr.class
+                            && f.antecedent.1 == p.attr.attr
+                            && f.antecedent.2 == p.value
+                    })
+                })
+            })
+            .count();
+        assert!(hits >= 10, "only {hits}/40 queries hit a constraint antecedent");
+    }
+
+    #[test]
+    fn query_sizes_span_the_path_lengths() {
+        let (catalog, forcings) = setup();
+        let queries = paper_query_set(&catalog, &forcings, 40, &QueryGenConfig::default());
+        let min = queries.iter().map(|q| q.classes.len()).min().unwrap();
+        let max = queries.iter().map(|q| q.classes.len()).max().unwrap();
+        assert!(min >= 2);
+        assert!(max >= 4, "need multi-class queries for Figure 4.1's x-axis");
+    }
+}

@@ -1,0 +1,93 @@
+//! Constraint management deep-dive: transitive closures, grouping policies
+//! and Siegel-style dynamic rules.
+//!
+//! Demonstrates the §3 machinery in isolation: what the closure derives,
+//! how much each grouping policy over-fetches, and how a dynamic (current
+//! database state) rule slots in next to declared integrity constraints.
+//!
+//! ```sh
+//! cargo run --example constraint_mining
+//! ```
+
+use std::sync::Arc;
+
+use sqo::catalog::example::figure21;
+use sqo::constraints::{
+    figure22, AssignmentPolicy, ConstraintBuilder, ConstraintStore, Origin, StoreOptions,
+};
+use sqo::query::{CompOp, QueryBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Arc::new(figure21()?);
+    let mut constraints = figure22(&catalog)?;
+
+    // A Siegel-style dynamic rule: *currently* every cargo in the database
+    // weighs less than 100 units. True of the current state, not of all
+    // states — tagged Dynamic so it can be invalidated on update.
+    constraints.push(
+        ConstraintBuilder::new(&catalog, "d1")
+            .scope("cargo")
+            .then("cargo.quantity", CompOp::Lt, 100i64)
+            .dynamic()
+            .build()?,
+    );
+
+    // Closure materialization (§3): c1 (truck -> frozen food) chains with
+    // c2 (frozen food -> SFI) into a derived constraint.
+    let store = ConstraintStore::build(
+        Arc::clone(&catalog),
+        constraints.clone(),
+        StoreOptions::paper_defaults(),
+    )?;
+    println!("declared constraints: {}", constraints.len());
+    println!("after closure       : {} ({} derived)", store.len(), store.derived_count);
+    for (_, c) in store.constraints() {
+        let marker = match c.origin {
+            Origin::Declared => " ",
+            Origin::Derived => "+",
+            Origin::Dynamic => "~",
+        };
+        println!("  {marker} {}", c.display(&catalog));
+    }
+
+    // Grouping policies (§3): how many irrelevant constraints ride along?
+    let probe_queries = vec![
+        QueryBuilder::new(&catalog)
+            .select("cargo.desc")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .via("collects")
+            .build()?,
+        QueryBuilder::new(&catalog)
+            .select("driver.name")
+            .via("drives")
+            .build()?,
+        QueryBuilder::new(&catalog)
+            .select("employee.name")
+            .filter("department.name", CompOp::Eq, "development")
+            .via("belongs_to")
+            .build()?,
+    ];
+    println!("\ngrouping policy comparison ({} probe queries):", probe_queries.len());
+    for policy in [
+        AssignmentPolicy::Arbitrary,
+        AssignmentPolicy::LeastFrequentlyAccessed,
+        AssignmentPolicy::Balanced,
+    ] {
+        let s = ConstraintStore::build(
+            Arc::clone(&catalog),
+            constraints.clone(),
+            StoreOptions { policy, ..StoreOptions::paper_defaults() },
+        )?;
+        for q in &probe_queries {
+            let _ = s.relevant_for(q);
+        }
+        println!(
+            "  {:?}: retrieved {}, relevant {}, waste {:.1}%",
+            policy,
+            s.metrics().retrieved.load(std::sync::atomic::Ordering::Relaxed),
+            s.metrics().relevant.load(std::sync::atomic::Ordering::Relaxed),
+            s.metrics().waste_ratio() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: optimize the paper's Figure 2.3 query in ten lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use sqo::catalog::example::figure21;
+use sqo::constraints::{figure22, ConstraintStore, StoreOptions};
+use sqo::core::{SemanticOptimizer, StructuralOracle};
+use sqo::query::{parse_query, QueryExt};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The paper's schema (Figure 2.1) and constraints (Figure 2.2).
+    let catalog = Arc::new(figure21()?);
+    let store = ConstraintStore::build(
+        Arc::clone(&catalog),
+        figure22(&catalog)?,
+        StoreOptions::paper_defaults(),
+    )?;
+
+    // 2. The sample query, written in the paper's own syntax: vehicles and
+    //    cargo descriptions for refrigerated trucks sent to SFI.
+    let query = parse_query(
+        r#"(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {}
+            {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+            {collects, supplies} {supplier, cargo, vehicle})"#,
+        &catalog,
+    )?;
+
+    // 3. Optimize. The StructuralOracle keeps every optional predicate and
+    //    performs every sound class elimination; swap in
+    //    `sqo::exec::CostBasedOracle` for cost-based decisions.
+    let optimizer = SemanticOptimizer::new(&store);
+    let optimized = optimizer.optimize(&query, &StructuralOracle)?;
+
+    println!("original :\n  {}", query.display(&catalog));
+    println!("optimized:\n  {}", optimized.query.display(&catalog));
+    println!();
+    println!("{}", optimized.report.render(&catalog));
+    Ok(())
+}

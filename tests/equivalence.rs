@@ -1,0 +1,98 @@
+//! The central correctness contract of semantic query optimization:
+//! **the optimized query returns exactly the original answer** on every
+//! database instance satisfying the constraint set.
+//!
+//! Exercised over the full Table 4.1 workload (40 path queries per
+//! instance), under all three profitability oracles.
+
+use sqo::core::{DropAllOracle, ProfitOracle, SemanticOptimizer, StructuralOracle};
+use sqo::exec::{execute, plan_query, CostBasedOracle, CostModel};
+use sqo::query::QueryExt;
+use sqo::workload::{paper_scenario, DbSize, PaperScenario};
+
+fn check_scenario(scenario: &PaperScenario, oracle: &dyn ProfitOracle, label: &str) {
+    let optimizer = SemanticOptimizer::new(&scenario.store);
+    let model = CostModel::default();
+    let mut transformed = 0usize;
+    for (i, query) in scenario.queries.iter().enumerate() {
+        let out = optimizer
+            .optimize(query, oracle)
+            .unwrap_or_else(|e| panic!("query {i} failed to optimize: {e}"));
+        if out.report.changed_query() {
+            transformed += 1;
+        }
+        let verification =
+            sqo::core::verify_optimization(&scenario.catalog, query, &out);
+        assert!(
+            verification.is_ok(),
+            "[{label}] query {i} failed verification: {:?}",
+            verification.issues
+        );
+        let plan_orig = plan_query(&scenario.db, query, &model).expect("plan original");
+        let plan_opt = plan_query(&scenario.db, &out.query, &model).expect("plan optimized");
+        let (res_orig, _) = execute(&scenario.db, &plan_orig).expect("execute original");
+        let (res_opt, _) = execute(&scenario.db, &plan_opt).expect("execute optimized");
+        if out.report.provably_empty {
+            // The strongest possible check: a provable-emptiness claim must
+            // agree with the data.
+            assert!(
+                res_orig.is_empty(),
+                "[{label}] query {i} claimed empty but returned {} rows",
+                res_orig.len()
+            );
+        }
+        assert!(
+            res_orig.same_multiset(&res_opt),
+            "[{label}] query {i} changed its answer ({} vs {} rows)\noriginal : {}\noptimized: {}",
+            res_orig.len(),
+            res_opt.len(),
+            query.display(&scenario.catalog),
+            out.query.display(&scenario.catalog),
+        );
+    }
+    assert!(
+        transformed >= 10,
+        "[{label}] expected a healthy fraction of the 40 queries to be transformed, got {transformed}"
+    );
+}
+
+#[test]
+fn db1_structural_oracle_preserves_answers() {
+    let s = paper_scenario(DbSize::Db1, 42);
+    check_scenario(&s, &StructuralOracle, "db1/structural");
+}
+
+#[test]
+fn db1_drop_all_oracle_preserves_answers() {
+    let s = paper_scenario(DbSize::Db1, 42);
+    check_scenario(&s, &DropAllOracle, "db1/drop-all");
+}
+
+#[test]
+fn db1_cost_based_oracle_preserves_answers() {
+    let s = paper_scenario(DbSize::Db1, 42);
+    let oracle = CostBasedOracle::new(&s.db);
+    check_scenario(&s, &oracle, "db1/cost-based");
+}
+
+#[test]
+fn db3_cost_based_oracle_preserves_answers() {
+    let s = paper_scenario(DbSize::Db3, 42);
+    let oracle = CostBasedOracle::new(&s.db);
+    check_scenario(&s, &oracle, "db3/cost-based");
+}
+
+#[test]
+fn db4_structural_oracle_preserves_answers() {
+    let s = paper_scenario(DbSize::Db4, 42);
+    check_scenario(&s, &StructuralOracle, "db4/structural");
+}
+
+#[test]
+fn other_seeds_also_preserve_answers() {
+    for seed in [1, 7, 1991] {
+        let s = paper_scenario(DbSize::Db1, seed);
+        let oracle = CostBasedOracle::new(&s.db);
+        check_scenario(&s, &oracle, &format!("db1/seed{seed}"));
+    }
+}

@@ -1,0 +1,87 @@
+//! §3's grouping-scheme correctness: the group union always retrieves a
+//! superset of the relevant constraints ("Thus the grouping scheme is
+//! correct, though not necessarily optimal").
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use sqo::constraints::{AssignmentPolicy, ConstraintStore, StoreOptions};
+use sqo::workload::{
+    bench_schema::bench_catalog, generate_constraints, paper_query_set, ConstraintGenConfig,
+    QueryGenConfig,
+};
+
+fn recall_holds(seed: u64, policy: AssignmentPolicy) {
+    let catalog = Arc::new(bench_catalog().unwrap());
+    let generated = generate_constraints(
+        &catalog,
+        ConstraintGenConfig { seed, per_class: 4, ..Default::default() },
+    )
+    .unwrap();
+    let store = ConstraintStore::build(
+        Arc::clone(&catalog),
+        generated.constraints,
+        StoreOptions { policy, ..StoreOptions::paper_defaults() },
+    )
+    .unwrap();
+    let queries = paper_query_set(
+        &catalog,
+        &generated.forcings,
+        20,
+        &QueryGenConfig { seed: seed.wrapping_add(3), ..Default::default() },
+    );
+    for q in &queries {
+        let mut grouped = store.relevant_for(q);
+        let mut full = store.relevant_for_ungrouped(q);
+        grouped.sort_unstable();
+        full.sort_unstable();
+        assert_eq!(grouped, full, "policy {policy:?} lost a relevant constraint");
+    }
+}
+
+#[test]
+fn recall_under_all_policies() {
+    for policy in [
+        AssignmentPolicy::Arbitrary,
+        AssignmentPolicy::LeastFrequentlyAccessed,
+        AssignmentPolicy::Balanced,
+    ] {
+        recall_holds(42, policy);
+    }
+}
+
+#[test]
+fn regrouping_preserves_recall() {
+    let catalog = Arc::new(bench_catalog().unwrap());
+    let generated = generate_constraints(&catalog, ConstraintGenConfig::default()).unwrap();
+    let store = ConstraintStore::build(
+        Arc::clone(&catalog),
+        generated.constraints,
+        StoreOptions {
+            policy: AssignmentPolicy::LeastFrequentlyAccessed,
+            ..StoreOptions::paper_defaults()
+        },
+    )
+    .unwrap();
+    let queries = paper_query_set(&catalog, &generated.forcings, 15, &QueryGenConfig::default());
+    // Skew the access pattern, regroup repeatedly, and re-check recall.
+    for round in 0..4 {
+        for q in queries.iter().skip(round) {
+            let mut grouped = store.relevant_for(q);
+            let mut full = store.relevant_for_ungrouped(q);
+            grouped.sort_unstable();
+            full.sort_unstable();
+            assert_eq!(grouped, full, "round {round}");
+        }
+        store.regroup();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn recall_for_random_seeds(seed in 0u64..10_000) {
+        recall_holds(seed, AssignmentPolicy::LeastFrequentlyAccessed);
+    }
+}
