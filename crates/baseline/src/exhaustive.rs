@@ -49,9 +49,8 @@ pub fn exhaustive_best(
     let relevant = store.relevant_for(query);
     let mut seen: HashSet<String> = HashSet::new();
     let mut best_query = query.clone();
-    let mut best_cost = plan_query(db, query, model)
-        .map(|p| p.estimated_cost)
-        .unwrap_or(f64::INFINITY);
+    let mut best_cost =
+        plan_query(db, query, model).map(|p| p.estimated_cost).unwrap_or(f64::INFINITY);
     let mut states = 0usize;
     let mut truncated = false;
 
@@ -132,11 +131,9 @@ mod tests {
             let v = (i % 20) as u32;
             let frozen = v % 4 == 0;
             let desc = if frozen { "frozen food" } else { "dry goods" };
-            let oid = b
-                .insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i)])
-                .unwrap();
-            b.link(supplies, oid, ObjectId(if frozen { 0 } else { 1 + (i as u32 % 19) }))
-                .unwrap();
+            let oid =
+                b.insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i)]).unwrap();
+            b.link(supplies, oid, ObjectId(if frozen { 0 } else { 1 + (i as u32 % 19) })).unwrap();
             b.link(collects, oid, ObjectId(v)).unwrap();
         }
         b.finalize(IntegrityOptions {
@@ -189,7 +186,8 @@ mod tests {
             .via("supplies")
             .build()
             .unwrap();
-        let out = exhaustive_best(&db, &store, &q, &CostModel::default(), SearchLimits { max_states: 1 });
+        let out =
+            exhaustive_best(&db, &store, &q, &CostModel::default(), SearchLimits { max_states: 1 });
         assert!(out.states_explored <= 1);
     }
 }

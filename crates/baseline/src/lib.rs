@@ -21,6 +21,4 @@ mod exhaustive;
 mod straightforward;
 
 pub use exhaustive::{exhaustive_best, ExhaustiveOutcome, SearchLimits};
-pub use straightforward::{
-    ApplicationOrder, StraightforwardOptimizer, StraightforwardOutcome,
-};
+pub use straightforward::{ApplicationOrder, StraightforwardOptimizer, StraightforwardOutcome};

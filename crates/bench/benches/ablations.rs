@@ -110,8 +110,7 @@ fn bench_budget(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     for budget in [0usize, 2, 8] {
-        let optimizer =
-            SemanticOptimizer::with_config(&store, OptimizerConfig::budgeted(budget));
+        let optimizer = SemanticOptimizer::with_config(&store, OptimizerConfig::budgeted(budget));
         group.bench_function(BenchmarkId::from_parameter(budget), |b| {
             b.iter(|| {
                 for q in &e.queries {

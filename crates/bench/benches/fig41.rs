@@ -45,11 +45,8 @@ fn bench_fig41(c: &mut Criterion) {
             &QueryGenConfig { seed: 43, ..Default::default() },
         );
         for classes in 2..=5usize {
-            let subset: Vec<Query> = queries
-                .iter()
-                .filter(|q| q.classes.len() == classes)
-                .cloned()
-                .collect();
+            let subset: Vec<Query> =
+                queries.iter().filter(|q| q.classes.len() == classes).cloned().collect();
             if subset.is_empty() {
                 continue;
             }

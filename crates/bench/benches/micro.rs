@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sqo_catalog::example::figure21;
-use sqo_constraints::{figure22, transitive_closure, ClosureOptions, ConstraintStore, StoreOptions};
+use sqo_constraints::{
+    figure22, transitive_closure, ClosureOptions, ConstraintStore, StoreOptions,
+};
 use sqo_core::{
     formulate, run_transformations, OptimizerConfig, StructuralOracle, TransformationTable,
 };
@@ -48,9 +50,7 @@ fn bench_phases(c: &mut Criterion) {
     });
     group.bench_function("transformation", |b| {
         b.iter_batched(
-            || {
-                TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy)
-            },
+            || TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy),
             |mut table| std::hint::black_box(run_transformations(&mut table, &config)),
             criterion::BatchSize::SmallInput,
         )
@@ -72,8 +72,7 @@ fn bench_phases(c: &mut Criterion) {
             || constraints.clone(),
             |cs| {
                 std::hint::black_box(
-                    transitive_closure(&catalog, cs, ClosureOptions::default())
-                        .expect("closure"),
+                    transitive_closure(&catalog, cs, ClosureOptions::default()).expect("closure"),
                 )
             },
             criterion::BatchSize::SmallInput,

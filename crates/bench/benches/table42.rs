@@ -33,33 +33,25 @@ fn bench_table42(c: &mut Criterion) {
                 (out.query, out.report.provably_empty)
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("original", size.name()),
-            &originals,
-            |b, qs| {
-                b.iter(|| {
-                    for q in qs {
-                        let plan = plan_query(&scenario.db, q, &model).expect("plan");
-                        std::hint::black_box(execute(&scenario.db, &plan).expect("execute"));
+        group.bench_with_input(BenchmarkId::new("original", size.name()), &originals, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let plan = plan_query(&scenario.db, q, &model).expect("plan");
+                    std::hint::black_box(execute(&scenario.db, &plan).expect("execute"));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", size.name()), &optimized, |b, qs| {
+            b.iter(|| {
+                for (q, empty) in qs {
+                    if *empty {
+                        continue; // answered without touching the database
                     }
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("optimized", size.name()),
-            &optimized,
-            |b, qs| {
-                b.iter(|| {
-                    for (q, empty) in qs {
-                        if *empty {
-                            continue; // answered without touching the database
-                        }
-                        let plan = plan_query(&scenario.db, q, &model).expect("plan");
-                        std::hint::black_box(execute(&scenario.db, &plan).expect("execute"));
-                    }
-                })
-            },
-        );
+                    let plan = plan_query(&scenario.db, q, &model).expect("plan");
+                    std::hint::black_box(execute(&scenario.db, &plan).expect("execute"));
+                }
+            })
+        });
     }
     group.finish();
 }

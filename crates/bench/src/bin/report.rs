@@ -13,6 +13,7 @@ use std::sync::Arc;
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut seed = 42u64;
+    let mut smoke = false;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -23,10 +24,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!(
                     "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|all]* \
-                     [--seed N]"
+                     [--seed N] [--smoke]\n\n\
+                     --smoke  run every experiment at minimal repetition counts; exercises\n\
+                     \x20        the full harness in well under a second so CI catches rot"
                 );
                 return;
             }
@@ -39,15 +43,19 @@ fn main() {
             .map(|s| s.to_string())
             .collect();
     }
+    // Figure 4.1's timing repetitions dominate the run; the smoke path
+    // keeps every driver on its real code path but minimizes repetition.
+    let fig41_reps = if smoke { 2 } else { 20 };
     println!(
-        "sqo experiment report — Pang, Lu & Ooi, ICDE 1991 (seed {seed})\n\
-         ================================================================\n"
+        "sqo experiment report — Pang, Lu & Ooi, ICDE 1991 (seed {seed}{})\n\
+         ================================================================\n",
+        if smoke { ", smoke" } else { "" }
     );
-    for exp in selected {
+    for exp in &selected {
         match exp.as_str() {
             "e1" => e1(),
             "table41" => println!("{}", sqo_bench::table41(seed)),
-            "fig41" => println!("{}", sqo_bench::figure41(seed, 20).1),
+            "fig41" => println!("{}", sqo_bench::figure41(seed, fig41_reps).1),
             "table42" => println!("{}", sqo_bench::table42(seed).1),
             "e5" => println!("{}", sqo_bench::baseline_comparison(seed)),
             "grouping" => println!("{}", sqo_bench::grouping(seed)),
@@ -55,6 +63,9 @@ fn main() {
             "closure" => println!("{}", sqo_bench::closure_ablation(seed)),
             other => die(&format!("unknown experiment `{other}`")),
         }
+    }
+    if smoke {
+        println!("smoke: {} experiment(s) completed", selected.len());
     }
 }
 

@@ -43,18 +43,10 @@ pub fn calibrate_units_per_second(scenario: &PaperScenario) -> f64 {
 // ---------------------------------------------------------------------------
 
 pub fn table41(seed: u64) -> String {
-    let mut t = TextTable::new(vec![
-        "", "DB1", "DB2", "DB3", "DB4",
-    ]);
+    let mut t = TextTable::new(vec!["", "DB1", "DB2", "DB3", "DB4"]);
     let scenarios: Vec<PaperScenario> =
         DbSize::ALL.iter().map(|&s| paper_scenario(s, seed)).collect();
-    t.row(vec![
-        "# object class".to_string(),
-        "5".into(),
-        "5".into(),
-        "5".into(),
-        "5".into(),
-    ]);
+    t.row(vec!["# object class".to_string(), "5".into(), "5".into(), "5".into(), "5".into()]);
     let card: Vec<String> = scenarios
         .iter()
         .map(|s| {
@@ -69,21 +61,12 @@ pub fn table41(seed: u64) -> String {
         card[2].clone(),
         card[3].clone(),
     ]);
-    t.row(vec![
-        "# relationships".to_string(),
-        "6".into(),
-        "6".into(),
-        "6".into(),
-        "6".into(),
-    ]);
+    t.row(vec!["# relationships".to_string(), "6".into(), "6".into(), "6".into(), "6".into()]);
     let rels: Vec<String> = scenarios
         .iter()
         .map(|s| {
-            let total: u64 = s
-                .catalog
-                .relationships()
-                .map(|(rid, _)| s.db.links(rid).link_count())
-                .sum();
+            let total: u64 =
+                s.catalog.relationships().map(|(rid, _)| s.db.links(rid).link_count()).sum();
             format!("{}", total / s.catalog.relationship_count() as u64)
         })
         .collect();
@@ -311,21 +294,17 @@ pub fn baseline_comparison(seed: u64) -> String {
     let mut divergent = 0usize;
     for query in &scenario.queries {
         let core_q = optimizer.optimize(query, &oracle).expect("optimize").query;
-        let (_, c) = execute(
-            &scenario.db,
-            &plan_query(&scenario.db, &core_q, &model).expect("plan"),
-        )
-        .expect("execute");
+        let (_, c) =
+            execute(&scenario.db, &plan_query(&scenario.db, &core_q, &model).expect("plan"))
+                .expect("execute");
         core_total += model.measured(&c);
         let mut outcomes = Vec::new();
         for (oi, order) in orders.iter().enumerate() {
             let sf = StraightforwardOptimizer::new(&scenario.store, *order);
             let q = sf.optimize(query, &oracle).query;
-            let (_, c) = execute(
-                &scenario.db,
-                &plan_query(&scenario.db, &q, &model).expect("plan"),
-            )
-            .expect("execute");
+            let (_, c) =
+                execute(&scenario.db, &plan_query(&scenario.db, &q, &model).expect("plan"))
+                    .expect("execute");
             sf_total[oi] += model.measured(&c);
             outcomes.push(q.normalized());
         }
@@ -362,9 +341,7 @@ pub fn grouping(seed: u64) -> String {
         40,
         &QueryGenConfig { seed: seed.wrapping_add(1), ..Default::default() },
     );
-    let mut t = TextTable::new(vec![
-        "policy", "retrieved", "relevant", "waste %", "scan baseline",
-    ]);
+    let mut t = TextTable::new(vec!["policy", "retrieved", "relevant", "waste %", "scan baseline"]);
     for policy in [
         AssignmentPolicy::Arbitrary,
         AssignmentPolicy::LeastFrequentlyAccessed,
@@ -403,11 +380,9 @@ pub fn budget_sweep(seed: u64) -> String {
     let scenario = paper_scenario(DbSize::Db3, seed);
     let model = CostModel::default();
     let oracle = CostBasedOracle::new(&scenario.db);
-    let budgets: Vec<Option<usize>> =
-        vec![Some(0), Some(1), Some(2), Some(4), Some(8), None];
-    let mut t = TextTable::new(vec![
-        "budget", "mean cost ratio vs unoptimized", "transformations applied",
-    ]);
+    let budgets: Vec<Option<usize>> = vec![Some(0), Some(1), Some(2), Some(4), Some(8), None];
+    let mut t =
+        TextTable::new(vec!["budget", "mean cost ratio vs unoptimized", "transformations applied"]);
     for budget in budgets {
         let config = match budget {
             Some(b) => OptimizerConfig::budgeted(b),
@@ -419,16 +394,12 @@ pub fn budget_sweep(seed: u64) -> String {
         for query in &scenario.queries {
             let out = optimizer.optimize(query, &oracle).expect("optimize");
             applied += out.report.transformations.applied.len();
-            let (_, c_orig) = execute(
-                &scenario.db,
-                &plan_query(&scenario.db, query, &model).expect("plan"),
-            )
-            .expect("execute");
-            let (_, c_opt) = execute(
-                &scenario.db,
-                &plan_query(&scenario.db, &out.query, &model).expect("plan"),
-            )
-            .expect("execute");
+            let (_, c_orig) =
+                execute(&scenario.db, &plan_query(&scenario.db, query, &model).expect("plan"))
+                    .expect("execute");
+            let (_, c_opt) =
+                execute(&scenario.db, &plan_query(&scenario.db, &out.query, &model).expect("plan"))
+                    .expect("execute");
             ratio_sum += model.measured(&c_opt) / model.measured(&c_orig).max(1e-9);
         }
         t.row(vec![
@@ -451,12 +422,9 @@ pub fn closure_ablation(seed: u64) -> String {
         ConstraintGenConfig { seed, chain_fraction: 0.5, ..Default::default() },
     )
     .expect("constraints");
-    let db = generate_database(
-        Arc::clone(&catalog),
-        &DbSize::Db2.config(seed),
-        &generated.forcings,
-    )
-    .expect("database");
+    let db =
+        generate_database(Arc::clone(&catalog), &DbSize::Db2.config(seed), &generated.forcings)
+            .expect("database");
     let queries = paper_query_set(
         &catalog,
         &generated.forcings,
@@ -465,17 +433,18 @@ pub fn closure_ablation(seed: u64) -> String {
     );
     let model = CostModel::default();
     let mut t = TextTable::new(vec![
-        "closure", "stored constraints", "transformations", "mean cost ratio", "mean transform µs",
+        "closure",
+        "stored constraints",
+        "transformations",
+        "mean cost ratio",
+        "mean transform µs",
     ]);
     for materialize in [false, true] {
         let t0 = Instant::now();
         let store = ConstraintStore::build(
             Arc::clone(&catalog),
             generated.constraints.clone(),
-            StoreOptions {
-                materialize_closure: materialize,
-                ..StoreOptions::paper_defaults()
-            },
+            StoreOptions { materialize_closure: materialize, ..StoreOptions::paper_defaults() },
         )
         .expect("store");
         let _build = t0.elapsed();
@@ -490,8 +459,8 @@ pub fn closure_ablation(seed: u64) -> String {
             micros += out.report.timings.total().as_secs_f64() * 1e6;
             let (_, c_orig) =
                 execute(&db, &plan_query(&db, query, &model).expect("plan")).expect("execute");
-            let (_, c_opt) = execute(&db, &plan_query(&db, &out.query, &model).expect("plan"))
-                .expect("execute");
+            let (_, c_opt) =
+                execute(&db, &plan_query(&db, &out.query, &model).expect("plan")).expect("execute");
             ratio_sum += model.measured(&c_opt) / model.measured(&c_orig).max(1e-9);
         }
         t.row(vec![

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CatalogError;
 use crate::ids::{AttrId, AttrRef, ClassId, RelId};
-use crate::schema::{AttributeDef, ClassDef, IndexKind, Multiplicity, RelationshipDef, RelationshipEnd};
+use crate::schema::{
+    AttributeDef, ClassDef, IndexKind, Multiplicity, RelationshipDef, RelationshipEnd,
+};
 use crate::types::DataType;
 
 /// An immutable, validated schema.
@@ -35,16 +37,11 @@ impl Catalog {
     }
 
     pub fn classes(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
-        self.classes
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (ClassId(i as u32), c))
+        self.classes.iter().enumerate().map(|(i, c)| (ClassId(i as u32), c))
     }
 
     pub fn class(&self, id: ClassId) -> Result<&ClassDef, CatalogError> {
-        self.classes
-            .get(id.index())
-            .ok_or(CatalogError::UnknownClassId(id))
+        self.classes.get(id.index()).ok_or(CatalogError::UnknownClassId(id))
     }
 
     pub fn class_id(&self, name: &str) -> Result<ClassId, CatalogError> {
@@ -55,10 +52,7 @@ impl Catalog {
     }
 
     pub fn class_name(&self, id: ClassId) -> &str {
-        self.classes
-            .get(id.index())
-            .map(|c| c.name.as_str())
-            .unwrap_or("<unknown-class>")
+        self.classes.get(id.index()).map(|c| c.name.as_str()).unwrap_or("<unknown-class>")
     }
 
     // ---- attribute lookups ----------------------------------------------
@@ -72,10 +66,8 @@ impl Catalog {
     }
 
     pub fn attr_id(&self, class: ClassId, name: &str) -> Result<AttrId, CatalogError> {
-        let map = self
-            .attr_by_name
-            .get(class.index())
-            .ok_or(CatalogError::UnknownClassId(class))?;
+        let map =
+            self.attr_by_name.get(class.index()).ok_or(CatalogError::UnknownClassId(class))?;
         map.get(name).copied().ok_or_else(|| CatalogError::UnknownAttribute {
             class: self.class_name(class).to_string(),
             attr: name.to_string(),
@@ -119,16 +111,11 @@ impl Catalog {
     }
 
     pub fn relationships(&self) -> impl Iterator<Item = (RelId, &RelationshipDef)> {
-        self.relationships
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RelId(i as u32), r))
+        self.relationships.iter().enumerate().map(|(i, r)| (RelId(i as u32), r))
     }
 
     pub fn relationship(&self, id: RelId) -> Result<&RelationshipDef, CatalogError> {
-        self.relationships
-            .get(id.index())
-            .ok_or(CatalogError::UnknownRelId(id))
+        self.relationships.get(id.index()).ok_or(CatalogError::UnknownRelId(id))
     }
 
     pub fn rel_id(&self, name: &str) -> Result<RelId, CatalogError> {
@@ -139,18 +126,12 @@ impl Catalog {
     }
 
     pub fn rel_name(&self, id: RelId) -> &str {
-        self.relationships
-            .get(id.index())
-            .map(|r| r.name.as_str())
-            .unwrap_or("<unknown-rel>")
+        self.relationships.get(id.index()).map(|r| r.name.as_str()).unwrap_or("<unknown-rel>")
     }
 
     /// All relationships touching `class`.
     pub fn relationships_of(&self, class: ClassId) -> Vec<RelId> {
-        self.relationships()
-            .filter(|(_, r)| r.involves(class))
-            .map(|(id, _)| id)
-            .collect()
+        self.relationships().filter(|(_, r)| r.involves(class)).map(|(id, _)| id).collect()
     }
 
     /// Whether `class` is `ancestor` or inherits (transitively) from it.
@@ -278,11 +259,7 @@ impl CatalogBuilder {
                     return Err(CatalogError::InheritanceCycle(c.name.clone()));
                 }
                 seen[p.index()] = true;
-                cur = self
-                    .classes
-                    .get(p.index())
-                    .ok_or(CatalogError::UnknownClassId(p))?
-                    .parent;
+                cur = self.classes.get(p.index()).ok_or(CatalogError::UnknownClassId(p))?.parent;
             }
         }
         let attr_by_name = self
@@ -374,10 +351,7 @@ mod tests {
         let mut b = Catalog::builder();
         let err = b.class(
             "x",
-            vec![
-                AttributeDef::new("a", DataType::Int),
-                AttributeDef::new("a", DataType::Str),
-            ],
+            vec![AttributeDef::new("a", DataType::Int), AttributeDef::new("a", DataType::Str)],
         );
         assert!(matches!(err, Err(CatalogError::DuplicateAttribute { .. })));
     }
@@ -395,11 +369,7 @@ mod tests {
             )
             .unwrap();
         let drv = b
-            .subclass(
-                "driver",
-                emp,
-                vec![AttributeDef::new("license_class", DataType::Int)],
-            )
+            .subclass("driver", emp, vec![AttributeDef::new("license_class", DataType::Int)])
             .unwrap();
         let cat = b.build().unwrap();
         // Inherited attrs come first, own attrs after.
@@ -418,7 +388,7 @@ mod tests {
         let supplier = cat.class_id("supplier").unwrap();
         assert!(def.involves(cargo) && def.involves(supplier));
         assert_eq!(cat.relationships_of(cargo), vec![rel]);
-        assert_eq!(def.end_for(cargo).unwrap().total, true);
+        assert!(def.end_for(cargo).unwrap().total);
     }
 
     #[test]

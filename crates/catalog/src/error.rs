@@ -8,16 +8,28 @@ use crate::ids::{AttrId, ClassId, RelId};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CatalogError {
     DuplicateClass(String),
-    DuplicateAttribute { class: String, attr: String },
+    DuplicateAttribute {
+        class: String,
+        attr: String,
+    },
     DuplicateRelationship(String),
     UnknownClass(String),
     UnknownClassId(ClassId),
-    UnknownAttribute { class: String, attr: String },
-    UnknownAttrId { class: ClassId, attr: AttrId },
+    UnknownAttribute {
+        class: String,
+        attr: String,
+    },
+    UnknownAttrId {
+        class: ClassId,
+        attr: AttrId,
+    },
     UnknownRelationship(String),
     UnknownRelId(RelId),
     /// A subclass named a parent that was not declared before it.
-    UnknownParent { class: String, parent: ClassId },
+    UnknownParent {
+        class: String,
+        parent: ClassId,
+    },
     /// Inheritance cycles are rejected (is-a must be a forest).
     InheritanceCycle(String),
 }

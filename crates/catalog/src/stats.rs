@@ -169,10 +169,7 @@ impl AccessTracker {
     }
 
     pub fn count(&self, class: ClassId) -> u64 {
-        self.counts
-            .get(class.index())
-            .map(|n| n.load(AtomicOrdering::Relaxed))
-            .unwrap_or(0)
+        self.counts.get(class.index()).map(|n| n.load(AtomicOrdering::Relaxed)).unwrap_or(0)
     }
 
     /// Pre-seeds counters (e.g. from a historical trace) so the grouping
@@ -186,10 +183,7 @@ impl AccessTracker {
     /// The least frequently accessed class among `candidates`; ties break
     /// toward the smaller id for determinism. Returns `None` on empty input.
     pub fn least_accessed(&self, candidates: &[ClassId]) -> Option<ClassId> {
-        candidates
-            .iter()
-            .copied()
-            .min_by_key(|c| (self.count(*c), c.index()))
+        candidates.iter().copied().min_by_key(|c| (self.count(*c), c.index()))
     }
 }
 
@@ -292,10 +286,7 @@ mod tests {
         assert_eq!(t.count(ClassId(0)), 2);
         assert_eq!(t.count(ClassId(1)), 1);
         assert_eq!(t.count(ClassId(2)), 0);
-        assert_eq!(
-            t.least_accessed(&[ClassId(0), ClassId(1), ClassId(2)]),
-            Some(ClassId(2))
-        );
+        assert_eq!(t.least_accessed(&[ClassId(0), ClassId(1), ClassId(2)]), Some(ClassId(2)));
         // Ties break toward the smaller id.
         let t2 = AccessTracker::new(2);
         assert_eq!(t2.least_accessed(&[ClassId(1), ClassId(0)]), Some(ClassId(0)));

@@ -210,14 +210,8 @@ mod tests {
     #[test]
     fn value_compare_same_type() {
         assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(
-            Value::str("abc").compare(&Value::str("abd")),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Value::Bool(true).compare(&Value::Bool(true)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::str("abc").compare(&Value::str("abd")), Some(Ordering::Less));
+        assert_eq!(Value::Bool(true).compare(&Value::Bool(true)), Some(Ordering::Equal));
     }
 
     #[test]

@@ -55,16 +55,8 @@ fn key(c: &HornConstraint) -> String {
 
 /// Attempts the resolution of `ci` into `cj`: discharge every antecedent of
 /// `cj` that `ci`'s consequent implies.
-fn resolve(
-    catalog: &Catalog,
-    ci: &HornConstraint,
-    cj: &HornConstraint,
-) -> Option<HornConstraint> {
-    let discharged: Vec<bool> = cj
-        .antecedents
-        .iter()
-        .map(|a| ci.consequent.implies(a))
-        .collect();
+fn resolve(catalog: &Catalog, ci: &HornConstraint, cj: &HornConstraint) -> Option<HornConstraint> {
+    let discharged: Vec<bool> = cj.antecedents.iter().map(|a| ci.consequent.implies(a)).collect();
     if !discharged.iter().any(|&d| d) {
         return None;
     }
@@ -169,7 +161,12 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn mk(cat: &Catalog, name: &str, ante: (&str, CompOp, i64), cons: (&str, CompOp, i64)) -> HornConstraint {
+    fn mk(
+        cat: &Catalog,
+        name: &str,
+        ante: (&str, CompOp, i64),
+        cons: (&str, CompOp, i64),
+    ) -> HornConstraint {
         HornConstraint::new(
             cat,
             name,
@@ -224,10 +221,8 @@ mod tests {
         assert_eq!(res.derived_count, 3);
         assert!(res.rounds >= 2);
         let a_to_d = res.constraints.iter().any(|c| {
-            c.antecedents
-                == vec![Predicate::sel(cat.attr_ref("t", "a").unwrap(), CompOp::Eq, 1i64)]
-                && c.consequent
-                    == Predicate::sel(cat.attr_ref("t", "d").unwrap(), CompOp::Eq, 4i64)
+            c.antecedents == vec![Predicate::sel(cat.attr_ref("t", "a").unwrap(), CompOp::Eq, 1i64)]
+                && c.consequent == Predicate::sel(cat.attr_ref("t", "d").unwrap(), CompOp::Eq, 4i64)
         });
         assert!(a_to_d, "a -> d must be derived transitively");
     }

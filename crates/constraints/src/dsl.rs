@@ -182,9 +182,8 @@ mod tests {
     #[test]
     fn missing_consequent_is_an_error() {
         let cat = figure21().unwrap();
-        let err = ConstraintBuilder::new(&cat, "x")
-            .when("cargo.desc", CompOp::Eq, "frozen food")
-            .build();
+        let err =
+            ConstraintBuilder::new(&cat, "x").when("cargo.desc", CompOp::Eq, "frozen food").build();
         assert!(err.is_err());
     }
 

@@ -17,9 +17,14 @@ pub enum ConstraintError {
     /// and would silently licence arbitrary conclusions.
     UnsatisfiableAntecedent,
     /// Type error inside a predicate.
-    TypeMismatch { context: String },
+    TypeMismatch {
+        context: String,
+    },
     /// The closure computation exceeded its configured limits.
-    ClosureLimitExceeded { derived: usize, limit: usize },
+    ClosureLimitExceeded {
+        derived: usize,
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ConstraintError {

@@ -123,14 +123,7 @@ impl HornConstraint {
             }
         }
 
-        Ok(Self {
-            name: name.into(),
-            antecedents,
-            relationships,
-            consequent,
-            classes,
-            origin,
-        })
+        Ok(Self { name: name.into(), antecedents, relationships, consequent, classes, origin })
     }
 
     /// Intra iff exactly one class is referenced (§3.2).
@@ -287,11 +280,8 @@ mod tests {
     fn relevance_requires_all_classes_and_rels() {
         let cat = figure21().unwrap();
         let c = c1(&cat);
-        let with_rel = QueryBuilder::new(&cat)
-            .select("cargo.desc")
-            .via("collects")
-            .build()
-            .unwrap();
+        let with_rel =
+            QueryBuilder::new(&cat).select("cargo.desc").via("collects").build().unwrap();
         assert!(c.relevant_to(&with_rel));
         // Same classes, but no `collects` edge: not relevant.
         let mut without_rel = with_rel.clone();
@@ -306,15 +296,8 @@ mod tests {
     fn tautologies_rejected() {
         let cat = figure21().unwrap();
         let p = Predicate::sel(cat.attr_ref("cargo", "desc").unwrap(), CompOp::Eq, "frozen food");
-        let err = HornConstraint::new(
-            &cat,
-            "t",
-            vec![p.clone()],
-            vec![],
-            p,
-            vec![],
-            Origin::Declared,
-        );
+        let err =
+            HornConstraint::new(&cat, "t", vec![p.clone()], vec![], p, vec![], Origin::Declared);
         assert_eq!(err.unwrap_err(), ConstraintError::Tautology);
     }
 

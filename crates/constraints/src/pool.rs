@@ -72,19 +72,13 @@ impl PredicatePool {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (PredId, &Predicate)> {
-        self.preds
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (PredId(i as u32), p))
+        self.preds.iter().enumerate().map(|(i, p)| (PredId(i as u32), p))
     }
 
     /// Ids of pool predicates implied by `pred` (including itself, if
     /// interned). Used by implication-aware matching.
     pub fn implied_by(&self, pred: &Predicate) -> Vec<PredId> {
-        self.iter()
-            .filter(|(_, q)| pred.implies(q))
-            .map(|(id, _)| id)
-            .collect()
+        self.iter().filter(|(_, q)| pred.implies(q)).map(|(id, _)| id).collect()
     }
 }
 

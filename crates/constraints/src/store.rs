@@ -182,10 +182,9 @@ impl ConstraintStore {
             }
             let home = match self.policy {
                 AssignmentPolicy::Arbitrary => c.classes[0],
-                AssignmentPolicy::LeastFrequentlyAccessed => self
-                    .access
-                    .least_accessed(&c.classes)
-                    .expect("non-empty class list"),
+                AssignmentPolicy::LeastFrequentlyAccessed => {
+                    self.access.least_accessed(&c.classes).expect("non-empty class list")
+                }
                 AssignmentPolicy::Balanced => c
                     .classes
                     .iter()
@@ -223,17 +222,13 @@ impl ConstraintStore {
     pub fn relevant_for(&self, query: &Query) -> Vec<ConstraintId> {
         let candidates = self.retrieve_candidates(query);
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
-        self.metrics
-            .retrieved
-            .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        self.metrics.retrieved.fetch_add(candidates.len() as u64, Ordering::Relaxed);
         self.access.record(query.classes.iter().copied());
         let relevant: Vec<ConstraintId> = candidates
             .into_iter()
             .filter(|id| self.constraints[id.index()].relevant_to(query))
             .collect();
-        self.metrics
-            .relevant
-            .fetch_add(relevant.len() as u64, Ordering::Relaxed);
+        self.metrics.relevant.fetch_add(relevant.len() as u64, Ordering::Relaxed);
         relevant
     }
 
@@ -271,10 +266,7 @@ impl ConstraintStore {
     }
 
     pub fn constraints(&self) -> impl Iterator<Item = (ConstraintId, &HornConstraint)> {
-        self.constraints
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (ConstraintId(i as u32), c))
+        self.constraints.iter().enumerate().map(|(i, c)| (ConstraintId(i as u32), c))
     }
 
     pub fn pool(&self) -> &PredicatePool {
@@ -291,12 +283,7 @@ impl ConstraintStore {
 
     /// Group sizes per class, for diagnostics and the E6 report.
     pub fn group_sizes(&self) -> Vec<(ClassId, usize)> {
-        self.groups
-            .read()
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (ClassId(i as u32), g.len()))
-            .collect()
+        self.groups.read().iter().enumerate().map(|(i, g)| (ClassId(i as u32), g.len())).collect()
     }
 }
 
@@ -361,10 +348,8 @@ mod tests {
         let (catalog, store) = setup(AssignmentPolicy::Arbitrary);
         let q = figure23_query(&catalog);
         let relevant = store.relevant_for(&q);
-        let names: Vec<&str> = relevant
-            .iter()
-            .map(|&id| store.constraint(id).name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            relevant.iter().map(|&id| store.constraint(id).name.as_str()).collect();
         assert!(names.contains(&"c1"), "{names:?}");
         assert!(names.contains(&"c2"), "{names:?}");
         assert!(!names.contains(&"c3"), "driver/vehicle constraint is irrelevant: {names:?}");

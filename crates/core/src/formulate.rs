@@ -19,8 +19,8 @@ use sqo_query::{Predicate, Query};
 
 use crate::config::OptimizerConfig;
 use crate::oracle::ProfitOracle;
-use crate::tag::{ColumnPresence, PredicateTag};
 use crate::table::TransformationTable;
+use crate::tag::{ColumnPresence, PredicateTag};
 
 /// Outcome of formulation, with full bookkeeping for the report.
 #[derive(Debug, Clone)]
@@ -88,10 +88,7 @@ pub fn formulate(
     // ---- class elimination (before optional filtering, as in §3.4) -------
     let mut eliminated_classes = Vec::new();
     if config.class_elimination {
-        loop {
-            let Ok(graph) = q.graph(catalog) else {
-                break;
-            };
+        while let Ok(graph) = q.graph(catalog) {
             let mut eliminated_this_round = false;
             for class in graph.dangling_classes() {
                 // "The absence of imperative predicates on its attributes is
@@ -149,10 +146,8 @@ pub fn formulate(
             continue;
         }
         for (col, pred) in table.pool().iter() {
-            if !matches!(
-                table.presence(col),
-                ColumnPresence::InQuery | ColumnPresence::Introduced
-            ) {
+            if !matches!(table.presence(col), ColumnPresence::InQuery | ColumnPresence::Introduced)
+            {
                 continue;
             }
             if let Predicate::Sel(s) = pred {
@@ -173,10 +168,7 @@ pub fn formulate(
         .pool()
         .iter()
         .filter(|(col, _)| {
-            matches!(
-                table.presence(*col),
-                ColumnPresence::InQuery | ColumnPresence::Introduced
-            )
+            matches!(table.presence(*col), ColumnPresence::InQuery | ColumnPresence::Introduced)
         })
         .map(|(_, p)| p)
         .collect();
@@ -250,12 +242,7 @@ fn eliminable(catalog: &Catalog, q: &Query, class: ClassId) -> bool {
         .relationships
         .iter()
         .copied()
-        .filter(|&r| {
-            catalog
-                .relationship(r)
-                .map(|def| def.involves(class))
-                .unwrap_or(false)
-        })
+        .filter(|&r| catalog.relationship(r).map(|def| def.involves(class)).unwrap_or(false))
         .collect();
     if incident.len() != 1 {
         return false;
@@ -280,12 +267,8 @@ fn eliminable(catalog: &Catalog, q: &Query, class: ClassId) -> bool {
 fn without_class(catalog: &Catalog, q: &Query, class: ClassId) -> Query {
     let mut out = q.clone();
     out.classes.retain(|&c| c != class);
-    out.relationships.retain(|&r| {
-        catalog
-            .relationship(r)
-            .map(|def| !def.involves(class))
-            .unwrap_or(true)
-    });
+    out.relationships
+        .retain(|&r| catalog.relationship(r).map(|def| !def.involves(class)).unwrap_or(true));
     out.selective_predicates.retain(|s| s.attr.class != class);
     out.join_predicates.retain(|j| !j.involves(class));
     out.projections.retain(|p| p.attr.class != class);
@@ -426,19 +409,13 @@ mod tests {
         // from a vehicle query is sound; eliminating `vehicle` from a driver
         // query is NOT (a driver may drive many vehicles).
         let (catalog, store, _) = fig23_setup();
-        let q_vehicle = QueryBuilder::new(&catalog)
-            .select("vehicle.vehicle_no")
-            .via("drives")
-            .build()
-            .unwrap();
+        let q_vehicle =
+            QueryBuilder::new(&catalog).select("vehicle.vehicle_no").via("drives").build().unwrap();
         let res = run_formulation(&catalog, &store, &q_vehicle, &StructuralOracle);
         assert_eq!(res.eliminated_classes, vec![catalog.class_id("driver").unwrap()]);
 
-        let q_driver = QueryBuilder::new(&catalog)
-            .select("driver.name")
-            .via("drives")
-            .build()
-            .unwrap();
+        let q_driver =
+            QueryBuilder::new(&catalog).select("driver.name").via("drives").build().unwrap();
         let res2 = run_formulation(&catalog, &store, &q_driver, &StructuralOracle);
         assert!(
             res2.eliminated_classes.is_empty(),
@@ -452,9 +429,9 @@ mod tests {
         // query that also demands cargo.desc = "durian" can never return a
         // row, and formulation must notice without any data access.
         let (catalog, store, mut query) = fig23_setup();
-        query.selective_predicates.retain(|s| {
-            catalog.qualified_attr_name(s.attr) != "supplier.name"
-        });
+        query
+            .selective_predicates
+            .retain(|s| catalog.qualified_attr_name(s.attr) != "supplier.name");
         query.classes.retain(|&c| c != catalog.class_id("supplier").unwrap());
         query.relationships.retain(|&r| r != catalog.rel_id("supplies").unwrap());
         query.selective_predicates.push(sqo_query::SelPredicate::new(

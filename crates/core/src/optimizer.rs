@@ -151,12 +151,9 @@ mod tests {
     #[test]
     fn no_constraints_means_identity() {
         let catalog = Arc::new(figure21().unwrap());
-        let empty = ConstraintStore::build(
-            Arc::clone(&catalog),
-            vec![],
-            StoreOptions::paper_defaults(),
-        )
-        .unwrap();
+        let empty =
+            ConstraintStore::build(Arc::clone(&catalog), vec![], StoreOptions::paper_defaults())
+                .unwrap();
         let optimizer = SemanticOptimizer::new(&empty);
         let query = QueryBuilder::new(&catalog)
             .select("cargo.desc")

@@ -32,9 +32,7 @@ struct HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap: higher kind first, then earlier seq.
-        (self.kind as u8)
-            .cmp(&(other.kind as u8))
-            .then_with(|| other.seq.cmp(&self.seq))
+        (self.kind as u8).cmp(&(other.kind as u8)).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -113,11 +113,8 @@ impl OptimizationReport {
             ));
         }
         if !self.eliminated_classes.is_empty() {
-            let names: Vec<&str> = self
-                .eliminated_classes
-                .iter()
-                .map(|&c| catalog.class_name(c))
-                .collect();
+            let names: Vec<&str> =
+                self.eliminated_classes.iter().map(|&c| catalog.class_name(c)).collect();
             out.push_str(&format!("  eliminated classes: {}\n", names.join(", ")));
         }
         for p in &self.dropped_redundant {

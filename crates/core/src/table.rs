@@ -17,9 +17,7 @@
 use std::collections::HashMap;
 
 use sqo_catalog::Catalog;
-use sqo_constraints::{
-    ConstraintClass, ConstraintId, ConstraintStore, PredId, PredicatePool,
-};
+use sqo_constraints::{ConstraintClass, ConstraintId, ConstraintStore, PredId, PredicatePool};
 use sqo_query::{Predicate, Query};
 
 use crate::config::MatchPolicy;
@@ -66,8 +64,7 @@ impl TransformationTable {
     ) -> Self {
         let mut pool = PredicatePool::new();
         // Query predicates first: stable, paper-like column order.
-        let query_columns: Vec<PredId> =
-            query.predicates().map(|p| pool.intern(p)).collect();
+        let query_columns: Vec<PredId> = query.predicates().map(|p| pool.intern(p)).collect();
         let rows: Vec<Row> = relevant
             .iter()
             .map(|&id| {
@@ -95,8 +92,7 @@ impl TransformationTable {
         }
         if match_policy == MatchPolicy::Implication {
             for (id, pred) in pool.iter() {
-                if presence[id.index()] == ColumnPresence::Absent
-                    && query.satisfies_predicate(pred)
+                if presence[id.index()] == ColumnPresence::Absent && query.satisfies_predicate(pred)
                 {
                     presence[id.index()] = ColumnPresence::Implied;
                 }
@@ -179,10 +175,7 @@ impl TransformationTable {
 
     /// All antecedents of row `ri` present/implied/introduced?
     pub fn antecedents_satisfied(&self, ri: usize) -> bool {
-        self.rows[ri]
-            .antecedents
-            .iter()
-            .all(|a| self.presence[a.index()].satisfies_antecedent())
+        self.rows[ri].antecedents.iter().all(|a| self.presence[a.index()].satisfies_antecedent())
     }
 
     // ---- mutation (the transformation primitives) -------------------------
@@ -363,10 +356,8 @@ mod tests {
         let p2 = PredId(1);
         let p3 = PredId(2);
         // Row order follows `relevant`; find c1's row.
-        let c1_row = t
-            .rows()
-            .position(|(_, r)| store.constraint(r.constraint).name == "c1")
-            .unwrap();
+        let c1_row =
+            t.rows().position(|(_, r)| store.constraint(r.constraint).name == "c1").unwrap();
         let c2_row = 1 - c1_row;
         assert_eq!(t.cell(c1_row, p1), CellState::PresentAntecedent);
         assert_eq!(t.cell(c1_row, p2), CellState::NotPresent);
@@ -392,10 +383,8 @@ mod tests {
             MatchPolicy::Implication,
         );
         let p3 = PredId(2);
-        let c2_row = t
-            .rows()
-            .position(|(_, r)| store.constraint(r.constraint).name == "c2")
-            .unwrap();
+        let c2_row =
+            t.rows().position(|(_, r)| store.constraint(r.constraint).name == "c2").unwrap();
         assert!(!t.antecedents_satisfied(c2_row));
         let changed = t.introduce(p3, MatchPolicy::Implication);
         assert!(changed.contains(&p3));

@@ -14,8 +14,8 @@ use sqo_query::Predicate;
 
 use crate::config::{OptimizerConfig, TagPolicy};
 use crate::queue::{ActionKind, TransformationQueue};
-use crate::tag::{CellState, ColumnPresence, PredicateTag};
 use crate::table::TransformationTable;
+use crate::tag::{CellState, ColumnPresence, PredicateTag};
 
 /// What a fired constraint did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,7 +73,11 @@ pub fn target_tag(
 
 /// Pending action of a row given the current table state; `None` when the
 /// row cannot contribute (and should leave `C`).
-fn pending_action(table: &TransformationTable, ri: usize, config: &OptimizerConfig) -> Option<ActionKind> {
+fn pending_action(
+    table: &TransformationTable,
+    ri: usize,
+    config: &OptimizerConfig,
+) -> Option<ActionKind> {
     let row = table.row(ri);
     if !row.active || !table.antecedents_satisfied(ri) {
         return None;
@@ -239,22 +243,14 @@ mod tests {
         let (catalog, store, query) = setup();
         let relevant = store.relevant_for(&query);
         let config = OptimizerConfig::paper();
-        let mut table = TransformationTable::build(
-            &catalog,
-            &store,
-            &relevant,
-            &query,
-            config.match_policy,
-        );
+        let mut table =
+            TransformationTable::build(&catalog, &store, &relevant, &query, config.match_policy);
         let log = run_transformations(&mut table, &config);
         assert_eq!(log.applied.len(), 2, "{log:?}");
         assert!(!log.budget_exhausted);
 
-        let names: Vec<&str> = log
-            .applied
-            .iter()
-            .map(|r| store.constraint(r.constraint).name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            log.applied.iter().map(|r| store.constraint(r.constraint).name.as_str()).collect();
         assert_eq!(names, vec!["c1", "c2"]);
         assert_eq!(log.applied[0].kind, TransformationKind::RestrictionIntroduction);
         assert_eq!(log.applied[0].to, PredicateTag::Optional);
@@ -335,10 +331,8 @@ mod tests {
         assert_eq!(log.applied[0].kind, TransformationKind::IndexIntroduction);
         assert_eq!(log.applied[0].to, PredicateTag::Optional);
         // Pseudocode policy: redundant.
-        let config2 = OptimizerConfig {
-            tag_policy: TagPolicy::Pseudocode,
-            ..OptimizerConfig::paper()
-        };
+        let config2 =
+            OptimizerConfig { tag_policy: TagPolicy::Pseudocode, ..OptimizerConfig::paper() };
         let mut table2 =
             TransformationTable::build(&catalog, &store, &relevant, &query, config2.match_policy);
         let log2 = run_transformations(&mut table2, &config2);

@@ -94,16 +94,9 @@ pub fn verify_optimization(
         if optimized.contains_predicate(&pred) {
             continue;
         }
-        let class_eliminated = pred
-            .classes()
-            .iter()
-            .any(|c| out.report.eliminated_classes.contains(c));
-        let tag = out
-            .report
-            .final_tags
-            .iter()
-            .find(|(p, _)| p == &pred)
-            .map(|(_, t)| *t);
+        let class_eliminated =
+            pred.classes().iter().any(|c| out.report.eliminated_classes.contains(c));
+        let tag = out.report.final_tags.iter().find(|(p, _)| p == &pred).map(|(_, t)| *t);
         let justified = matches!(tag, Some(PredicateTag::Optional | PredicateTag::Redundant));
         if !class_eliminated && !justified {
             issue(format!(
@@ -114,17 +107,10 @@ pub fn verify_optimization(
     }
 
     // 5. Every added predicate is a recorded introduction.
-    let added: Vec<Predicate> = optimized
-        .predicates()
-        .filter(|p| !original.contains_predicate(p))
-        .collect();
+    let added: Vec<Predicate> =
+        optimized.predicates().filter(|p| !original.contains_predicate(p)).collect();
     for pred in added {
-        let recorded = out
-            .report
-            .transformations
-            .applied
-            .iter()
-            .any(|t| t.predicate == pred);
+        let recorded = out.report.transformations.applied.iter().any(|t| t.predicate == pred);
         if !recorded {
             issue(format!(
                 "predicate {} was added without a recorded transformation",
@@ -139,8 +125,8 @@ pub fn verify_optimization(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oracle::{DropAllOracle, StructuralOracle};
     use crate::optimizer::SemanticOptimizer;
+    use crate::oracle::{DropAllOracle, StructuralOracle};
     use sqo_catalog::example::figure21;
     use sqo_constraints::{figure22, ConstraintStore, StoreOptions};
     use sqo_query::parse_query;
@@ -167,9 +153,7 @@ mod tests {
     #[test]
     fn figure23_outcome_verifies() {
         let (catalog, store, query) = setup();
-        let out = SemanticOptimizer::new(&store)
-            .optimize(&query, &StructuralOracle)
-            .unwrap();
+        let out = SemanticOptimizer::new(&store).optimize(&query, &StructuralOracle).unwrap();
         let report = verify_optimization(&catalog, &query, &out);
         assert!(report.is_ok(), "{:?}", report.issues);
     }
@@ -177,9 +161,7 @@ mod tests {
     #[test]
     fn drop_all_outcome_verifies() {
         let (catalog, store, query) = setup();
-        let out = SemanticOptimizer::new(&store)
-            .optimize(&query, &DropAllOracle)
-            .unwrap();
+        let out = SemanticOptimizer::new(&store).optimize(&query, &DropAllOracle).unwrap();
         let report = verify_optimization(&catalog, &query, &out);
         assert!(report.is_ok(), "{:?}", report.issues);
     }
@@ -187,25 +169,22 @@ mod tests {
     #[test]
     fn tampering_is_detected() {
         let (catalog, store, query) = setup();
-        let mut out = SemanticOptimizer::new(&store)
-            .optimize(&query, &StructuralOracle)
-            .unwrap();
+        let mut out = SemanticOptimizer::new(&store).optimize(&query, &StructuralOracle).unwrap();
         // Forge an unjustified predicate drop.
         out.query.selective_predicates.clear();
         let report = verify_optimization(&catalog, &query, &out);
         assert!(!report.is_ok());
-        assert!(report
-            .issues
-            .iter()
-            .any(|i| i.contains("dropped without justification")), "{:?}", report.issues);
+        assert!(
+            report.issues.iter().any(|i| i.contains("dropped without justification")),
+            "{:?}",
+            report.issues
+        );
     }
 
     #[test]
     fn forged_addition_is_detected() {
         let (catalog, store, query) = setup();
-        let mut out = SemanticOptimizer::new(&store)
-            .optimize(&query, &StructuralOracle)
-            .unwrap();
+        let mut out = SemanticOptimizer::new(&store).optimize(&query, &StructuralOracle).unwrap();
         out.query.selective_predicates.push(sqo_query::SelPredicate::new(
             catalog.attr_ref("cargo", "quantity").unwrap(),
             sqo_query::CompOp::Gt,
@@ -222,9 +201,7 @@ mod tests {
     #[test]
     fn forged_class_is_detected() {
         let (catalog, store, query) = setup();
-        let mut out = SemanticOptimizer::new(&store)
-            .optimize(&query, &StructuralOracle)
-            .unwrap();
+        let mut out = SemanticOptimizer::new(&store).optimize(&query, &StructuralOracle).unwrap();
         out.query.classes.push(catalog.class_id("engine").unwrap());
         let report = verify_optimization(&catalog, &query, &out);
         assert!(!report.is_ok());

@@ -41,7 +41,8 @@ fn constraints(
     spec.iter()
         .enumerate()
         .filter_map(|(i, &(ante, av, cons, cv))| {
-            let ante_attr = format!("t.{}", ["a0", "a1", "a2", "b0", "b1", "b2"][(ante % 6) as usize]);
+            let ante_attr =
+                format!("t.{}", ["a0", "a1", "a2", "b0", "b1", "b2"][(ante % 6) as usize]);
             let cons_attr = format!("t.{}", ["b0", "b1", "b2"][(cons % 3) as usize]);
             if ante_attr == cons_attr {
                 return None;
@@ -73,27 +74,22 @@ fn final_tags(
         qb = qb.filter(&name, CompOp::Eq, v);
     }
     let query = qb.build_unchecked();
-    if query.validate(&store.catalog()).is_err() {
+    if query.validate(store.catalog()).is_err() {
         return vec![];
     }
     let relevant = store.relevant_for(&query);
     let config = OptimizerConfig { queue: discipline, ..OptimizerConfig::paper() };
     let mut table = TransformationTable::build(
-        &store.catalog(),
+        store.catalog(),
         &store,
         &relevant,
         &query,
         MatchPolicy::Implication,
     );
     run_transformations(&mut table, &config);
-    let mut out: Vec<(String, Option<PredicateTag>)> = table
-        .pool()
-        .iter()
-        .map(|(id, p)| (format!("{p:?}"), table.final_tag(id)))
-        .collect();
-    out.sort_by(|a, b| {
-        a.0.cmp(&b.0).then_with(|| format!("{:?}", a.1).cmp(&format!("{:?}", b.1)))
-    });
+    let mut out: Vec<(String, Option<PredicateTag>)> =
+        table.pool().iter().map(|(id, p)| (format!("{p:?}"), table.final_tag(id))).collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| format!("{:?}", a.1).cmp(&format!("{:?}", b.1))));
     out
 }
 
@@ -141,11 +137,11 @@ proptest! {
             qb = qb.filter(&name, CompOp::Eq, v);
         }
         let query = qb.build_unchecked();
-        prop_assume!(query.validate(&store.catalog()).is_ok());
+        prop_assume!(query.validate(store.catalog()).is_ok());
         let relevant = store.relevant_for(&query);
         let config = OptimizerConfig::paper();
         let mut table = TransformationTable::build(
-            &store.catalog(), &store, &relevant, &query, MatchPolicy::Implication,
+            store.catalog(), &store, &relevant, &query, MatchPolicy::Implication,
         );
         let log = run_transformations(&mut table, &config);
         prop_assert!(log.applied.len() <= relevant.len());

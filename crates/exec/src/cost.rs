@@ -41,16 +41,8 @@ impl CostModel {
 
     /// Combined selectivity of a conjunction (independence assumption — the
     /// System R inheritance the paper's optimizer would have shared).
-    pub fn conjunction_selectivity(
-        &self,
-        stats: &StatsSnapshot,
-        preds: &[SelPredicate],
-    ) -> f64 {
-        preds
-            .iter()
-            .map(|p| self.selectivity(stats, p))
-            .product::<f64>()
-            .clamp(0.0, 1.0)
+    pub fn conjunction_selectivity(&self, stats: &StatsSnapshot, preds: &[SelPredicate]) -> f64 {
+        preds.iter().map(|p| self.selectivity(stats, p)).product::<f64>().clamp(0.0, 1.0)
     }
 
     /// Estimated (work units, produced rows) for one class access.
@@ -120,12 +112,13 @@ impl CostModel {
         let residual_sel = self.conjunction_selectivity(stats, residual);
         // Join filters default to the classic 1/3 selectivity each.
         let join_sel = (1.0f64 / 3.0).powi(join_filter_count as i32);
-        let mut counters = CostCounters::default();
-        counters.link_traversals = produced as u64;
-        counters.predicate_evals =
-            (produced * (residual.len() + join_filter_count) as f64) as u64;
         let rows = produced * residual_sel * join_sel;
-        counters.tuples_out = rows as u64;
+        let counters = CostCounters {
+            link_traversals: produced as u64,
+            predicate_evals: (produced * (residual.len() + join_filter_count) as f64) as u64,
+            tuples_out: rows as u64,
+            ..Default::default()
+        };
         (self.weights.work_units(&self.pages, &counters), rows)
     }
 

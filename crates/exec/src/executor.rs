@@ -51,12 +51,9 @@ fn produce(
             }
         }
         AccessPath::Index { attr, set } => {
-            let index = db
-                .index(*attr)
-                .expect("planner only emits index paths for indexed attributes");
-            let scan = index
-                .probe(set)
-                .expect("planner only emits supported probe sets");
+            let index =
+                db.index(*attr).expect("planner only emits index paths for indexed attributes");
+            let scan = index.probe(set).expect("planner only emits supported probe sets");
             counters.index_probes += 1;
             counters.index_entries += scan.probes.saturating_sub(1);
             for oid in scan.oids {

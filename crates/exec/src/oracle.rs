@@ -63,8 +63,8 @@ impl ProfitOracle for CostBasedOracle<'_> {
 mod tests {
     use super::*;
     use sqo_catalog::{example::figure21, Value};
-    use sqo_core::SemanticOptimizer;
     use sqo_constraints::{figure22, ConstraintStore, StoreOptions};
+    use sqo_core::SemanticOptimizer;
     use sqo_query::{parse_query, QueryExt};
     use sqo_storage::{IntegrityOptions, ObjectId};
     use std::sync::Arc;
@@ -92,9 +92,8 @@ mod tests {
             let v = (i % 40) as u32;
             let frozen = v % 4 == 0;
             let desc = if frozen { "frozen food" } else { "dry goods" };
-            let oid = b
-                .insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i % 97)])
-                .unwrap();
+            let oid =
+                b.insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i % 97)]).unwrap();
             let s = if frozen { 0u32 } else { 1 + (i as u32 % 49) };
             b.link(supplies, oid, ObjectId(s)).unwrap();
             b.link(collects, oid, ObjectId(v)).unwrap();

@@ -82,11 +82,7 @@ impl fmt::Display for PlanDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let c = self.catalog;
         let p = self.plan;
-        writeln!(
-            f,
-            "Plan (est. cost {:.2}, est. rows {:.1})",
-            p.estimated_cost, p.estimated_rows
-        )?;
+        writeln!(f, "Plan (est. cost {:.2}, est. rows {:.1})", p.estimated_cost, p.estimated_rows)?;
         match &p.root.path {
             AccessPath::SeqScan => writeln!(f, "  SeqScan {}", c.class_name(p.root.class))?,
             AccessPath::Index { attr, .. } => writeln!(

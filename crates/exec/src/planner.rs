@@ -32,12 +32,7 @@ pub fn plan_query(
 
     // Selective predicates per class.
     let preds_of = |class: ClassId| -> Vec<SelPredicate> {
-        query
-            .selective_predicates
-            .iter()
-            .filter(|p| p.attr.class == class)
-            .cloned()
-            .collect()
+        query.selective_predicates.iter().filter(|p| p.attr.class == class).cloned().collect()
     };
 
     // Best access path for a class if it were the driving class.
@@ -56,11 +51,8 @@ pub fn plan_query(
             }
             let mut residual = preds.clone();
             residual.remove(i);
-            let access = ClassAccess {
-                class,
-                path: AccessPath::Index { attr: p.attr, set },
-                residual,
-            };
+            let access =
+                ClassAccess { class, path: AccessPath::Index { attr: p.attr, set }, residual };
             let sel = model.selectivity(stats, p);
             let (cost, rows) = model.access_estimate(stats, &access, Some(sel));
             if cost < best.1 {
@@ -76,9 +68,7 @@ pub fn plan_query(
         let cand = best_access(class);
         let better = match &root_choice {
             None => true,
-            Some((_, cost, rows)) => {
-                (cand.2, cand.1) < (*rows, *cost)
-            }
+            Some((_, cost, rows)) => (cand.2, cand.1) < (*rows, *cost),
         };
         if better {
             root_choice = Some(cand);
@@ -124,8 +114,7 @@ pub fn plan_query(
                 .filter(|j| !applied_joins.contains(j))
                 .filter(|j| {
                     let (x, y) = j.classes();
-                    let after_bound =
-                        |c: ClassId| c == to_class || bound.contains(&c);
+                    let after_bound = |c: ClassId| c == to_class || bound.contains(&c);
                     after_bound(x) && after_bound(y) && (x == to_class || y == to_class)
                 })
                 .copied()
@@ -219,21 +208,16 @@ mod tests {
         let cargo = catalog.class_id("cargo").unwrap();
         let vehicle = catalog.class_id("vehicle").unwrap();
         for i in 0..40 {
-            b.insert(
-                supplier,
-                vec![Value::str(format!("s{i}")), Value::str(format!("addr{i}"))],
-            )
-            .unwrap();
+            b.insert(supplier, vec![Value::str(format!("s{i}")), Value::str(format!("addr{i}"))])
+                .unwrap();
         }
         for i in 0..30 {
             let desc = if i % 3 == 0 { "refrigerated truck" } else { "flatbed" };
-            b.insert(vehicle, vec![Value::Int(i), Value::str(desc), Value::Int(i % 5)])
-                .unwrap();
+            b.insert(vehicle, vec![Value::Int(i), Value::str(desc), Value::Int(i % 5)]).unwrap();
         }
         for i in 0..120i64 {
             let desc = if i % 4 == 0 { "frozen food" } else { "dry goods" };
-            b.insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i * 3 % 50)])
-                .unwrap();
+            b.insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i * 3 % 50)]).unwrap();
         }
         let supplies = catalog.rel_id("supplies").unwrap();
         let collects = catalog.rel_id("collects").unwrap();
@@ -317,10 +301,7 @@ mod tests {
     fn empty_query_errors() {
         let db = db();
         let q = Query::new();
-        assert_eq!(
-            plan_query(&db, &q, &CostModel::default()).unwrap_err(),
-            ExecError::EmptyQuery
-        );
+        assert_eq!(plan_query(&db, &q, &CostModel::default()).unwrap_err(), ExecError::EmptyQuery);
     }
 
     use sqo_query::Query;

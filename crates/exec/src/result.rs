@@ -65,11 +65,8 @@ impl ResultSet {
     /// Human-oriented rendering (header + first `limit` rows).
     pub fn render(&self, catalog: &Catalog, limit: usize) -> String {
         let mut out = String::new();
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .map(|c| catalog.qualified_attr_name(*c))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().map(|c| catalog.qualified_attr_name(*c)).collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
         for row in self.rows.iter().take(limit) {

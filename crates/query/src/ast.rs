@@ -299,7 +299,10 @@ mod tests {
         let cat = figure21().unwrap();
         let mut q = sample(&cat);
         q.projections.push(Projection::plain(cat.attr_ref("engine", "capacity").unwrap()));
-        assert_eq!(q.validate(&cat), Err(QueryError::ClassNotInQuery(cat.class_id("engine").unwrap())));
+        assert_eq!(
+            q.validate(&cat),
+            Err(QueryError::ClassNotInQuery(cat.class_id("engine").unwrap()))
+        );
     }
 
     #[test]
@@ -319,10 +322,7 @@ mod tests {
         let cat = figure21().unwrap();
         let mut q = sample(&cat);
         q.relationships.push(cat.rel_id("drives").unwrap()); // driver not in class list
-        assert!(matches!(
-            q.validate(&cat),
-            Err(QueryError::RelationshipEndpointMissing { .. })
-        ));
+        assert!(matches!(q.validate(&cat), Err(QueryError::RelationshipEndpointMissing { .. })));
     }
 
     #[test]
@@ -351,8 +351,7 @@ mod tests {
         let cat = figure21().unwrap();
         let mut q = sample(&cat);
         let qty = cat.attr_ref("cargo", "quantity").unwrap();
-        q.selective_predicates
-            .push(SelPredicate::new(qty, CompOp::Gt, Value::Int(15)));
+        q.selective_predicates.push(SelPredicate::new(qty, CompOp::Gt, Value::Int(15)));
         let weaker = Predicate::sel(qty, CompOp::Gt, 10i64);
         let stronger = Predicate::sel(qty, CompOp::Gt, 20i64);
         assert!(q.satisfies_predicate(&weaker));

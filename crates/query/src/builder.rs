@@ -84,9 +84,7 @@ impl<'a> QueryBuilder<'a> {
     /// Adds a selective predicate `class.attr op value`.
     pub fn filter(mut self, path: &str, op: CompOp, value: impl Into<Value>) -> Self {
         if let Some(r) = self.resolve(path) {
-            self.query
-                .selective_predicates
-                .push(SelPredicate::new(r, op, value.into()));
+            self.query.selective_predicates.push(SelPredicate::new(r, op, value.into()));
         }
         self
     }

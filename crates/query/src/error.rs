@@ -11,16 +11,24 @@ pub enum QueryError {
     /// A predicate or projection references a class absent from the class list.
     ClassNotInQuery(ClassId),
     /// A relationship's endpoint class is absent from the class list.
-    RelationshipEndpointMissing { rel: RelId, class: ClassId },
+    RelationshipEndpointMissing {
+        rel: RelId,
+        class: ClassId,
+    },
     DuplicateClass(ClassId),
     DuplicateRelationship(RelId),
     /// The comparison constant's type differs from the attribute's type.
-    TypeMismatch { context: String },
+    TypeMismatch {
+        context: String,
+    },
     /// The query graph is not connected (the paper's path queries always are).
     Disconnected,
     EmptyClassList,
     /// Parser-level syntax error with a human-oriented message.
-    Syntax { position: usize, message: String },
+    Syntax {
+        position: usize,
+        message: String,
+    },
 }
 
 impl fmt::Display for QueryError {

@@ -88,8 +88,7 @@ impl QueryGraph {
     /// Whether removing `class` (and its incident edges) leaves the remaining
     /// nodes connected. Dangling nodes always satisfy this.
     pub fn connected_without(&self, class: ClassId) -> bool {
-        let remaining: Vec<ClassId> =
-            self.nodes.iter().copied().filter(|&c| c != class).collect();
+        let remaining: Vec<ClassId> = self.nodes.iter().copied().filter(|&c| c != class).collect();
         let Some(&start) = remaining.first() else {
             return true;
         };
@@ -129,10 +128,8 @@ mod tests {
             catalog.class_id("cargo").unwrap(),
             catalog.class_id("vehicle").unwrap(),
         ];
-        q.relationships = vec![
-            catalog.rel_id("supplies").unwrap(),
-            catalog.rel_id("collects").unwrap(),
-        ];
+        q.relationships =
+            vec![catalog.rel_id("supplies").unwrap(), catalog.rel_id("collects").unwrap()];
         q
     }
 

@@ -103,10 +103,9 @@ impl ValueSet {
             ValueSet::Range { lo, hi } => {
                 let above_lo = match lo {
                     Bound::Unbounded => true,
-                    Bound::Included(b) => matches!(
-                        v.compare(b),
-                        Some(Ordering::Greater) | Some(Ordering::Equal)
-                    ),
+                    Bound::Included(b) => {
+                        matches!(v.compare(b), Some(Ordering::Greater) | Some(Ordering::Equal))
+                    }
                     Bound::Excluded(b) => matches!(v.compare(b), Some(Ordering::Greater)),
                 };
                 let below_hi = match hi {
@@ -158,10 +157,9 @@ impl ValueSet {
                 // The range must exclude the hole's point.
                 !ValueSet::Range { lo: lo.clone(), hi: hi.clone() }.contains(h)
             }
-            (
-                ValueSet::Range { lo: alo, hi: ahi },
-                ValueSet::Range { lo: blo, hi: bhi },
-            ) => lo_geq(alo, blo) && hi_leq(ahi, bhi),
+            (ValueSet::Range { lo: alo, hi: ahi }, ValueSet::Range { lo: blo, hi: bhi }) => {
+                lo_geq(alo, blo) && hi_leq(ahi, bhi)
+            }
         }
     }
 
@@ -185,13 +183,17 @@ impl ValueSet {
                 } else {
                     // Shrinkable when the hole sits on a closed endpoint.
                     match (&lo, &hi) {
-                        (Bound::Included(l), _) if matches!(l.compare(h), Some(Ordering::Equal)) => {
+                        (Bound::Included(l), _)
+                            if matches!(l.compare(h), Some(Ordering::Equal)) =>
+                        {
                             Some(
                                 ValueSet::Range { lo: Bound::Excluded(h.clone()), hi: hi.clone() }
                                     .normalize(),
                             )
                         }
-                        (_, Bound::Included(u)) if matches!(u.compare(h), Some(Ordering::Equal)) => {
+                        (_, Bound::Included(u))
+                            if matches!(u.compare(h), Some(Ordering::Equal)) =>
+                        {
                             Some(
                                 ValueSet::Range { lo: lo.clone(), hi: Bound::Excluded(h.clone()) }
                                     .normalize(),
@@ -201,10 +203,7 @@ impl ValueSet {
                     }
                 }
             }
-            (
-                ValueSet::Range { lo: alo, hi: ahi },
-                ValueSet::Range { lo: blo, hi: bhi },
-            ) => {
+            (ValueSet::Range { lo: alo, hi: ahi }, ValueSet::Range { lo: blo, hi: bhi }) => {
                 let lo = if lo_geq(alo, blo) { alo.clone() } else { blo.clone() };
                 let hi = if hi_leq(ahi, bhi) { ahi.clone() } else { bhi.clone() };
                 Some(ValueSet::Range { lo, hi })

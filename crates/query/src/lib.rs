@@ -17,8 +17,8 @@ mod ast;
 mod builder;
 mod display;
 mod error;
-pub mod interval;
 mod graph;
+pub mod interval;
 mod parser;
 mod predicate;
 

@@ -174,9 +174,8 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let first = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ascii")
-                    .to_string();
+                let first =
+                    std::str::from_utf8(&self.src[start..self.pos]).expect("ascii").to_string();
                 if self.peek() == Some(b'.') {
                     self.bump();
                     let astart = self.pos;
@@ -277,8 +276,9 @@ impl<'a> Parser<'a> {
                     Value::Int(i)
                 }
             }
-            Some(Token::Float(x)) => Value::float(x)
-                .ok_or_else(|| self.error_here("float literal must be finite"))?,
+            Some(Token::Float(x)) => {
+                Value::float(x).ok_or_else(|| self.error_here("float literal must be finite"))?
+            }
             Some(Token::Bool(b)) => Value::Bool(b),
             _ => {
                 self.cursor = self.cursor.saturating_sub(1);
@@ -468,10 +468,10 @@ mod tests {
     fn rejects_syntax_garbage() {
         let cat = figure21().unwrap();
         for src in [
-            "(SELECT {cargo.desc} {} {} {} {cargo}",     // missing rparen
-            "(SELECT {cargo.desc} {} {} {cargo})",       // missing a group
-            "(PROJECT {cargo.desc} {} {} {} {cargo})",   // wrong keyword
-            "(SELECT {cargo.desc,} {} {} {} {cargo})",   // dangling comma
+            "(SELECT {cargo.desc} {} {} {} {cargo}",   // missing rparen
+            "(SELECT {cargo.desc} {} {} {cargo})",     // missing a group
+            "(PROJECT {cargo.desc} {} {} {} {cargo})", // wrong keyword
+            "(SELECT {cargo.desc,} {} {} {} {cargo})", // dangling comma
             r#"(SELECT {cargo.desc} {} {cargo.desc = "x} {} {cargo})"#, // open string
         ] {
             assert!(parse_query(src, &cat).is_err(), "should reject: {src}");
@@ -482,11 +482,7 @@ mod tests {
     fn float_coercion_for_int_literals() {
         // Build a tiny catalog with a float attribute.
         let mut b = Catalog::builder();
-        b.class(
-            "m",
-            vec![sqo_catalog::AttributeDef::new("w", DataType::Float)],
-        )
-        .unwrap();
+        b.class("m", vec![sqo_catalog::AttributeDef::new("w", DataType::Float)]).unwrap();
         let cat = b.build().unwrap();
         let q = parse_query("(SELECT {m.w} {} {m.w > 3} {} {m})", &cat).unwrap();
         assert_eq!(q.selective_predicates[0].value.data_type(), DataType::Float);

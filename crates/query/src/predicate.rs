@@ -31,14 +31,8 @@ pub enum CompOp {
 
 impl CompOp {
     /// All operators, for generators and exhaustive tests.
-    pub const ALL: [CompOp; 6] = [
-        CompOp::Eq,
-        CompOp::Ne,
-        CompOp::Lt,
-        CompOp::Le,
-        CompOp::Gt,
-        CompOp::Ge,
-    ];
+    pub const ALL: [CompOp; 6] =
+        [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge];
 
     /// Truth of `a op b` given `a.cmp(b)`.
     pub fn eval(self, ord: Ordering) -> bool {
@@ -303,13 +297,9 @@ pub struct PredicateDisplay<'a> {
 impl fmt::Display for PredicateDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.pred {
-            Predicate::Sel(p) => write!(
-                f,
-                "{} {} {}",
-                self.catalog.qualified_attr_name(p.attr),
-                p.op,
-                p.value
-            ),
+            Predicate::Sel(p) => {
+                write!(f, "{} {} {}", self.catalog.qualified_attr_name(p.attr), p.op, p.value)
+            }
             Predicate::Join(p) => write!(
                 f,
                 "{} {} {}",

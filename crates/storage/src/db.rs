@@ -9,8 +9,8 @@
 use std::collections::HashMap;
 
 use sqo_catalog::{
-    AttrRef, AttrStats, Catalog, ClassId, ClassStats, Multiplicity, RelId, RelStats,
-    StatsSnapshot, Value,
+    AttrRef, AttrStats, Catalog, ClassId, ClassStats, Multiplicity, RelId, RelStats, StatsSnapshot,
+    Value,
 };
 use sqo_constraints::HornConstraint;
 use sqo_query::Predicate;
@@ -75,10 +75,8 @@ impl Database {
 
     pub fn value(&self, attr: AttrRef, oid: ObjectId) -> Result<&Value, StorageError> {
         let t = self.tuple(attr.class, oid)?;
-        t.get(attr.attr.index()).ok_or(StorageError::UnknownObject {
-            class: attr.class,
-            object: oid,
-        })
+        t.get(attr.attr.index())
+            .ok_or(StorageError::UnknownObject { class: attr.class, object: oid })
     }
 
     pub fn index(&self, attr: AttrRef) -> Option<&AttrIndex> {
@@ -432,7 +430,9 @@ fn compute_stats(
                     // determinism.
                     let mut mcvs: Vec<(Value, u64)> =
                         counts.iter().map(|(v, c)| ((*v).clone(), *c)).collect();
-                    mcvs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+                    mcvs.sort_by(|a, b| {
+                        b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string()))
+                    });
                     mcvs.truncate(3);
                     AttrStats {
                         rows: extent.len() as u64,
@@ -479,12 +479,8 @@ mod tests {
         let supplier = catalog.class_id("supplier").unwrap();
         let cargo = catalog.class_id("cargo").unwrap();
         let vehicle = catalog.class_id("vehicle").unwrap();
-        let sfi = b
-            .insert(supplier, vec![Value::str("SFI"), Value::str("1 Food St")])
-            .unwrap();
-        let ntuc = b
-            .insert(supplier, vec![Value::str("NTUC"), Value::str("2 Mart Ave")])
-            .unwrap();
+        let sfi = b.insert(supplier, vec![Value::str("SFI"), Value::str("1 Food St")]).unwrap();
+        let ntuc = b.insert(supplier, vec![Value::str("NTUC"), Value::str("2 Mart Ave")]).unwrap();
         let frozen = b
             .insert(cargo, vec![Value::Int(100), Value::str("frozen food"), Value::Int(40)])
             .unwrap();
@@ -494,9 +490,8 @@ mod tests {
         let reefer = b
             .insert(vehicle, vec![Value::Int(1), Value::str("refrigerated truck"), Value::Int(3)])
             .unwrap();
-        let flatbed = b
-            .insert(vehicle, vec![Value::Int(2), Value::str("flatbed"), Value::Int(1)])
-            .unwrap();
+        let flatbed =
+            b.insert(vehicle, vec![Value::Int(2), Value::str("flatbed"), Value::Int(1)]).unwrap();
         let supplies = catalog.rel_id("supplies").unwrap();
         let collects = catalog.rel_id("collects").unwrap();
         b.link(supplies, frozen, sfi).unwrap();
@@ -581,9 +576,7 @@ mod tests {
         let cargo = catalog.class_id("cargo").unwrap();
         let s1 = b.insert(supplier, vec![Value::str("A"), Value::str("x")]).unwrap();
         let s2 = b.insert(supplier, vec![Value::str("B"), Value::str("y")]).unwrap();
-        let c1 = b
-            .insert(cargo, vec![Value::Int(1), Value::str("d"), Value::Int(1)])
-            .unwrap();
+        let c1 = b.insert(cargo, vec![Value::Int(1), Value::str("d"), Value::Int(1)]).unwrap();
         let supplies = catalog.rel_id("supplies").unwrap();
         // cargo is the to-one side: two suppliers for one cargo violates.
         b.link(supplies, c1, s1).unwrap();

@@ -11,16 +11,38 @@ use crate::object::ObjectId;
 pub enum StorageError {
     Catalog(CatalogError),
     /// Tuple arity differs from the class's attribute count.
-    ArityMismatch { class: ClassId, expected: usize, got: usize },
+    ArityMismatch {
+        class: ClassId,
+        expected: usize,
+        got: usize,
+    },
     /// Tuple value type differs from the attribute declaration.
-    TypeMismatch { class: ClassId, attr: usize, context: String },
-    UnknownObject { class: ClassId, object: ObjectId },
+    TypeMismatch {
+        class: ClassId,
+        attr: usize,
+        context: String,
+    },
+    UnknownObject {
+        class: ClassId,
+        object: ObjectId,
+    },
     /// A link references a class that is not an endpoint of the relationship.
-    LinkClassMismatch { rel: RelId },
+    LinkClassMismatch {
+        rel: RelId,
+    },
     /// Referential integrity: an end declared `total` has unlinked objects.
-    TotalParticipationViolated { rel: RelId, class: ClassId, object: ObjectId },
+    TotalParticipationViolated {
+        rel: RelId,
+        class: ClassId,
+        object: ObjectId,
+    },
     /// A to-one end carries more than one link for an object.
-    MultiplicityViolated { rel: RelId, class: ClassId, object: ObjectId, links: usize },
+    MultiplicityViolated {
+        rel: RelId,
+        class: ClassId,
+        object: ObjectId,
+        links: usize,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -43,10 +65,7 @@ impl fmt::Display for StorageError {
                 write!(f, "{class} {object} must participate in {rel} (declared total)")
             }
             StorageError::MultiplicityViolated { rel, class, object, links } => {
-                write!(
-                    f,
-                    "{class} {object} has {links} links in {rel}, but the end is to-one"
-                )
+                write!(f, "{class} {object} has {links} links in {rel}, but the end is to-one")
             }
         }
     }

@@ -76,10 +76,9 @@ impl AttrIndex {
     pub fn probe_eq(&self, value: &Value) -> &[ObjectId] {
         match self {
             AttrIndex::Hash(m) => m.get(value).map(|v| v.as_slice()).unwrap_or(&[]),
-            AttrIndex::BTree(m) => m
-                .get(&OrdValue(value.clone()))
-                .map(|v| v.as_slice())
-                .unwrap_or(&[]),
+            AttrIndex::BTree(m) => {
+                m.get(&OrdValue(value.clone())).map(|v| v.as_slice()).unwrap_or(&[])
+            }
         }
     }
 
@@ -239,7 +238,7 @@ mod tests {
 
     #[test]
     fn ord_value_totality() {
-        let mut vals = vec![
+        let mut vals = [
             OrdValue(Value::str("b")),
             OrdValue(Value::Int(2)),
             OrdValue(Value::Bool(true)),

@@ -35,18 +35,12 @@ impl RelLinks {
 
     /// Right-side neighbours of a left object.
     pub fn from_left(&self, left: ObjectId) -> &[ObjectId] {
-        self.left_to_right
-            .get(left.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.left_to_right.get(left.index()).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Left-side neighbours of a right object.
     pub fn from_right(&self, right: ObjectId) -> &[ObjectId] {
-        self.right_to_left
-            .get(right.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.right_to_left.get(right.index()).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     pub fn link_count(&self) -> u64 {

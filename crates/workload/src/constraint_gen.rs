@@ -63,7 +63,12 @@ pub fn category_value(catalog: &Catalog, class: ClassId, k: usize) -> Value {
 
 /// The forced value for a consequent slot `(class, attr)`. One value per
 /// slot, so concurrent forcings can never conflict.
-pub fn forced_value(catalog: &Catalog, class: ClassId, attr: AttrId, ty: sqo_catalog::DataType) -> Value {
+pub fn forced_value(
+    catalog: &Catalog,
+    class: ClassId,
+    attr: AttrId,
+    ty: sqo_catalog::DataType,
+) -> Value {
     match ty {
         sqo_catalog::DataType::Int => Value::Int(900_000 + class.0 as i64 * 100 + attr.0 as i64),
         _ => Value::str(format!("forced_{}_{}", catalog.class_name(class), attr.0)),
@@ -123,10 +128,8 @@ pub fn generate_constraints(
 
         // Antecedent: feature category, or a chain on a previously forced
         // slot of the home class.
-        let chain_candidates: Vec<&Forcing> = forcings
-            .iter()
-            .filter(|f: &&Forcing| f.consequent.0 == home)
-            .collect();
+        let chain_candidates: Vec<&Forcing> =
+            forcings.iter().filter(|f: &&Forcing| f.consequent.0 == home).collect();
         let antecedent = if !chain_candidates.is_empty() && rng.gen_bool(config.chain_fraction) {
             let f = chain_candidates.choose(&mut rng).expect("non-empty");
             (f.consequent.0, f.consequent.1, f.consequent.2.clone())
@@ -171,11 +174,7 @@ pub fn generate_constraints(
             Origin::Declared,
         )?;
         constraints.push(constraint);
-        forcings.push(Forcing {
-            antecedent,
-            rel,
-            consequent: (cons_class, cons_attr, cons_value),
-        });
+        forcings.push(Forcing { antecedent, rel, consequent: (cons_class, cons_attr, cons_value) });
     }
     Ok(GeneratedConstraints { constraints, forcings, config })
 }
@@ -202,27 +201,19 @@ mod tests {
         let b = generate_constraints(&cat, ConstraintGenConfig::default()).unwrap();
         assert_eq!(a.constraints, b.constraints);
         assert_eq!(a.forcings, b.forcings);
-        let c = generate_constraints(
-            &cat,
-            ConstraintGenConfig { seed: 99, ..Default::default() },
-        )
-        .unwrap();
+        let c = generate_constraints(&cat, ConstraintGenConfig { seed: 99, ..Default::default() })
+            .unwrap();
         assert_ne!(a.constraints, c.constraints);
     }
 
     #[test]
     fn mix_of_intra_and_inter() {
         let cat = bench_catalog().unwrap();
-        let g = generate_constraints(
-            &cat,
-            ConstraintGenConfig { per_class: 8, ..Default::default() },
-        )
-        .unwrap();
-        let intra = g
-            .constraints
-            .iter()
-            .filter(|c| c.classification() == ConstraintClass::Intra)
-            .count();
+        let g =
+            generate_constraints(&cat, ConstraintGenConfig { per_class: 8, ..Default::default() })
+                .unwrap();
+        let intra =
+            g.constraints.iter().filter(|c| c.classification() == ConstraintClass::Intra).count();
         let inter = g.constraints.len() - intra;
         assert!(intra > 0, "expected some intra-class constraints");
         assert!(inter > intra, "inter-class should dominate (Figure 2.2 ratio)");
@@ -245,11 +236,9 @@ mod tests {
         // Two constraints sharing a consequent slot must force the same
         // value — the no-conflict invariant of the forcing pass.
         let cat = bench_catalog().unwrap();
-        let g = generate_constraints(
-            &cat,
-            ConstraintGenConfig { per_class: 10, ..Default::default() },
-        )
-        .unwrap();
+        let g =
+            generate_constraints(&cat, ConstraintGenConfig { per_class: 10, ..Default::default() })
+                .unwrap();
         use std::collections::HashMap;
         let mut slot_values: HashMap<(ClassId, AttrId), &Value> = HashMap::new();
         for f in &g.forcings {

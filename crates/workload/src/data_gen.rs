@@ -96,11 +96,7 @@ pub fn generate_database(
     let spine_links: u64 = spine.iter().filter(|&&s| s).count() as u64 * n as u64;
     let total_target = config.avg_rel_cardinality * rel_count as u64;
     let fan_count = spine.iter().filter(|&&s| !s).count() as u64;
-    let fan_target = if fan_count == 0 {
-        0
-    } else {
-        total_target.saturating_sub(spine_links) / fan_count
-    };
+    let fan_target = total_target.saturating_sub(spine_links).checked_div(fan_count).unwrap_or(0);
 
     let mut links: Vec<Vec<(ObjectId, ObjectId)>> = Vec::with_capacity(rel_count);
     for (rid, def) in catalog.relationships() {
@@ -158,8 +154,7 @@ pub fn generate_database(
                     let (lc, _) = def.classes();
                     for &(l, r) in &links[rel.index()] {
                         // Orient the pair to (antecedent object, consequent object).
-                        let (ante_oid, cons_oid) =
-                            if *ac == lc { (l, r) } else { (r, l) };
+                        let (ante_oid, cons_oid) = if *ac == lc { (l, r) } else { (r, l) };
                         let holds = {
                             let t = &extents[ac.index()][ante_oid.index()];
                             &t[aa.index()] == av
@@ -207,7 +202,10 @@ mod tests {
     use crate::bench_schema::bench_catalog;
     use crate::constraint_gen::{generate_constraints, ConstraintGenConfig};
 
-    fn setup(card: u64, avg_rel: u64) -> (Arc<Catalog>, Database, crate::constraint_gen::GeneratedConstraints) {
+    fn setup(
+        card: u64,
+        avg_rel: u64,
+    ) -> (Arc<Catalog>, Database, crate::constraint_gen::GeneratedConstraints) {
         let catalog = Arc::new(bench_catalog().unwrap());
         let gen = generate_constraints(&catalog, ConstraintGenConfig::default()).unwrap();
         let db = generate_database(
@@ -226,10 +224,7 @@ mod tests {
             assert_eq!(db.cardinality(cid), 52);
         }
         // Total links ≈ 6 × 77 (spine exact, fan bounded below by sampling).
-        let total: u64 = catalog
-            .relationships()
-            .map(|(rid, _)| db.links(rid).link_count())
-            .sum();
+        let total: u64 = catalog.relationships().map(|(rid, _)| db.links(rid).link_count()).sum();
         let target = 6 * 77;
         assert!(
             total as i64 >= target as i64 - 6 && total <= target + 6,
@@ -257,18 +252,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (catalog, db1, gen) = setup(52, 77);
-        let db2 = generate_database(
-            Arc::clone(&catalog),
-            &DataGenConfig::new(52, 77, 11),
-            &gen.forcings,
-        )
-        .unwrap();
+        let db2 =
+            generate_database(Arc::clone(&catalog), &DataGenConfig::new(52, 77, 11), &gen.forcings)
+                .unwrap();
         let key = catalog.attr_ref("cargo", "a2").unwrap();
         for i in 0..52u32 {
-            assert_eq!(
-                db1.value(key, ObjectId(i)).unwrap(),
-                db2.value(key, ObjectId(i)).unwrap()
-            );
+            assert_eq!(db1.value(key, ObjectId(i)).unwrap(), db2.value(key, ObjectId(i)).unwrap());
         }
     }
 

@@ -78,7 +78,7 @@ pub fn logistics_database(
                 Value::str("staff"),
                 Value::Int(10_000 + i as i64),
                 Value::Int(lc),
-                Value::Int(1990 - rng.gen_range(0..10)),
+                Value::Int(1990 - rng.gen_range(0..10i64)),
             ],
         )?;
     }
@@ -124,11 +124,7 @@ pub fn logistics_database(
         let clearance = if dept == 0 { "top secret" } else { "secret" };
         b.insert(
             employee,
-            vec![
-                Value::str(format!("employee{i}")),
-                Value::str(clearance),
-                Value::str("staff"),
-            ],
+            vec![Value::str(format!("employee{i}")), Value::str(clearance), Value::str("staff")],
         )?;
     }
 
@@ -152,7 +148,7 @@ pub fn logistics_database(
         let desc = if frozen {
             "frozen food".to_string()
         } else {
-            ["dry goods", "furniture", "textiles"][rng.gen_range(0..3)].to_string()
+            ["dry goods", "furniture", "textiles"][rng.gen_range(0..3usize)].to_string()
         };
         let s = if frozen { 0 } else { rng.gen_range(1..config.suppliers) };
         let oid = b.insert(
@@ -164,16 +160,12 @@ pub fn logistics_database(
     }
 
     // Vehicle links: engine + driver.
-    for i in 0..config.vehicles {
-        b.link(
-            catalog.rel_id("eng_comp").expect("rel"),
-            ObjectId(i as u32),
-            ObjectId(i as u32),
-        )?;
+    for (i, &driver) in vehicle_driver.iter().enumerate().take(config.vehicles) {
+        b.link(catalog.rel_id("eng_comp").expect("rel"), ObjectId(i as u32), ObjectId(i as u32))?;
         b.link(
             catalog.rel_id("drives").expect("rel"),
             ObjectId(i as u32),
-            ObjectId(vehicle_driver[i] as u32),
+            ObjectId(driver as u32),
         )?;
     }
 

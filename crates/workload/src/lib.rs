@@ -32,6 +32,6 @@ pub use constraint_gen::{
 };
 pub use data_gen::{generate_database, table41_configs, DataGenConfig};
 pub use figure21_data::{logistics_database, LogisticsConfig};
-pub use path_enum::{enumerate_paths, SchemaPath};
+pub use path_enum::{enumerate_directed_paths, enumerate_paths, SchemaPath};
 pub use query_gen::{generate_query, paper_query_set, QueryGenConfig};
 pub use scenarios::{paper_scenario, paper_scenario_with, DbSize, PaperScenario};

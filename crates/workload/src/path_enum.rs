@@ -78,24 +78,24 @@ fn enumerate_paths_inner(
         })
         .collect();
 
-    let record = |path: &SchemaPath, seen: &mut Vec<(Vec<u32>, Vec<u32>)>,
-                      out: &mut Vec<SchemaPath>| {
-        if path.len() < min_classes {
-            return;
-        }
-        let key = if dedup_reversals {
-            path.canonical_key()
-        } else {
-            (
-                path.classes.iter().map(|c| c.0).collect(),
-                path.relationships.iter().map(|r| r.0).collect(),
-            )
+    let record =
+        |path: &SchemaPath, seen: &mut Vec<(Vec<u32>, Vec<u32>)>, out: &mut Vec<SchemaPath>| {
+            if path.len() < min_classes {
+                return;
+            }
+            let key = if dedup_reversals {
+                path.canonical_key()
+            } else {
+                (
+                    path.classes.iter().map(|c| c.0).collect(),
+                    path.relationships.iter().map(|r| r.0).collect(),
+                )
+            };
+            if !seen.contains(&key) {
+                seen.push(key);
+                out.push(path.clone());
+            }
         };
-        if !seen.contains(&key) {
-            seen.push(key);
-            out.push(path.clone());
-        }
-    };
 
     fn dfs(
         adjacency: &[Vec<(RelId, ClassId)>],

@@ -154,9 +154,7 @@ fn random_predicate(catalog: &Catalog, class: ClassId, rng: &mut StdRng) -> SelP
     match rng.gen_range(0..3) {
         0 => SelPredicate::new(
             catalog.attr_ref(&name, "a2").expect("bench layout"),
-            *[CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge]
-                .choose(rng)
-                .expect("non-empty"),
+            *[CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge].choose(rng).expect("non-empty"),
             Value::Int(rng.gen_range(10..90)),
         ),
         1 => SelPredicate::new(

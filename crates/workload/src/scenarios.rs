@@ -76,8 +76,7 @@ pub fn paper_scenario_with(
     store_options: StoreOptions,
 ) -> PaperScenario {
     let catalog = Arc::new(bench_catalog().expect("benchmark schema builds"));
-    let generated =
-        generate_constraints(&catalog, cgen).expect("constraint generation succeeds");
+    let generated = generate_constraints(&catalog, cgen).expect("constraint generation succeeds");
     let db = generate_database(Arc::clone(&catalog), &size.config(seed), &generated.forcings)
         .expect("database generation succeeds");
     let store = ConstraintStore::build(Arc::clone(&catalog), generated.constraints, store_options)

@@ -57,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
             .via("collects")
             .build()?,
-        QueryBuilder::new(&catalog)
-            .select("driver.name")
-            .via("drives")
-            .build()?,
+        QueryBuilder::new(&catalog).select("driver.name").via("drives").build()?,
         QueryBuilder::new(&catalog)
             .select("employee.name")
             .filter("department.name", CompOp::Eq, "development")

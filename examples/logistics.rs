@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Execute and compare.
     let model = CostModel::default();
-    for (label, q) in [("original", &query), ("structural", &structural.query), ("cost-based", &costed.query)] {
+    for (label, q) in
+        [("original", &query), ("structural", &structural.query), ("cost-based", &costed.query)]
+    {
         let plan = plan_query(&db, q, &model)?;
         let (result, counters) = execute(&db, &plan)?;
         println!(

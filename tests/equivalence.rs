@@ -21,8 +21,7 @@ fn check_scenario(scenario: &PaperScenario, oracle: &dyn ProfitOracle, label: &s
         if out.report.changed_query() {
             transformed += 1;
         }
-        let verification =
-            sqo::core::verify_optimization(&scenario.catalog, query, &out);
+        let verification = sqo::core::verify_optimization(&scenario.catalog, query, &out);
         assert!(
             verification.is_ok(),
             "[{label}] query {i} failed verification: {:?}",

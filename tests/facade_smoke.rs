@@ -1,0 +1,48 @@
+//! Workspace smoke test: the facade crate's front-page doctest path as a
+//! regular `#[test]`, so the end-to-end parse → optimize → formulate
+//! pipeline is exercised even in runs that skip doctests
+//! (`cargo test --tests`, `cargo nextest`, coverage harnesses, …).
+
+use std::sync::Arc;
+
+use sqo::catalog::example::figure21;
+use sqo::constraints::{figure22, ConstraintStore, StoreOptions};
+use sqo::core::{SemanticOptimizer, StructuralOracle};
+use sqo::query::{parse_query, QueryExt};
+
+#[test]
+fn facade_front_page_pipeline() {
+    // Figure 2.1 schema + Figure 2.2 constraints, exactly as in the
+    // `sqo` crate-level doctest.
+    let catalog = Arc::new(figure21().expect("figure 2.1 schema"));
+    let store = ConstraintStore::build(
+        Arc::clone(&catalog),
+        figure22(&catalog).expect("figure 2.2 constraints"),
+        StoreOptions::paper_defaults(),
+    )
+    .expect("constraint store");
+    let optimizer = SemanticOptimizer::new(&store);
+
+    // Figure 2.3's sample query, in the paper's own syntax.
+    let query = parse_query(
+        r#"(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {}
+            {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+            {collects, supplies} {supplier, cargo, vehicle})"#,
+        &catalog,
+    )
+    .expect("figure 2.3 query");
+    let optimized = optimizer.optimize(&query, &StructuralOracle).expect("optimize");
+
+    // §3.5's worked outcome: supplier is eliminated, the supplier.name
+    // predicate goes with it, cargo.desc is pinned to "frozen food".
+    let supplier = catalog.class_id("supplier").expect("supplier class");
+    assert_eq!(optimized.report.eliminated_classes, vec![supplier]);
+    let printed = optimized.query.display(&catalog).to_string();
+    assert_eq!(
+        printed,
+        "(SELECT {vehicle.vehicle_no, cargo.desc=\"frozen food\", cargo.quantity} {} \
+         {vehicle.desc = \"refrigerated truck\", cargo.desc = \"frozen food\"} \
+         {collects} {cargo, vehicle})"
+    );
+    optimized.query.validate(&catalog).expect("formulated query validates");
+}

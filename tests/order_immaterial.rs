@@ -10,22 +10,19 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 use sqo::constraints::{AssignmentPolicy, ConstraintStore, StoreOptions};
-use sqo::core::{
-    OptimizerConfig, QueueDiscipline, SemanticOptimizer, StructuralOracle,
-};
+use sqo::core::{OptimizerConfig, QueueDiscipline, SemanticOptimizer, StructuralOracle};
 use sqo::query::Query;
 use sqo::workload::{
     bench_schema::bench_catalog, generate_constraints, paper_query_set, ConstraintGenConfig,
     QueryGenConfig,
 };
 
-fn environment(seed: u64) -> (Arc<sqo::catalog::Catalog>, Vec<sqo::constraints::HornConstraint>, Vec<Query>) {
+fn environment(
+    seed: u64,
+) -> (Arc<sqo::catalog::Catalog>, Vec<sqo::constraints::HornConstraint>, Vec<Query>) {
     let catalog = Arc::new(bench_catalog().unwrap());
-    let generated = generate_constraints(
-        &catalog,
-        ConstraintGenConfig { seed, ..Default::default() },
-    )
-    .unwrap();
+    let generated =
+        generate_constraints(&catalog, ConstraintGenConfig { seed, ..Default::default() }).unwrap();
     let queries = paper_query_set(
         &catalog,
         &generated.forcings,

@@ -50,13 +50,8 @@ fn section35_initialization_state() {
     assert_eq!(names.len(), 2);
     assert!(names.contains(&"c1") && names.contains(&"c2"));
 
-    let table = TransformationTable::build(
-        &catalog,
-        &store,
-        &relevant,
-        &query,
-        MatchPolicy::Implication,
-    );
+    let table =
+        TransformationTable::build(&catalog, &store, &relevant, &query, MatchPolicy::Implication);
     assert_eq!(table.column_count(), 3, "P = {{p1, p2, p3}}");
     // p1, p2 (query predicates) start imperative; p3 is not yet present.
     use sqo::constraints::PredId;
@@ -91,12 +86,8 @@ fn closure_does_not_change_the_outcome() {
     let (catalog, with) = setup(true);
     let (_, without) = setup(false);
     let query = parse_query(FIG23_ORIGINAL, &catalog).unwrap();
-    let a = SemanticOptimizer::new(&with)
-        .optimize(&query, &StructuralOracle)
-        .unwrap();
-    let b = SemanticOptimizer::new(&without)
-        .optimize(&query, &StructuralOracle)
-        .unwrap();
+    let a = SemanticOptimizer::new(&with).optimize(&query, &StructuralOracle).unwrap();
+    let b = SemanticOptimizer::new(&without).optimize(&query, &StructuralOracle).unwrap();
     assert_eq!(a.query.normalized(), b.query.normalized());
 }
 

@@ -1,0 +1,299 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Benches compile and run with the same source: `benchmark_group`,
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is honest but minimal: a short warm-up, then
+//! `sample_size` timed samples, reported as min/mean/max wall-clock per
+//! iteration on stdout. There is no statistical analysis, no HTML
+//! report and no baseline comparison — CI uses `cargo bench --no-run`
+//! plus the `report --smoke` binary for rot detection, and real
+//! criterion can be swapped back in via the workspace manifest when
+//! statistically rigorous numbers are needed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies a benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        Self { id }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-iteration timing loop, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_up_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_up_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sampling is bounded
+    /// by `sample_size` alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size.min(self.criterion.max_samples),
+            warm_up: self.warm_up.min(self.criterion.max_warm_up),
+            recorded: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.id), &bencher.recorded);
+    }
+}
+
+/// Entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    max_samples: usize,
+    max_warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_SHIM_FAST caps work per benchmark so a smoke run of
+        // every bench target stays in CI-friendly time.
+        let fast = std::env::var_os("CRITERION_SHIM_FAST").is_some();
+        Self {
+            max_samples: if fast { 3 } else { usize::MAX },
+            max_warm_up: if fast { Duration::from_millis(10) } else { Duration::MAX },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100.min(self.max_samples),
+            warm_up: Duration::from_secs(3).min(self.max_warm_up),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+
+    /// No-op hook so `criterion_main!`-style drivers can flush state.
+    pub fn final_summary(&self) {}
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{id}: [{} {} {}] ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Collects benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion { max_samples: 5, max_warm_up: Duration::ZERO };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).warm_up_time(Duration::ZERO);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls >= 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion { max_samples: 4, max_warm_up: Duration::ZERO };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4).warm_up_time(Duration::ZERO);
+        let mut setups = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Implements the `proptest!` macro over a small `Strategy` trait
+//! (ranges, tuples, `Just`, `prop_map`, `prop_oneof!`,
+//! `prop::collection::vec`) driven by a deterministic per-test RNG.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case panics with the generated values in
+//!   the assertion message instead of a minimized counterexample;
+//! * no persisted failure seeds — streams are keyed by test name, so a
+//!   failure reproduces on every run rather than via a regressions file;
+//! * `prop_assert!` panics (it is `assert!`) instead of returning
+//!   `TestCaseError`.
+//!
+//! The test-facing surface is call-compatible: the two property suites
+//! in `crates/query` and `crates/core` run unmodified.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { … } }`.
+///
+/// Each generated `#[test]` draws `config.cases` samples from the
+/// argument strategies and runs the body once per sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _case in 0..config.cases {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                )*
+                // The closure gives `prop_assume!` an early exit that
+                // skips just this case; values are moved in, matching
+                // proptest's ownership semantics.
+                let run = move || $body;
+                run();
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Assert inside a property body. Panics on failure (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in -20i64..20, u in 0usize..6) {
+            prop_assert!((-20..20).contains(&v));
+            prop_assert!(u < 6);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u8..3, -3i64..3).prop_map(|(a, b)| (i64::from(a), b)),
+        ) {
+            prop_assert!((0..3).contains(&pair.0));
+            prop_assert!((-3..3).contains(&pair.1));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(xs in prop::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 1..40)) {
+            prop_assert!(xs.iter().all(|&x| x == 1 || x == 2));
+        }
+
+        #[test]
+        fn assume_skips_case(v in 0i64..10) {
+            prop_assume!(v != 3);
+            prop_assert!(v != 3);
+        }
+    }
+
+    #[test]
+    fn bodies_actually_run_per_case() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static RUNS: AtomicU32 = AtomicU32::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(17))]
+            #[allow(unused)]
+            fn counted(_v in 0i64..10) {
+                RUNS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        counted();
+        assert_eq!(RUNS.load(Ordering::SeqCst), 17);
+    }
+}

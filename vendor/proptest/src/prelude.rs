@@ -1,0 +1,8 @@
+//! Mirror of `proptest::prelude`: the strategy vocabulary plus the
+//! macros, and the crate itself under the conventional `prop` alias
+//! (so `prop::collection::vec(…)` resolves).
+
+pub use crate as prop;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};

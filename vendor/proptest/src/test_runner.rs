@@ -1,0 +1,55 @@
+//! Per-test configuration and the deterministic RNG that drives
+//! generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Mirror of `proptest::test_runner::Config` — only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest's default. Override per-suite with
+        // `#![proptest_config(ProptestConfig::with_cases(n))]`, or at
+        // run time with the PROPTEST_CASES environment variable.
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// Deterministic stream keyed by test name: every run of a given test
+/// sees the same cases, so a failure is reproducible without a
+/// persistence file.
+#[derive(Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name gives each property its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { inner: StdRng::seed_from_u64(h) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The repo's types carry `#[derive(Serialize, Deserialize)]` so their
+//! wire format is declared at the definition site, but no code path
+//! serializes yet and the build environment has no crates.io access.
+//! This shim keeps the annotations compiling: the traits are marker
+//! traits with blanket impls, and the derives (re-exported from the
+//! sibling `serde_derive` shim) expand to nothing.
+//!
+//! Swapping in real serde later is a one-line change in the workspace
+//! manifest; no source edits are required.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
