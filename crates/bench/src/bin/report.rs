@@ -5,15 +5,19 @@
 //! cargo run --release -p sqo-bench --bin report             # everything
 //! cargo run --release -p sqo-bench --bin report -- table42  # one experiment
 //! cargo run --release -p sqo-bench --bin report -- fig41 --seed 7
+//! cargo run --release -p sqo-bench --bin report -- --smoke --json out.json
 //! ```
 
 use std::env;
 use std::sync::Arc;
 
+use sqo_bench::Headline;
+
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut smoke = false;
+    let mut json_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -25,12 +29,17 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--smoke" => smoke = true,
+            "--json" => {
+                json_path =
+                    Some(it.next().cloned().unwrap_or_else(|| die("--json needs a file path")));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|all]* \
-                     [--seed N] [--smoke]\n\n\
-                     --smoke  run every experiment at minimal repetition counts; exercises\n\
-                     \x20        the full harness in well under a second so CI catches rot"
+                    "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|e9|all]* \
+                     [--seed N] [--smoke] [--json PATH]\n\n\
+                     --smoke      run every experiment at minimal repetition counts; exercises\n\
+                     \x20            the full harness in well under a second so CI catches rot\n\
+                     --json PATH  also write every experiment's headline numbers as JSON"
                 );
                 return;
             }
@@ -38,10 +47,11 @@ fn main() {
         }
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
-        selected = ["e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        selected =
+            ["e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure", "e9"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
     }
     // Figure 4.1's timing repetitions dominate the run; the smoke path
     // keeps every driver on its real code path but minimizes repetition.
@@ -51,18 +61,59 @@ fn main() {
          ================================================================\n",
         if smoke { ", smoke" } else { "" }
     );
+    let mut headlines: Vec<Headline> = Vec::new();
     for exp in &selected {
         match exp.as_str() {
             "e1" => e1(),
-            "table41" => println!("{}", sqo_bench::table41(seed)),
-            "fig41" => println!("{}", sqo_bench::figure41(seed, fig41_reps).1),
-            "table42" => println!("{}", sqo_bench::table42(seed).1),
-            "e5" => println!("{}", sqo_bench::baseline_comparison(seed)),
-            "grouping" => println!("{}", sqo_bench::grouping(seed)),
-            "budget" => println!("{}", sqo_bench::budget_sweep(seed)),
-            "closure" => println!("{}", sqo_bench::closure_ablation(seed)),
+            "table41" => {
+                let (h, s) = sqo_bench::table41(seed);
+                headlines.extend(h);
+                println!("{s}");
+            }
+            "fig41" => {
+                let (points, s) = sqo_bench::figure41(seed, fig41_reps);
+                headlines.extend(sqo_bench::fig41_headlines(&points));
+                println!("{s}");
+            }
+            "table42" => {
+                let (rows, s) = sqo_bench::table42(seed);
+                headlines.extend(sqo_bench::table42_headlines(&rows));
+                println!("{s}");
+            }
+            "e5" => {
+                let (h, s) = sqo_bench::baseline_comparison(seed);
+                headlines.extend(h);
+                println!("{s}");
+            }
+            "grouping" => {
+                let (h, s) = sqo_bench::grouping(seed);
+                headlines.extend(h);
+                println!("{s}");
+            }
+            "budget" => {
+                let (h, s) = sqo_bench::budget_sweep(seed);
+                headlines.extend(h);
+                println!("{s}");
+            }
+            "closure" => {
+                let (h, s) = sqo_bench::closure_ablation(seed);
+                headlines.extend(h);
+                println!("{s}");
+            }
+            "e9" | "service" => {
+                let (rows, s) = sqo_bench::service_throughput(seed, smoke);
+                headlines.extend(sqo_bench::e9_headlines(&rows));
+                println!("{s}");
+            }
             other => die(&format!("unknown experiment `{other}`")),
         }
+    }
+    if let Some(path) = json_path {
+        let json = sqo_bench::render_json(seed, smoke, &headlines);
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        println!("headlines: wrote {} metric(s) to {path}", headlines.len());
     }
     if smoke {
         println!("smoke: {} experiment(s) completed", selected.len());

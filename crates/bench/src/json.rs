@@ -1,0 +1,126 @@
+//! Machine-readable experiment headlines.
+//!
+//! `report --json <path>` writes one small JSON document per run so the
+//! perf trajectory (`BENCH_*.json`) can be tracked across commits without
+//! scraping the human-oriented text tables. The emitter is hand-rolled —
+//! the workspace has no JSON dependency, and the payload is just grouped
+//! `metric: number` pairs.
+
+/// One headline number of one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// Experiment id (`"table42"`, `"e9"`, …).
+    pub experiment: &'static str,
+    /// Metric name within the experiment (`"db1_mean_ratio"`, …).
+    pub metric: String,
+    pub value: f64,
+}
+
+impl Headline {
+    pub fn new(experiment: &'static str, metric: impl Into<String>, value: f64) -> Self {
+        Self { experiment, metric: metric.into(), value }
+    }
+}
+
+/// Renders the run's headlines as a JSON object:
+///
+/// ```json
+/// { "seed": 42, "smoke": false,
+///   "experiments": { "table41": { "avg_class_cardinality_db1": 52.0 } } }
+/// ```
+///
+/// Experiments and metrics keep their insertion order; non-finite values
+/// become `null` (JSON has no NaN/inf).
+pub fn render_json(seed: u64, smoke: bool, headlines: &[Headline]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\n  \"seed\": {seed},\n  \"smoke\": {smoke},\n"));
+    out.push_str("  \"experiments\": {");
+    let mut experiments: Vec<&'static str> = Vec::new();
+    for h in headlines {
+        if !experiments.contains(&h.experiment) {
+            experiments.push(h.experiment);
+        }
+    }
+    for (ei, exp) in experiments.iter().enumerate() {
+        if ei > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {{", escape(exp)));
+        let metrics: Vec<&Headline> = headlines.iter().filter(|h| h.experiment == *exp).collect();
+        for (mi, h) in metrics.iter().enumerate() {
+            if mi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n      {}: {}", escape(&h.metric), number(h.value)));
+        }
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // Round-trippable but compact: integers stay integral.
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v}");
+        debug_assert!(s.parse::<f64>().is_ok());
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grouped_and_ordered() {
+        let hs = vec![
+            Headline::new("e9", "speedup_t1", 7.25),
+            Headline::new("table41", "avg_class_cardinality_db1", 52.0),
+            Headline::new("e9", "warm_qps_t8", 120000.0),
+        ];
+        let json = render_json(42, true, &hs);
+        assert!(json.contains("\"seed\": 42"));
+        assert!(json.contains("\"smoke\": true"));
+        let e9 = json.find("\"e9\"").unwrap();
+        let t41 = json.find("\"table41\"").unwrap();
+        assert!(e9 < t41, "insertion order preserved:\n{json}");
+        assert!(json.contains("\"speedup_t1\": 7.25"));
+        assert!(json.contains("\"warm_qps_t8\": 120000"));
+    }
+
+    #[test]
+    fn non_finite_becomes_null_and_strings_escape() {
+        let hs = vec![Headline::new("x", "a\"b", f64::NAN)];
+        let json = render_json(0, false, &hs);
+        assert!(json.contains("\"a\\\"b\": null"));
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        assert_eq!(number(52.0), "52");
+        assert_eq!(number(0.125), "0.125");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert!(number(1.0e18).parse::<f64>().is_ok());
+    }
+}

@@ -13,16 +13,21 @@
 //! | E6 | grouping policies | [`experiments::grouping`] |
 //! | E7 | priority-queue budget | [`experiments::budget_sweep`] |
 //! | E8 | closure materialization | [`experiments::closure_ablation`] |
+//! | E9 | serving-layer throughput (plan cache) | [`experiments::service_throughput`] |
 //!
-//! The `report` binary prints any subset; the Criterion benches under
+//! The `report` binary prints any subset (and emits machine-readable
+//! headline numbers with `--json <path>`); the Criterion benches under
 //! `benches/` measure the same code paths with statistical rigor.
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod fmt;
+pub mod json;
 
 pub use experiments::{
-    baseline_comparison, budget_sweep, calibrate_units_per_second, closure_ablation, figure41,
-    grouping, table41, table42, Fig41Point, Table42Row,
+    baseline_comparison, budget_sweep, calibrate_units_per_second, closure_ablation, e9_headlines,
+    fig41_headlines, figure41, grouping, service_throughput, table41, table42, table42_headlines,
+    E9Row, Fig41Point, Table42Row,
 };
+pub use json::{render_json, Headline};

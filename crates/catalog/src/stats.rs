@@ -147,7 +147,7 @@ impl StatsSnapshot {
 /// Monotone per-class access counters.
 ///
 /// Thread-safe so a parallel benchmark driver can share one tracker. The
-/// counters feed [`AssignmentPolicy::LeastFrequentlyAccessed`]
+/// counters feed `AssignmentPolicy::LeastFrequentlyAccessed`
 /// (`sqo-constraints`).
 #[derive(Debug, Default)]
 pub struct AccessTracker {

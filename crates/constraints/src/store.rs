@@ -111,6 +111,10 @@ pub struct ConstraintStore {
     policy: AssignmentPolicy,
     access: AccessTracker,
     metrics: RetrievalMetrics,
+    /// Monotone semantic version: bumped whenever the constraint population
+    /// or the statistics the optimizer consults change, so downstream caches
+    /// keyed by `(query fingerprint, epoch)` invalidate correctly.
+    epoch: AtomicU64,
     /// Closure bookkeeping for reporting.
     pub derived_count: usize,
     pub closure_truncated: bool,
@@ -156,6 +160,7 @@ impl ConstraintStore {
             policy: options.policy,
             access,
             metrics: RetrievalMetrics::default(),
+            epoch: AtomicU64::new(0),
             derived_count,
             closure_truncated,
         };
@@ -195,6 +200,129 @@ impl ConstraintStore {
             groups[home.index()].push(c.id);
         }
         *self.groups.write() = groups;
+    }
+
+    // ---- versioning & growth --------------------------------------------
+
+    /// The store's current semantic epoch. Two calls returning the same
+    /// value bracket a window in which no constraint or statistics change
+    /// occurred, so any optimization derived in between is still valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Records an external change to the statistics the optimizer's cost
+    /// decisions consult (e.g. a refreshed catalog snapshot), bumping the
+    /// epoch so cached rewrites are re-derived. Returns the new epoch.
+    pub fn note_statistics_change(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Raises the epoch to at least `floor` (monotone; never lowers it).
+    /// Used when a rebuilt store replaces an older one so that epochs keep
+    /// increasing across the swap.
+    pub fn raise_epoch_to(&self, floor: u64) {
+        self.epoch.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// Appends one constraint to the store in place, compiling it into the
+    /// predicate pool, assigning it to a group under the current policy, and
+    /// bumping the epoch.
+    ///
+    /// The incremental path deliberately does **not** extend the transitive
+    /// closure: derived shortcuts only accelerate transformation chains that
+    /// remain reachable through the declared constraints, so skipping them
+    /// never affects correctness. Rebuild via [`ConstraintStore::build`]
+    /// when closure freshness matters.
+    pub fn insert_constraint(&mut self, constraint: HornConstraint) -> ConstraintId {
+        let id = ConstraintId(self.compiled.len() as u32);
+        let compiled = CompiledConstraint {
+            id,
+            antecedents: constraint
+                .antecedents
+                .iter()
+                .cloned()
+                .map(|p| self.pool.intern(p))
+                .collect(),
+            consequent: self.pool.intern(constraint.consequent.clone()),
+            relationships: constraint.relationships.clone(),
+            classes: constraint.classes.clone(),
+            classification: constraint.classification(),
+            origin: constraint.origin,
+        };
+        let home = self.home_of(&compiled);
+        self.compiled.push(compiled);
+        self.constraints.push(constraint);
+        if let Some(home) = home {
+            self.groups.write()[home.index()].push(id);
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        id
+    }
+
+    /// A new store equal to this one plus `constraint`, with the epoch
+    /// advanced past this store's. The copy-on-write companion of
+    /// [`ConstraintStore::insert_constraint`] for stores shared behind an
+    /// `Arc` (the serving layer swaps the new store in while in-flight
+    /// queries drain against the old one).
+    ///
+    /// Retrieval metrics and access counters restart from zero in the new
+    /// store; grouping is recomputed under the same policy.
+    pub fn with_constraint(&self, constraint: HornConstraint) -> Self {
+        let mut constraints = self.constraints.clone();
+        constraints.push(constraint);
+        let mut pool = PredicatePool::new();
+        let compiled: Vec<CompiledConstraint> = constraints
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CompiledConstraint {
+                id: ConstraintId(i as u32),
+                antecedents: c.antecedents.iter().cloned().map(|p| pool.intern(p)).collect(),
+                consequent: pool.intern(c.consequent.clone()),
+                relationships: c.relationships.clone(),
+                classes: c.classes.clone(),
+                classification: c.classification(),
+                origin: c.origin,
+            })
+            .collect();
+        let store = Self {
+            groups: RwLock::new(vec![Vec::new(); self.catalog.class_count()]),
+            catalog: Arc::clone(&self.catalog),
+            constraints,
+            compiled,
+            pool,
+            policy: self.policy,
+            access: AccessTracker::new(self.catalog.class_count()),
+            metrics: RetrievalMetrics::default(),
+            epoch: AtomicU64::new(self.epoch() + 1),
+            derived_count: self.derived_count,
+            closure_truncated: self.closure_truncated,
+        };
+        store.regroup();
+        store
+    }
+
+    /// The group a constraint should live in under the current policy and
+    /// group occupancy. `None` only for class-less constraints, which
+    /// validated constraints never are.
+    fn home_of(&self, c: &CompiledConstraint) -> Option<ClassId> {
+        if c.classes.is_empty() {
+            return None;
+        }
+        Some(match self.policy {
+            AssignmentPolicy::Arbitrary => c.classes[0],
+            AssignmentPolicy::LeastFrequentlyAccessed => {
+                self.access.least_accessed(&c.classes).expect("non-empty class list")
+            }
+            AssignmentPolicy::Balanced => {
+                let groups = self.groups.read();
+                c.classes
+                    .iter()
+                    .copied()
+                    .min_by_key(|cl| (groups[cl.index()].len(), cl.index()))
+                    .expect("non-empty class list")
+            }
+        })
     }
 
     // ---- retrieval -------------------------------------------------------
@@ -395,6 +523,66 @@ mod tests {
         // still lives in exactly one group.
         let total: usize = store.group_sizes().iter().map(|(_, s)| *s).sum();
         assert_eq!(total, store.len());
+    }
+
+    #[test]
+    fn epoch_starts_at_zero_and_bumps_on_changes() {
+        let (_, mut store) = setup(AssignmentPolicy::Arbitrary);
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.note_statistics_change(), 1);
+        assert_eq!(store.epoch(), 1);
+        // Retrieval and regrouping are semantics-preserving: no bump.
+        store.regroup();
+        assert_eq!(store.epoch(), 1);
+        let extra = store.constraint(ConstraintId(0)).clone();
+        let before = store.len();
+        let id = store.insert_constraint(extra);
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.len(), before + 1);
+        assert_eq!(id.index(), before);
+        // The inserted constraint is retrievable and lives in some group.
+        let total: usize = store.group_sizes().iter().map(|(_, s)| *s).sum();
+        assert_eq!(total, store.len());
+    }
+
+    #[test]
+    fn raise_epoch_is_monotone() {
+        let (_, store) = setup(AssignmentPolicy::Arbitrary);
+        store.raise_epoch_to(7);
+        assert_eq!(store.epoch(), 7);
+        store.raise_epoch_to(3); // never lowers
+        assert_eq!(store.epoch(), 7);
+    }
+
+    #[test]
+    fn with_constraint_advances_epoch_and_preserves_recall() {
+        let (catalog, store) = setup(AssignmentPolicy::LeastFrequentlyAccessed);
+        store.note_statistics_change();
+        let extra = store.constraint(ConstraintId(0)).clone();
+        let bigger = store.with_constraint(extra);
+        assert!(bigger.epoch() > store.epoch(), "epochs must keep increasing across swaps");
+        assert_eq!(bigger.len(), store.len() + 1);
+        // The grouped retrieval invariant survives the rebuild.
+        let q = figure23_query(&catalog);
+        let mut grouped = bigger.relevant_for(&q);
+        let mut full = bigger.relevant_for_ungrouped(&q);
+        grouped.sort_unstable();
+        full.sort_unstable();
+        assert_eq!(grouped, full);
+    }
+
+    #[test]
+    fn inserted_constraint_participates_in_retrieval() {
+        let (catalog, mut store) = setup(AssignmentPolicy::Balanced);
+        let q = figure23_query(&catalog);
+        let before = store.relevant_for(&q).len();
+        // Re-inserting a relevant constraint must surface the new copy.
+        let names: Vec<String> = store.constraints().map(|(_, c)| c.name.clone()).collect();
+        let c1_pos = names.iter().position(|n| n == "c1").expect("c1 exists");
+        let dup = store.constraint(ConstraintId(c1_pos as u32)).clone();
+        store.insert_constraint(dup);
+        let after = store.relevant_for(&q).len();
+        assert_eq!(after, before + 1);
     }
 
     #[test]

@@ -27,13 +27,32 @@ pub struct Optimized {
     pub report: OptimizationReport,
 }
 
+/// How the optimizer holds its constraint store: borrowed for the classic
+/// single-shot library use, or owned (`Arc`) so the optimizer can live
+/// inside long-lived, thread-shared service state without a lifetime tying
+/// it to a stack frame.
+#[derive(Debug)]
+enum StoreHandle<'a> {
+    Borrowed(&'a ConstraintStore),
+    Shared(Arc<ConstraintStore>),
+}
+
+impl StoreHandle<'_> {
+    fn get(&self) -> &ConstraintStore {
+        match self {
+            StoreHandle::Borrowed(s) => s,
+            StoreHandle::Shared(s) => s,
+        }
+    }
+}
+
 /// The semantic query optimizer.
 ///
 /// Holds a reference to the (shared, precompiled) constraint store; each
 /// [`SemanticOptimizer::optimize`] call is independent and thread-safe.
 #[derive(Debug)]
 pub struct SemanticOptimizer<'a> {
-    store: &'a ConstraintStore,
+    store: StoreHandle<'a>,
     config: OptimizerConfig,
 }
 
@@ -44,7 +63,27 @@ impl<'a> SemanticOptimizer<'a> {
     }
 
     pub fn with_config(store: &'a ConstraintStore, config: OptimizerConfig) -> Self {
-        Self { store, config }
+        Self { store: StoreHandle::Borrowed(store), config }
+    }
+
+    /// Owned-store variant of [`SemanticOptimizer::new`]: the optimizer
+    /// co-owns the store and carries no borrowed lifetime, so it can be
+    /// stored in service structs and moved across threads freely.
+    pub fn shared(store: Arc<ConstraintStore>) -> SemanticOptimizer<'static> {
+        Self::shared_with_config(store, OptimizerConfig::paper())
+    }
+
+    /// Owned-store variant of [`SemanticOptimizer::with_config`].
+    pub fn shared_with_config(
+        store: Arc<ConstraintStore>,
+        config: OptimizerConfig,
+    ) -> SemanticOptimizer<'static> {
+        SemanticOptimizer { store: StoreHandle::Shared(store), config }
+    }
+
+    /// The constraint store the optimizer consults.
+    pub fn store(&self) -> &ConstraintStore {
+        self.store.get()
     }
 
     pub fn config(&self) -> &OptimizerConfig {
@@ -52,7 +91,7 @@ impl<'a> SemanticOptimizer<'a> {
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
-        self.store.catalog()
+        self.store.get().catalog()
     }
 
     /// Optimizes `query` (which must validate against the catalog),
@@ -62,23 +101,19 @@ impl<'a> SemanticOptimizer<'a> {
         query: &Query,
         oracle: &dyn ProfitOracle,
     ) -> Result<Optimized, QueryError> {
-        let catalog = self.store.catalog().clone();
+        let store = self.store.get();
+        let catalog = store.catalog().clone();
         query.validate(&catalog)?;
 
         // Phase 0: constraint retrieval via the grouping scheme.
         let t0 = Instant::now();
-        let relevant = self.store.relevant_for(query);
+        let relevant = store.relevant_for(query);
         let retrieval = t0.elapsed();
 
         // Phase 1: initialization (§3.1).
         let t1 = Instant::now();
-        let mut table = TransformationTable::build(
-            &catalog,
-            self.store,
-            &relevant,
-            query,
-            self.config.match_policy,
-        );
+        let mut table =
+            TransformationTable::build(&catalog, store, &relevant, query, self.config.match_policy);
         let initialization = t1.elapsed();
 
         // Phases 2+3: queue updates and transformations (§3.2, §3.3).
@@ -163,6 +198,31 @@ mod tests {
         let out = optimizer.optimize(&query, &StructuralOracle).unwrap();
         assert!(!out.report.changed_query());
         assert_eq!(out.query.normalized(), query.normalized());
+    }
+
+    #[test]
+    fn shared_optimizer_is_send_and_matches_borrowed() {
+        let store = Arc::new(store());
+        let catalog = store.catalog().clone();
+        let query = parse_query(
+            r#"(SELECT {vehicle.vehicle_no, cargo.desc, cargo.quantity} {}
+                {vehicle.desc = "refrigerated truck", supplier.name = "SFI"}
+                {collects, supplies} {supplier, cargo, vehicle})"#,
+            &catalog,
+        )
+        .unwrap();
+        let borrowed = SemanticOptimizer::new(&store);
+        let expected = borrowed.optimize(&query, &StructuralOracle).unwrap().query;
+
+        // The shared optimizer has no borrowed lifetime: move it into a
+        // thread, which the borrowed variant cannot do.
+        let shared = SemanticOptimizer::shared(Arc::clone(&store));
+        let q = query.clone();
+        let got = std::thread::spawn(move || shared.optimize(&q, &StructuralOracle).unwrap().query)
+            .join()
+            .unwrap();
+        assert_eq!(got.normalized(), expected.normalized());
+        assert_eq!(SemanticOptimizer::shared(store).store().len(), 6);
     }
 
     #[test]

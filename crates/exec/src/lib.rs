@@ -25,5 +25,5 @@ pub use error::ExecError;
 pub use executor::execute;
 pub use oracle::CostBasedOracle;
 pub use plan::{AccessPath, ClassAccess, JoinStep, PhysicalPlan, PlanDisplay};
-pub use planner::plan_query;
+pub use planner::{plan_query, plan_query_shared};
 pub use result::ResultSet;

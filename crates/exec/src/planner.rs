@@ -191,6 +191,18 @@ pub fn plan_query(
     })
 }
 
+/// [`plan_query`], delivered behind an [`Arc`](std::sync::Arc) so the plan can be cached and
+/// re-executed by many threads without re-planning: the executor only ever
+/// needs `&PhysicalPlan`, so one planning pass amortizes over every
+/// subsequent [`crate::execute`] call that clones the handle.
+pub fn plan_query_shared(
+    db: &Database,
+    query: &Query,
+    model: &CostModel,
+) -> Result<std::sync::Arc<PhysicalPlan>, ExecError> {
+    plan_query(db, query, model).map(std::sync::Arc::new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

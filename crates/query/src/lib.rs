@@ -15,6 +15,7 @@
 
 mod ast;
 mod builder;
+mod canonical;
 mod display;
 mod error;
 mod graph;
@@ -24,6 +25,7 @@ mod predicate;
 
 pub use ast::{Projection, Query};
 pub use builder::QueryBuilder;
+pub use canonical::QueryFingerprint;
 pub use display::{QueryDisplay, QueryExt};
 pub use error::QueryError;
 pub use graph::QueryGraph;

@@ -1,0 +1,122 @@
+//! Property tests for query canonicalization and fingerprinting — the
+//! contract the `sqo-service` plan cache rests on:
+//!
+//! * canonicalization is **idempotent** (`canonical(canonical(q)) ==
+//!   canonical(q)`), so re-canonicalizing a cached query is a no-op;
+//! * canonicalization is **order-insensitive**: any permutation (and any
+//!   duplication) of a query's list parts canonicalizes to the same value
+//!   and therefore to the same fingerprint.
+
+use proptest::prelude::*;
+use sqo_catalog::{AttrId, AttrRef, ClassId, RelId, Value};
+use sqo_query::{CompOp, JoinPredicate, Projection, Query, SelPredicate};
+
+fn any_op() -> impl Strategy<Value = CompOp> {
+    prop_oneof![
+        Just(CompOp::Eq),
+        Just(CompOp::Ne),
+        Just(CompOp::Lt),
+        Just(CompOp::Le),
+        Just(CompOp::Gt),
+        Just(CompOp::Ge),
+    ]
+}
+
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::Int),
+        (0usize..8).prop_map(|i| Value::str(format!("v{i}"))),
+        prop_oneof![Just(Value::Bool(false)), Just(Value::Bool(true))],
+    ]
+}
+
+fn any_attr() -> impl Strategy<Value = AttrRef> {
+    (0u32..5, 0u32..4).prop_map(|(c, a)| AttrRef::new(ClassId(c), AttrId(a)))
+}
+
+fn any_projection() -> impl Strategy<Value = Projection> {
+    (any_attr(), prop_oneof![Just(None), any_value().prop_map(Some)])
+        .prop_map(|(attr, binding)| Projection { attr, binding })
+}
+
+fn any_sel() -> impl Strategy<Value = SelPredicate> {
+    (any_attr(), any_op(), any_value()).prop_map(|(a, op, v)| SelPredicate::new(a, op, v))
+}
+
+fn any_join() -> impl Strategy<Value = JoinPredicate> {
+    (any_attr(), any_op(), any_attr()).prop_map(|(l, op, r)| JoinPredicate::new(l, op, r))
+}
+
+/// A structurally arbitrary query (not necessarily catalog-valid, which
+/// canonicalization must not require).
+fn any_query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(any_projection(), 0..5),
+        prop::collection::vec(any_join(), 0..4),
+        prop::collection::vec(any_sel(), 0..5),
+        prop::collection::vec(0u32..6, 0..4),
+        prop::collection::vec(0u32..5, 1..5),
+    )
+        .prop_map(|(projections, joins, sels, rels, classes)| Query {
+            projections,
+            join_predicates: joins,
+            selective_predicates: sels,
+            relationships: rels.into_iter().map(RelId).collect(),
+            classes: classes.into_iter().map(ClassId).collect(),
+        })
+}
+
+/// A deterministic permutation: rotate by `k` and optionally reverse.
+fn permute<T: Clone>(xs: &[T], k: usize, rev: bool) -> Vec<T> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let k = k % xs.len();
+    let mut out: Vec<T> = xs[k..].iter().chain(xs[..k].iter()).cloned().collect();
+    if rev {
+        out.reverse();
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn canonicalization_is_idempotent(q in any_query()) {
+        let once = q.canonical();
+        let twice = once.canonical();
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.is_canonical());
+        prop_assert_eq!(once.fingerprint(), q.fingerprint());
+    }
+
+    #[test]
+    fn canonicalization_is_order_insensitive(
+        q in any_query(),
+        k in 0usize..7,
+        rev in prop_oneof![Just(false), Just(true)],
+    ) {
+        let shuffled = Query {
+            projections: permute(&q.projections, k, rev),
+            join_predicates: permute(&q.join_predicates, k.wrapping_add(1), !rev),
+            selective_predicates: permute(&q.selective_predicates, k.wrapping_add(2), rev),
+            relationships: permute(&q.relationships, k.wrapping_add(3), !rev),
+            classes: permute(&q.classes, k.wrapping_add(4), rev),
+        };
+        prop_assert_eq!(q.canonical(), shuffled.canonical());
+        prop_assert_eq!(q.fingerprint(), shuffled.fingerprint());
+    }
+
+    #[test]
+    fn duplication_does_not_change_the_canonical_form(q in any_query(), k in 0usize..4) {
+        let mut dup = q.clone();
+        if let Some(p) = dup.selective_predicates.get(k % dup.selective_predicates.len().max(1)) {
+            let p = p.clone();
+            dup.selective_predicates.push(p);
+        }
+        if let Some(&c) = dup.classes.first() {
+            dup.classes.push(c);
+        }
+        prop_assert_eq!(q.canonical(), dup.canonical());
+        prop_assert_eq!(q.fingerprint(), dup.fingerprint());
+    }
+}

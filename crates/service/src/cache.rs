@@ -1,0 +1,281 @@
+//! The sharded semantic-plan cache.
+//!
+//! Keyed by `(query fingerprint, constraint-store epoch)`: the fingerprint
+//! collapses order-variant spellings of the same query onto one entry
+//! (`sqo-query`'s canonical form), and the epoch makes invalidation free —
+//! when the constraint store changes, its epoch bumps and every cached
+//! rewrite silently becomes unreachable, to be evicted by LRU pressure or an
+//! explicit [`ShardedCache::purge_stale`].
+//!
+//! Shards are independent `parking_lot::RwLock`s selected by fingerprint
+//! bits, so concurrent readers of *different* queries never contend, and
+//! readers of the *same* hot query share a read lock (recency is tracked
+//! with a relaxed atomic, not a write lock). Each shard evicts
+//! least-recently-used entries past its capacity.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use sqo_catalog::AttrRef;
+use sqo_exec::{PhysicalPlan, ResultSet};
+use sqo_query::{Query, QueryFingerprint};
+
+/// Cache key: what query (canonically) under which semantic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub fingerprint: QueryFingerprint,
+    pub epoch: u64,
+}
+
+/// One cached optimization: everything needed to answer the query again
+/// without re-running the transformation fixpoint or the planner.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The canonical query — kept to disarm 64-bit fingerprint collisions.
+    pub canonical: Query,
+    /// The semantically optimized query.
+    pub optimized: Query,
+    /// The physical plan, shareable across executing threads. `None` iff
+    /// the optimizer proved the answer empty (no plan is ever needed).
+    pub plan: Option<Arc<PhysicalPlan>>,
+    /// The optimizer proved the predicate set unsatisfiable: the answer is
+    /// empty in every database state satisfying the constraints.
+    pub provably_empty: bool,
+    /// Result columns, for materializing empty answers without a plan.
+    pub columns: Vec<AttrRef>,
+    /// Result set cached after the first execution (the backing
+    /// [`sqo_storage::Database`] is immutable once built, so results stay
+    /// valid for the lifetime of the process; constraint changes alter
+    /// *plans*, never answers). Write-once: the first executing thread
+    /// publishes, every later thread shares the `Arc`.
+    pub results: OnceLock<Arc<ResultSet>>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    entry: Arc<CacheEntry>,
+    /// Global LRU clock value at last touch (relaxed: approximate recency
+    /// is all LRU needs).
+    last_used: AtomicU64,
+}
+
+type Shard = HashMap<CacheKey, Slot>;
+
+/// Point-in-time cache counters (monotone except `entries`/`shard_sizes`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub shard_sizes: Vec<usize>,
+}
+
+impl CacheStats {
+    /// Hits over lookups, in `[0, 1]`; `0` before any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / lookups as f64
+    }
+}
+
+/// N-way sharded LRU cache of [`CacheEntry`]s.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<RwLock<Shard>>,
+    per_shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    /// A cache with `shards` shards (rounded up to a power of two, min 1)
+    /// and `capacity` total entries split evenly across them.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            per_shard_capacity,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &RwLock<Shard> {
+        // Mix the epoch in so successive epochs of a hot query do not pile
+        // onto one shard; the multiplier is Fibonacci hashing's.
+        let h = (key.fingerprint.0 ^ key.epoch.rotate_left(32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize & (self.shards.len() - 1)]
+    }
+
+    /// Looks up `key`, verifying the stored canonical query to rule out
+    /// fingerprint collisions. Counts a hit or a miss.
+    pub fn get(&self, key: CacheKey, canonical: &Query) -> Option<Arc<CacheEntry>> {
+        let shard = self.shard_of(&key).read();
+        match shard.get(&key) {
+            Some(slot) if slot.entry.canonical == *canonical => {
+                slot.last_used.store(self.tick(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.entry))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// entry of the target shard if it is full.
+    pub fn insert(&self, key: CacheKey, entry: Arc<CacheEntry>) {
+        let mut shard = self.shard_of(&key).write();
+        if !shard.contains_key(&key) && shard.len() >= self.per_shard_capacity {
+            if let Some(victim) = shard
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                shard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let slot = Slot { entry, last_used: AtomicU64::new(self.tick()) };
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        shard.insert(key, slot);
+    }
+
+    /// Drops every entry whose epoch is older than `epoch` — entries that
+    /// can never be hit again once the store has moved past them.
+    pub fn purge_stale(&self, epoch: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            let before = shard.len();
+            shard.retain(|k, _| k.epoch >= epoch);
+            let dropped = before - shard.len();
+            self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        // One read-lock pass: `entries` is derived from the same snapshot
+        // as `shard_sizes`, so the two never disagree.
+        let shard_sizes: Vec<usize> = self.shards.iter().map(|s| s.read().len()).collect();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: shard_sizes.iter().sum(),
+            shard_sizes,
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(q: &Query) -> Arc<CacheEntry> {
+        Arc::new(CacheEntry {
+            canonical: q.clone(),
+            optimized: q.clone(),
+            plan: None,
+            provably_empty: true,
+            columns: vec![],
+            results: OnceLock::new(),
+        })
+    }
+
+    fn key(fp: u64, epoch: u64) -> CacheKey {
+        CacheKey { fingerprint: QueryFingerprint(fp), epoch }
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = ShardedCache::new(4, 64);
+        let q = Query::new();
+        cache.insert(key(1, 0), entry(&q));
+        assert!(cache.get(key(1, 0), &q).is_some());
+        assert!(cache.get(key(2, 0), &q).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn epoch_partitions_the_key_space() {
+        let cache = ShardedCache::new(2, 8);
+        let q = Query::new();
+        cache.insert(key(1, 0), entry(&q));
+        assert!(cache.get(key(1, 1), &q).is_none(), "new epoch must miss");
+        cache.insert(key(1, 1), entry(&q));
+        assert_eq!(cache.len(), 2);
+        cache.purge_stale(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(key(1, 1), &q).is_some());
+    }
+
+    #[test]
+    fn fingerprint_collision_is_detected() {
+        let cache = ShardedCache::new(1, 8);
+        let q = Query::new();
+        let mut other = Query::new();
+        other.classes.push(sqo_catalog::ClassId(0));
+        cache.insert(key(7, 0), entry(&q));
+        // Same key, different canonical query: must miss, not serve garbage.
+        assert!(cache.get(key(7, 0), &other).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ShardedCache::new(1, 2); // single shard, two slots
+        let q = Query::new();
+        cache.insert(key(1, 0), entry(&q));
+        cache.insert(key(2, 0), entry(&q));
+        let _ = cache.get(key(1, 0), &q); // touch 1 → 2 is now coldest
+        cache.insert(key(3, 0), entry(&q));
+        assert!(cache.get(key(1, 0), &q).is_some(), "recently used survives");
+        assert!(cache.get(key(2, 0), &q).is_none(), "coldest was evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedCache::new(3, 16).shard_count(), 4);
+        assert_eq!(ShardedCache::new(0, 16).shard_count(), 1);
+        assert!(ShardedCache::new(8, 1).capacity() >= 8);
+    }
+}

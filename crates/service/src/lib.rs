@@ -1,0 +1,38 @@
+//! # sqo-service
+//!
+//! The serving layer of the `sqo` workspace: a concurrent
+//! [`QueryService`] that amortizes semantic optimization across the
+//! repeated queries real traffic is made of.
+//!
+//! The ICDE'91 pipeline underneath is a single-shot library — every
+//! [`sqo_core::SemanticOptimizer::optimize`] call re-runs the whole
+//! transformation fixpoint and re-plans from scratch. This crate turns it
+//! into a serveable engine:
+//!
+//! * **Canonical fingerprints** ([`sqo_query::QueryFingerprint`]) collapse
+//!   every spelling of a query — shuffled predicates, reordered class
+//!   lists — onto one cache identity.
+//! * **Epoch-keyed invalidation**: cache keys pair the fingerprint with the
+//!   constraint store's monotone [`sqo_constraints::ConstraintStore::epoch`];
+//!   any constraint or statistics change bumps the epoch and every cached
+//!   rewrite becomes unreachable at once.
+//! * A **sharded LRU plan cache** ([`ShardedCache`]) keeps lock hold times
+//!   tiny: readers of different queries land on different
+//!   `parking_lot::RwLock` shards, readers of the same hot query share a
+//!   read lock.
+//! * A **prepared-query API** ([`QueryService::prepare`] →
+//!   [`QueryService::execute_prepared`]) re-executes one shared
+//!   [`sqo_exec::PhysicalPlan`] without re-planning, and a fixed
+//!   worker-pool [`QueryService::run_batch`] drives closed-loop throughput
+//!   experiments (E9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod service;
+
+pub use cache::{CacheEntry, CacheKey, CacheStats, ShardedCache};
+pub use service::{
+    PreparedQuery, QueryService, ServiceConfig, ServiceError, ServiceResponse, ServiceStats,
+};

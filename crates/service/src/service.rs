@@ -1,0 +1,494 @@
+//! The concurrent query service: shared state, prepared queries, and the
+//! worker-pool batch front end.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use sqo_constraints::{ConstraintStore, HornConstraint};
+use sqo_core::{OptimizerConfig, SemanticOptimizer};
+use sqo_exec::{
+    execute, plan_query_shared, CostBasedOracle, CostModel, ExecError, PhysicalPlan, ResultSet,
+};
+use sqo_query::{Query, QueryError};
+use sqo_storage::Database;
+
+use crate::cache::{CacheEntry, CacheKey, CacheStats, ShardedCache};
+
+/// Anything that can go wrong answering a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The query failed validation or semantic optimization.
+    Query(QueryError),
+    /// Planning or execution failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Query(e) => write!(f, "query error: {e}"),
+            ServiceError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Query(e) => Some(e),
+            ServiceError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> Self {
+        ServiceError::Query(e)
+    }
+}
+
+impl From<ExecError> for ServiceError {
+    fn from(e: ExecError) -> Self {
+        ServiceError::Exec(e)
+    }
+}
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Cache shard count (rounded up to a power of two).
+    pub shards: usize,
+    /// Total cached entries across all shards.
+    pub cache_capacity: usize,
+    /// Also memoize result sets, not just rewrites and plans. Sound because
+    /// the backing [`Database`] is immutable once built; turn off to model a
+    /// mutable-data deployment where only plans are reusable.
+    pub cache_results: bool,
+    /// Skip the cache entirely — every request re-optimizes, re-plans and
+    /// re-executes. The cold path of the E9 benchmark.
+    pub bypass_cache: bool,
+    /// Semantic-optimizer configuration used for every miss.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            cache_capacity: 1024,
+            cache_results: true,
+            bypass_cache: false,
+            optimizer: OptimizerConfig::paper(),
+        }
+    }
+}
+
+/// A query prepared for (repeated) execution: the cached optimization
+/// artifacts pinned at one constraint-store epoch.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    entry: Arc<CacheEntry>,
+    /// Constraint-store epoch the rewrite was derived under.
+    pub epoch: u64,
+    /// Whether preparation was answered from the cache.
+    pub cache_hit: bool,
+}
+
+impl PreparedQuery {
+    /// The canonical form of the prepared query (the cache identity).
+    pub fn canonical(&self) -> &Query {
+        &self.entry.canonical
+    }
+
+    /// The semantically optimized query.
+    pub fn optimized(&self) -> &Query {
+        &self.entry.optimized
+    }
+
+    /// The shared physical plan; `None` iff the answer is provably empty.
+    pub fn plan(&self) -> Option<&Arc<PhysicalPlan>> {
+        self.entry.plan.as_ref()
+    }
+
+    /// The optimizer proved the answer empty without touching the database.
+    pub fn provably_empty(&self) -> bool {
+        self.entry.provably_empty
+    }
+}
+
+/// One answered request.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The rows, in the canonical query's column order.
+    pub results: Arc<ResultSet>,
+    /// Whether the optimization/plan came from the cache.
+    pub cache_hit: bool,
+    /// Epoch the answer was derived under.
+    pub epoch: u64,
+}
+
+/// Point-in-time service counters for the bench harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// `run`/`run_batch` requests accepted.
+    pub requests: u64,
+    /// Full semantic-optimization passes actually executed (cache misses).
+    pub optimizations: u64,
+    /// Physical plan executions (not answered from a memoized result).
+    pub executions: u64,
+    /// Current constraint-store epoch.
+    pub epoch: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+/// A long-lived, thread-shared query-answering engine.
+///
+/// Owns the database and the constraint store behind `Arc`s, so any number
+/// of client threads can call [`QueryService::run`] concurrently (`&self`
+/// throughout). Repeated queries — under *any* spelling that canonicalizes
+/// identically — are answered from an N-way sharded LRU cache keyed by
+/// `(fingerprint, epoch)`; constraint or statistics changes bump the epoch
+/// and atomically invalidate every stale rewrite.
+///
+/// Answers are always produced in the **canonical** query's column order
+/// (projections sorted), so every spelling of a query receives an
+/// identically-shaped result.
+///
+/// ```
+/// use std::sync::Arc;
+/// use sqo_service::QueryService;
+/// use sqo_workload::{paper_scenario, DbSize};
+///
+/// let s = paper_scenario(DbSize::Db1, 42);
+/// let service = QueryService::new(Arc::new(s.store), Arc::new(s.db));
+/// let cold = service.run(&s.queries[0]).unwrap();
+/// let warm = service.run(&s.queries[0]).unwrap();
+/// assert!(!cold.cache_hit && warm.cache_hit);
+/// assert_eq!(cold.results, warm.results);
+/// ```
+#[derive(Debug)]
+pub struct QueryService {
+    db: Arc<Database>,
+    /// Swapped wholesale on constraint changes (copy-on-write): in-flight
+    /// queries drain against the store they started with.
+    store: RwLock<Arc<ConstraintStore>>,
+    /// Serializes store writers so successor stores are built *outside*
+    /// `store`'s write lock — readers only ever wait for the brief swap.
+    writer: parking_lot::Mutex<()>,
+    cache: ShardedCache,
+    model: CostModel,
+    config: ServiceConfig,
+    requests: AtomicU64,
+    optimizations: AtomicU64,
+    executions: AtomicU64,
+}
+
+impl QueryService {
+    pub fn new(store: Arc<ConstraintStore>, db: Arc<Database>) -> Self {
+        Self::with_config(store, db, ServiceConfig::default())
+    }
+
+    pub fn with_config(
+        store: Arc<ConstraintStore>,
+        db: Arc<Database>,
+        config: ServiceConfig,
+    ) -> Self {
+        Self {
+            db,
+            store: RwLock::new(store),
+            writer: parking_lot::Mutex::new(()),
+            cache: ShardedCache::new(config.shards, config.cache_capacity),
+            model: CostModel::default(),
+            config,
+            requests: AtomicU64::new(0),
+            optimizations: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+        }
+    }
+
+    /// The database every answer is computed against.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// A snapshot handle to the current constraint store.
+    pub fn store(&self) -> Arc<ConstraintStore> {
+        Arc::clone(&self.store.read())
+    }
+
+    /// The current semantic epoch (see [`ConstraintStore::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.store.read().epoch()
+    }
+
+    /// Adds a constraint by building a successor store (copy-on-write) and
+    /// swapping it in; returns the new epoch. Stale cache entries are purged
+    /// eagerly rather than left for LRU pressure.
+    ///
+    /// The O(#constraints) rebuild happens outside the store lock (writers
+    /// are serialized by a dedicated mutex), so concurrent readers keep
+    /// serving off the old store and only ever block on the pointer swap.
+    pub fn add_constraint(&self, constraint: HornConstraint) -> u64 {
+        let _writing = self.writer.lock();
+        let base = self.store();
+        let next = Arc::new(base.with_constraint(constraint));
+        let epoch = next.epoch();
+        *self.store.write() = next;
+        self.cache.purge_stale(epoch);
+        epoch
+    }
+
+    /// Records an external statistics change (bumping the epoch so cached
+    /// cost-based rewrites are re-derived); returns the new epoch.
+    pub fn note_statistics_change(&self) -> u64 {
+        let epoch = self.store.read().note_statistics_change();
+        self.cache.purge_stale(epoch);
+        epoch
+    }
+
+    /// Canonicalizes, fingerprints and resolves `query` to its optimization
+    /// artifacts — from the cache when possible, by running the full
+    /// semantic-optimization + planning pipeline on a miss.
+    pub fn prepare(&self, query: &Query) -> Result<PreparedQuery, ServiceError> {
+        let canonical = query.canonical();
+        let store = self.store();
+        let epoch = store.epoch();
+        let key = CacheKey { fingerprint: canonical.fingerprint(), epoch };
+        if !self.config.bypass_cache {
+            if let Some(entry) = self.cache.get(key, &canonical) {
+                return Ok(PreparedQuery { entry, epoch, cache_hit: true });
+            }
+        }
+        let entry = Arc::new(self.build_entry(canonical, &store)?);
+        if !self.config.bypass_cache {
+            self.cache.insert(key, Arc::clone(&entry));
+        }
+        Ok(PreparedQuery { entry, epoch, cache_hit: false })
+    }
+
+    /// The miss path: semantic optimization, then planning (skipped when
+    /// the optimizer proves the answer empty).
+    fn build_entry(
+        &self,
+        canonical: Query,
+        store: &Arc<ConstraintStore>,
+    ) -> Result<CacheEntry, ServiceError> {
+        let optimizer =
+            SemanticOptimizer::shared_with_config(Arc::clone(store), self.config.optimizer);
+        let oracle = CostBasedOracle::with_model(&self.db, self.model);
+        let out = optimizer.optimize(&canonical, &oracle)?;
+        self.optimizations.fetch_add(1, Ordering::Relaxed);
+        let provably_empty = out.report.provably_empty;
+        let (plan, columns) = if provably_empty {
+            (None, out.query.projections.iter().map(|p| p.attr).collect())
+        } else {
+            let plan = plan_query_shared(&self.db, &out.query, &self.model)?;
+            let columns = plan.projections.iter().map(|p| p.attr).collect();
+            (Some(plan), columns)
+        };
+        Ok(CacheEntry {
+            canonical,
+            optimized: out.query,
+            plan,
+            provably_empty,
+            columns,
+            results: OnceLock::new(),
+        })
+    }
+
+    /// Executes a prepared query, sharing memoized results when enabled.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<Arc<ResultSet>, ServiceError> {
+        let entry = &prepared.entry;
+        if let Some(cached) = entry.results.get() {
+            return Ok(Arc::clone(cached));
+        }
+        let results = if entry.provably_empty {
+            Arc::new(ResultSet::new(entry.columns.clone()))
+        } else {
+            let plan = entry.plan.as_ref().expect("non-empty entries carry a plan");
+            let (res, _counters) = execute(&self.db, plan)?;
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            Arc::new(res)
+        };
+        if self.config.cache_results && !self.config.bypass_cache {
+            // First publisher wins; racing executors converge on its copy.
+            let _ = entry.results.set(Arc::clone(&results));
+            return Ok(Arc::clone(entry.results.get().expect("just set")));
+        }
+        Ok(results)
+    }
+
+    /// Prepare + execute in one call — the per-request entry point.
+    pub fn run(&self, query: &Query) -> Result<ServiceResponse, ServiceError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let prepared = self.prepare(query)?;
+        let results = self.execute_prepared(&prepared)?;
+        Ok(ServiceResponse { results, cache_hit: prepared.cache_hit, epoch: prepared.epoch })
+    }
+
+    /// Answers `queries` on a fixed pool of `workers` threads (closed-loop:
+    /// each worker pulls the next request as soon as it finishes one).
+    /// Responses come back in request order.
+    pub fn run_batch(
+        &self,
+        queries: &[Query],
+        workers: usize,
+    ) -> Vec<Result<ServiceResponse, ServiceError>> {
+        let workers = workers.clamp(1, queries.len().max(1));
+        let next = AtomicUsize::new(0);
+        let mut out: Vec<Option<Result<ServiceResponse, ServiceError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut answered = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(query) = queries.get(i) else { break };
+                            answered.push((i, self.run(query)));
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, response) in handle.join().expect("service worker panicked") {
+                    out[i] = Some(response);
+                }
+            }
+        });
+        out.into_iter().map(|r| r.expect("every request answered exactly once")).collect()
+    }
+
+    /// Counter snapshot for monitoring and the bench harness.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            optimizations: self.optimizations.load(Ordering::Relaxed),
+            executions: self.executions.load(Ordering::Relaxed),
+            epoch: self.epoch(),
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_workload::{paper_scenario, DbSize};
+
+    fn service() -> (QueryService, Vec<Query>) {
+        let s = paper_scenario(DbSize::Db1, 42);
+        (QueryService::new(Arc::new(s.store), Arc::new(s.db)), s.queries)
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<QueryService>();
+        check::<PreparedQuery>();
+        check::<ServiceResponse>();
+    }
+
+    #[test]
+    fn repeated_query_hits_the_cache_and_matches() {
+        let (service, queries) = service();
+        let cold = service.run(&queries[0]).unwrap();
+        let warm = service.run(&queries[0]).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert!(cold.results.same_multiset(&warm.results));
+        let stats = service.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.optimizations, 1);
+        assert_eq!(stats.executions, 1, "second request must reuse the memoized results");
+        assert_eq!(stats.cache.hits, 1);
+    }
+
+    #[test]
+    fn spelling_variants_share_one_entry() {
+        let (service, queries) = service();
+        let mut shuffled = queries[0].clone();
+        shuffled.selective_predicates.reverse();
+        shuffled.projections.reverse();
+        shuffled.classes.reverse();
+        let a = service.run(&queries[0]).unwrap();
+        let b = service.run(&shuffled).unwrap();
+        assert!(b.cache_hit, "a reordered spelling must hit the same entry");
+        assert!(a.results.same_multiset(&b.results));
+    }
+
+    #[test]
+    fn prepared_queries_reuse_one_plan() {
+        let (service, queries) = service();
+        let prepared = service.prepare(&queries[1]).unwrap();
+        let again = service.prepare(&queries[1]).unwrap();
+        if let (Some(p), Some(q)) = (prepared.plan(), again.plan()) {
+            assert!(Arc::ptr_eq(p, q), "both handles must share the physical plan");
+        }
+        let r1 = service.execute_prepared(&prepared).unwrap();
+        let r2 = service.execute_prepared(&again).unwrap();
+        assert!(Arc::ptr_eq(&r1, &r2), "memoized results are shared");
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_but_answers_stay_equal() {
+        let (service, queries) = service();
+        let before = service.run(&queries[2]).unwrap();
+        let e0 = service.epoch();
+        let dup = service.store().constraint(sqo_constraints::ConstraintId(0)).clone();
+        let e1 = service.add_constraint(dup);
+        assert!(e1 > e0);
+        assert_eq!(service.epoch(), e1);
+        let after = service.run(&queries[2]).unwrap();
+        assert!(!after.cache_hit, "constraint change must invalidate the cached rewrite");
+        assert_eq!(after.epoch, e1);
+        assert!(before.results.same_multiset(&after.results));
+    }
+
+    #[test]
+    fn bypass_cache_always_misses() {
+        let s = paper_scenario(DbSize::Db1, 42);
+        let service = QueryService::with_config(
+            Arc::new(s.store),
+            Arc::new(s.db),
+            ServiceConfig { bypass_cache: true, ..Default::default() },
+        );
+        for _ in 0..3 {
+            let r = service.run(&s.queries[0]).unwrap();
+            assert!(!r.cache_hit);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.optimizations, 3);
+        assert_eq!(stats.cache.entries, 0);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_answers() {
+        let (service, queries) = service();
+        let batch: Vec<Query> = queries.iter().cycle().take(24).cloned().collect();
+        let concurrent = service.run_batch(&batch, 4);
+        for (q, r) in batch.iter().zip(&concurrent) {
+            let solo = service.run(q).unwrap();
+            assert!(r.as_ref().unwrap().results.same_multiset(&solo.results));
+        }
+    }
+
+    #[test]
+    fn statistics_change_invalidates() {
+        let (service, queries) = service();
+        let _ = service.run(&queries[0]).unwrap();
+        service.note_statistics_change();
+        assert_eq!(service.stats().cache.entries, 0, "purged eagerly");
+        let r = service.run(&queries[0]).unwrap();
+        assert!(!r.cache_hit);
+    }
+}

@@ -13,7 +13,9 @@
 //!   formulated for each such path … 40 test queries were randomly chosen");
 //! * a constructive **Figure 2.1 logistics instance** satisfying c1–c5 for
 //!   the examples;
-//! * packaged [`PaperScenario`]s tying it all together per DB size.
+//! * packaged [`PaperScenario`]s tying it all together per DB size;
+//! * **service workloads**: Zipf-skewed repeated-query request streams with
+//!   shuffled spellings, for the serving-layer experiments (E9).
 
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +27,7 @@ mod figure21_data;
 mod path_enum;
 mod query_gen;
 mod scenarios;
+mod service_workload;
 
 pub use constraint_gen::{
     category_value, forced_value, generate_constraints, ConstraintGenConfig, Forcing,
@@ -35,3 +38,6 @@ pub use figure21_data::{logistics_database, LogisticsConfig};
 pub use path_enum::{enumerate_directed_paths, enumerate_paths, SchemaPath};
 pub use query_gen::{generate_query, paper_query_set, QueryGenConfig};
 pub use scenarios::{paper_scenario, paper_scenario_with, DbSize, PaperScenario};
+pub use service_workload::{
+    respell, service_workload, ServiceWorkload, ServiceWorkloadConfig, Zipf,
+};

@@ -73,6 +73,12 @@ pub mod baseline {
     pub use sqo_baseline::*;
 }
 
+/// Serving layer: concurrent query service with a sharded, epoch-keyed
+/// semantic-plan cache.
+pub mod service {
+    pub use sqo_service::*;
+}
+
 /// Experiment workload: schemas, generators, paper scenarios.
 pub mod workload {
     pub use sqo_workload::*;
