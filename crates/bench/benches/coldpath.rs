@@ -1,0 +1,160 @@
+//! Microbenchmarks of the cold-path hot loops this repo optimizes: the
+//! transitive-closure fixpoint, transformation-table construction (fresh
+//! vs. recycled buffers), indexed constraint retrieval, and plan execution
+//! (fresh vs. recycled traversal buffers).
+//!
+//! Quick mode: set `SQO_BENCH_SMOKE=1` (the CI bench-smoke job does) to run
+//! every benchmark at minimal sample counts — same code paths, a fraction
+//! of the wall clock.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqo_constraints::{transitive_closure, ClosureOptions, RetrievalScratch};
+use sqo_core::{
+    run_transformations_with, MatchPolicy, OptimizerConfig, TableBuffers, TransformScratch,
+    TransformationTable,
+};
+use sqo_exec::{execute, execute_with, plan_query, CostModel, ExecScratch};
+use sqo_workload::{
+    bench_schema::bench_catalog, generate_constraints, paper_scenario, ConstraintGenConfig, DbSize,
+};
+
+fn smoke() -> bool {
+    std::env::var_os("SQO_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn tune<'c>(c: &'c mut Criterion, name: &str) -> criterion::BenchmarkGroup<'c> {
+    let mut group = c.benchmark_group(name);
+    if smoke() {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(100));
+    } else {
+        group
+            .sample_size(60)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+    }
+    group
+}
+
+/// The closure fixpoint over a chain-heavy generated constraint population —
+/// the workload where attribute-keyed resolution probing pays off.
+fn bench_closure(c: &mut Criterion) {
+    let catalog = Arc::new(bench_catalog().expect("schema"));
+    let per_class = if smoke() { 3 } else { 6 };
+    let generated = generate_constraints(
+        &catalog,
+        ConstraintGenConfig { seed: 42, per_class, chain_fraction: 0.6, ..Default::default() },
+    )
+    .expect("constraints");
+    let mut group = tune(c, "coldpath_closure");
+    group.bench_function("transitive_closure", |b| {
+        b.iter_batched(
+            || generated.constraints.clone(),
+            |cs| {
+                std::hint::black_box(
+                    transitive_closure(&catalog, cs, ClosureOptions::default()).expect("closure"),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Transformation-table construction and the fixpoint loop on a DB1
+/// scenario query, fresh allocations vs. recycled scratch.
+fn bench_table(c: &mut Criterion) {
+    let scenario = paper_scenario(DbSize::Db1, 42);
+    let catalog = Arc::clone(&scenario.catalog);
+    let store = &scenario.store;
+    let query = scenario.queries[0].clone();
+    let mut retrieval = RetrievalScratch::new();
+    let mut relevant = Vec::new();
+    store.relevant_into(&query, &mut retrieval, &mut relevant);
+    let config = OptimizerConfig::paper();
+
+    let mut group = tune(c, "coldpath_table");
+    group.bench_function("retrieval_indexed", |b| {
+        b.iter(|| {
+            let mut out = std::mem::take(&mut relevant);
+            store.relevant_into(&query, &mut retrieval, &mut out);
+            relevant = out;
+            std::hint::black_box(relevant.len())
+        })
+    });
+    group.bench_function("build_fresh", |b| {
+        b.iter(|| {
+            std::hint::black_box(TransformationTable::build(
+                &catalog,
+                store,
+                &relevant,
+                &query,
+                MatchPolicy::Implication,
+            ))
+        })
+    });
+    group.bench_function("build_recycled", |b| {
+        let mut buf = TableBuffers::default();
+        b.iter(|| {
+            let table = TransformationTable::build_with(
+                &catalog,
+                store,
+                &relevant,
+                &query,
+                MatchPolicy::Implication,
+                &mut buf,
+            );
+            let cols = table.column_count();
+            table.recycle(&mut buf);
+            std::hint::black_box(cols)
+        })
+    });
+    group.bench_function("transform_recycled", |b| {
+        let mut buf = TableBuffers::default();
+        let mut scratch = TransformScratch::new();
+        b.iter(|| {
+            let mut table = TransformationTable::build_with(
+                &catalog,
+                store,
+                &relevant,
+                &query,
+                MatchPolicy::Implication,
+                &mut buf,
+            );
+            let log = run_transformations_with(&mut table, &config, &mut scratch);
+            let n = log.applied.len();
+            table.recycle(&mut buf);
+            std::hint::black_box(n)
+        })
+    });
+    group.finish();
+}
+
+/// Plan execution on the DB1 instance, fresh vs. recycled traversal
+/// buffers.
+fn bench_execute(c: &mut Criterion) {
+    let scenario = paper_scenario(DbSize::Db1, 42);
+    let model = CostModel::default();
+    let plan = plan_query(&scenario.db, &scenario.queries[0], &model).expect("plan");
+    let mut group = tune(c, "coldpath_execute");
+    group.bench_function("execute_fresh", |b| {
+        b.iter(|| std::hint::black_box(execute(&scenario.db, &plan).expect("execute").1))
+    });
+    group.bench_function("execute_recycled", |b| {
+        let mut scratch = ExecScratch::new();
+        b.iter(|| {
+            std::hint::black_box(
+                execute_with(&scenario.db, &plan, &mut scratch).expect("execute").1,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure, bench_table, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! `benchdiff` — compare two `report --json` headline documents and fail
+//! on regression. CI's bench-smoke job runs it against the committed
+//! `BENCH_<n>.json` baseline so the perf trajectory is enforced, not just
+//! recorded.
+//!
+//! ```sh
+//! cargo run -p sqo-bench --bin benchdiff -- BENCH_3.json bench-headlines.json
+//! ```
+//!
+//! Tolerances are deliberately generous — CI machines are noisy and the
+//! baseline may come from different hardware:
+//!
+//! * **timing metrics** (`*qps*`, `*_us`, `*p50*`, `*p99*`, `*speedup*`)
+//!   may regress up to `--timing-factor` (default 8×) before failing;
+//! * **everything else** (cost ratios, waste percentages, counts — all
+//!   machine-independent) may regress up to `--ratio-slack` (default +50%
+//!   relative, with a small absolute floor).
+//!
+//! Direction matters: `qps`/`speedup`/`improved_fraction` are
+//! better-when-higher, everything else better-when-lower. Metrics present
+//! in the baseline but missing from the current run fail the diff (an
+//! experiment silently dropping out of `report` is itself a regression);
+//! extra metrics in the current run are reported but fine.
+
+use std::process::exit;
+
+use sqo_bench::{parse_headlines, Headline};
+
+#[derive(Debug, Clone, Copy)]
+struct Tolerances {
+    timing_factor: f64,
+    ratio_slack: f64,
+}
+
+fn is_timing(metric: &str) -> bool {
+    ["qps", "_us", "p50", "p99", "speedup"].iter().any(|k| metric.contains(k))
+}
+
+fn higher_is_better(metric: &str) -> bool {
+    ["qps", "speedup", "improved_fraction"].iter().any(|k| metric.contains(k))
+}
+
+/// `Some(reason)` if `current` regresses from `baseline` beyond tolerance.
+fn regression(metric: &str, baseline: f64, current: f64, tol: Tolerances) -> Option<String> {
+    if !baseline.is_finite() {
+        return None; // a null baseline carries no signal to regress from
+    }
+    if !current.is_finite() {
+        // A finite baseline degrading to null/NaN is a broken experiment,
+        // not a pass — treat like a missing metric.
+        return Some(format!("metric {metric}: became non-finite (baseline {baseline:.4})"));
+    }
+    let higher_better = higher_is_better(metric);
+    if is_timing(metric) {
+        let (worse, allowed) = if higher_better {
+            (
+                current < baseline / tol.timing_factor,
+                format!("≥ {:.3}", baseline / tol.timing_factor),
+            )
+        } else {
+            (
+                current > baseline * tol.timing_factor,
+                format!("≤ {:.3}", baseline * tol.timing_factor),
+            )
+        };
+        return worse.then(|| {
+            format!("timing {metric}: {current:.3} vs baseline {baseline:.3} (allowed {allowed})")
+        });
+    }
+    // Machine-independent metric: relative slack plus a small absolute
+    // floor so near-zero baselines don't trip on rounding.
+    let slack = baseline.abs() * tol.ratio_slack + 0.05;
+    let worse = if higher_better { current < baseline - slack } else { current > baseline + slack };
+    worse.then(|| {
+        format!("metric {metric}: {current:.4} vs baseline {baseline:.4} (slack ±{slack:.4})")
+    })
+}
+
+fn load(path: &str) -> Vec<Headline> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot read {path}: {e}");
+        exit(2);
+    });
+    parse_headlines(&text).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot parse {path}: {e}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tol = Tolerances { timing_factor: 8.0, ratio_slack: 0.5 };
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timing-factor" => {
+                tol.timing_factor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--timing-factor needs a number"));
+            }
+            "--ratio-slack" => {
+                tol.ratio_slack = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--ratio-slack needs a number"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: benchdiff BASELINE.json CURRENT.json \
+                     [--timing-factor F] [--ratio-slack S]"
+                );
+                return;
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        die("expected exactly two paths: BASELINE.json CURRENT.json");
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    let mut compared = 0usize;
+    for b in &baseline {
+        match current.iter().find(|c| c.experiment == b.experiment && c.metric == b.metric) {
+            None => missing.push(format!("{}/{}", b.experiment, b.metric)),
+            Some(c) => {
+                compared += 1;
+                if let Some(reason) = regression(&b.metric, b.value, c.value, tol) {
+                    regressions.push(format!("{}/{}", b.experiment, reason));
+                }
+            }
+        }
+    }
+    let extra = current
+        .iter()
+        .filter(|c| !baseline.iter().any(|b| b.experiment == c.experiment && b.metric == c.metric))
+        .count();
+
+    println!(
+        "benchdiff: {compared} metric(s) compared, {} missing, {extra} new, {} regression(s)",
+        missing.len(),
+        regressions.len()
+    );
+    for m in &missing {
+        println!("  MISSING   {m}");
+    }
+    for r in &regressions {
+        println!("  REGRESSED {r}");
+    }
+    if !missing.is_empty() || !regressions.is_empty() {
+        exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("benchdiff: {msg}");
+    exit(2)
+}

@@ -35,7 +35,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|e9|all]* \
+                    "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|e9|e10|all]* \
                      [--seed N] [--smoke] [--json PATH]\n\n\
                      --smoke      run every experiment at minimal repetition counts; exercises\n\
                      \x20            the full harness in well under a second so CI catches rot\n\
@@ -47,11 +47,12 @@ fn main() {
         }
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
-        selected =
-            ["e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure", "e9"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        selected = [
+            "e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure", "e9", "e10",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     // Figure 4.1's timing repetitions dominate the run; the smoke path
     // keeps every driver on its real code path but minimizes repetition.
@@ -103,6 +104,11 @@ fn main() {
             "e9" | "service" => {
                 let (rows, s) = sqo_bench::service_throughput(seed, smoke);
                 headlines.extend(sqo_bench::e9_headlines(&rows));
+                println!("{s}");
+            }
+            "e10" | "coldpath" => {
+                let (row, s) = sqo_bench::cold_path_latency(seed, smoke);
+                headlines.extend(sqo_bench::e10_headlines(&row));
                 println!("{s}");
             }
             other => die(&format!("unknown experiment `{other}`")),

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use sqo_baseline::{ApplicationOrder, StraightforwardOptimizer};
 use sqo_constraints::{AssignmentPolicy, ConstraintStore, StoreOptions};
-use sqo_core::{OptimizerConfig, SemanticOptimizer, StructuralOracle};
+use sqo_core::{OptimizerConfig, OptimizerScratch, SemanticOptimizer, StructuralOracle};
 use sqo_exec::{execute, plan_query, CostBasedOracle, CostModel};
 use sqo_query::Query;
 use sqo_service::{QueryService, ServiceConfig};
@@ -672,6 +672,127 @@ pub fn service_throughput(seed: u64, smoke: bool) -> (Vec<E9Row>, String) {
             t.render()
         ),
     )
+}
+
+// ---------------------------------------------------------------------------
+// E10 — cold-path latency: optimize+plan wall clock, p50/p99.
+// ---------------------------------------------------------------------------
+
+/// Latency distribution of the cold path (the work a [`QueryService`] does
+/// on every cache miss and after every epoch bump): semantic optimization
+/// plus conventional planning, excluding execution.
+#[derive(Debug, Clone, Copy)]
+pub struct E10Row {
+    /// Samples behind the percentiles.
+    pub samples: usize,
+    pub optimize_plan_p50_us: f64,
+    pub optimize_plan_p99_us: f64,
+    pub optimize_plan_mean_us: f64,
+    /// Mean share of the optimize+plan time spent in each optimizer phase
+    /// (constraint retrieval / table init / transformation / formulation),
+    /// the remainder being the conventional planner.
+    pub retrieval_us: f64,
+    pub init_us: f64,
+    pub transform_us: f64,
+    pub formulate_us: f64,
+    pub plan_us: f64,
+}
+
+fn percentile_us(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_nanos() as f64 / 1000.0
+}
+
+/// E10: cold-path optimize+plan latency over the E9 distinct-query set.
+///
+/// Every sample runs the full miss pipeline — grouped-index constraint
+/// retrieval, transformation-table fixpoint, formulation with the
+/// cost-based oracle, then conventional planning — against the DB1
+/// scenario, exactly what `QueryService` pays per cache miss.
+pub fn cold_path_latency(seed: u64, smoke: bool) -> (E10Row, String) {
+    let scenario = paper_scenario(DbSize::Db1, seed);
+    let store = Arc::new(scenario.store);
+    let db = Arc::new(scenario.db);
+    let workload = service_workload(
+        &scenario.queries,
+        &ServiceWorkloadConfig { seed: seed.wrapping_add(90), requests: 16, ..Default::default() },
+    );
+    let optimizer = SemanticOptimizer::shared(Arc::clone(&store));
+    let oracle = CostBasedOracle::new(&db);
+    let model = CostModel::default();
+    let mut scratch = OptimizerScratch::new();
+
+    let reps = if smoke { 8 } else { 400 };
+    // Warm-up: fault in per-query state once, outside the measurement.
+    for q in &workload.distinct {
+        let out = optimizer.optimize_with(q, &oracle, &mut scratch).expect("optimize");
+        let _ = plan_query(&db, &out.query, &model);
+    }
+    let mut lat: Vec<Duration> = Vec::with_capacity(reps * workload.distinct.len());
+    let (mut retr, mut init, mut tran, mut form, mut plan_t) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for _ in 0..reps {
+        for q in &workload.distinct {
+            let t0 = Instant::now();
+            let out = optimizer.optimize_with(q, &oracle, &mut scratch).expect("optimize");
+            let t1 = Instant::now();
+            let plan_elapsed = if out.report.provably_empty {
+                Duration::ZERO
+            } else {
+                std::hint::black_box(plan_query(&db, &out.query, &model).expect("plan"));
+                t1.elapsed()
+            };
+            lat.push(t0.elapsed());
+            let t = &out.report.timings;
+            retr += t.retrieval.as_nanos() as f64 / 1000.0;
+            init += t.initialization.as_nanos() as f64 / 1000.0;
+            tran += t.transformation.as_nanos() as f64 / 1000.0;
+            form += t.formulation.as_nanos() as f64 / 1000.0;
+            plan_t += plan_elapsed.as_nanos() as f64 / 1000.0;
+        }
+    }
+    lat.sort_unstable();
+    let n = lat.len() as f64;
+    let row = E10Row {
+        samples: lat.len(),
+        optimize_plan_p50_us: percentile_us(&lat, 0.50),
+        optimize_plan_p99_us: percentile_us(&lat, 0.99),
+        optimize_plan_mean_us: lat.iter().map(|d| d.as_nanos() as f64 / 1000.0).sum::<f64>() / n,
+        retrieval_us: retr / n,
+        init_us: init / n,
+        transform_us: tran / n,
+        formulate_us: form / n,
+        plan_us: plan_t / n,
+    };
+    let mut t = TextTable::new(vec!["metric", "µs"]);
+    t.row(vec!["optimize+plan p50".into(), format!("{:.2}", row.optimize_plan_p50_us)]);
+    t.row(vec!["optimize+plan p99".into(), format!("{:.2}", row.optimize_plan_p99_us)]);
+    t.row(vec!["optimize+plan mean".into(), format!("{:.2}", row.optimize_plan_mean_us)]);
+    t.row(vec!["  constraint retrieval (mean)".into(), format!("{:.2}", row.retrieval_us)]);
+    t.row(vec!["  table initialization (mean)".into(), format!("{:.2}", row.init_us)]);
+    t.row(vec!["  transformation (mean)".into(), format!("{:.2}", row.transform_us)]);
+    t.row(vec!["  formulation (mean)".into(), format!("{:.2}", row.formulate_us)]);
+    t.row(vec!["  conventional planning (mean)".into(), format!("{:.2}", row.plan_us)]);
+    (
+        row,
+        format!(
+            "E10: Cold-path optimize+plan latency ({} samples over {} distinct DB1 queries)\n{}",
+            row.samples,
+            workload.distinct.len(),
+            t.render()
+        ),
+    )
+}
+
+/// Headline numbers of E10.
+pub fn e10_headlines(row: &E10Row) -> Vec<Headline> {
+    vec![
+        Headline::new("e10", "optimize_plan_p50_us", row.optimize_plan_p50_us),
+        Headline::new("e10", "optimize_plan_p99_us", row.optimize_plan_p99_us),
+        Headline::new("e10", "optimize_plan_mean_us", row.optimize_plan_mean_us),
+    ]
 }
 
 /// Headline numbers of E9.

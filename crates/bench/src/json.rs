@@ -59,6 +59,82 @@ pub fn render_json(seed: u64, smoke: bool, headlines: &[Headline]) -> String {
     out
 }
 
+/// Parses a headline document produced by [`render_json`] back into
+/// [`Headline`]s (experiment names are leaked to `'static` — the parser
+/// serves the one-shot `benchdiff` binary, not a long-running process).
+///
+/// The grammar accepted is exactly the emitter's output shape: a top-level
+/// object with an `"experiments"` object of objects of numbers. Returns a
+/// readable error for anything else.
+pub fn parse_headlines(text: &str) -> Result<Vec<Headline>, String> {
+    let experiments_key = "\"experiments\"";
+    let start =
+        text.find(experiments_key).ok_or_else(|| "no \"experiments\" object found".to_string())?;
+    let rest = &text[start + experiments_key.len()..];
+    let brace = rest.find('{').ok_or_else(|| "\"experiments\" is not an object".to_string())?;
+    let mut out = Vec::new();
+    let mut chars = rest[brace + 1..].char_indices().peekable();
+    let body = &rest[brace + 1..];
+    let mut current_exp: Option<&'static str> = None;
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                let key_start = i + 1;
+                let mut key_end = None;
+                for (j, cj) in chars.by_ref() {
+                    if cj == '"' {
+                        key_end = Some(j);
+                        break;
+                    }
+                }
+                let key_end = key_end.ok_or_else(|| "unterminated string".to_string())?;
+                let key = &body[key_start..key_end];
+                // What follows decides whether this key names an experiment
+                // (`: {`) or a metric (`: <number>`).
+                let mut after = String::new();
+                for (_, cj) in chars.by_ref() {
+                    if cj == ':' {
+                        continue;
+                    }
+                    if cj.is_whitespace() {
+                        continue;
+                    }
+                    after.push(cj);
+                    break;
+                }
+                match after.chars().next() {
+                    Some('{') => current_exp = Some(Box::leak(key.to_string().into_boxed_str())),
+                    Some(first) => {
+                        let exp = current_exp
+                            .ok_or_else(|| format!("metric {key:?} outside an experiment"))?;
+                        let mut num = String::new();
+                        num.push(first);
+                        while let Some(&(_, cj)) = chars.peek() {
+                            if cj == ',' || cj == '}' || cj.is_whitespace() {
+                                break;
+                            }
+                            num.push(cj);
+                            chars.next();
+                        }
+                        let value = if num == "null" {
+                            f64::NAN
+                        } else {
+                            num.parse::<f64>()
+                                .map_err(|e| format!("bad number {num:?} for {key:?}: {e}"))?
+                        };
+                        out.push(Headline::new(exp, key, value));
+                    }
+                    None => return Err(format!("truncated document after key {key:?}")),
+                }
+            }
+            '}' if current_exp.is_some() => current_exp = None,
+            '}' => break, // end of the experiments object
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
 fn number(v: f64) -> String {
     if !v.is_finite() {
         return "null".to_string();
@@ -122,5 +198,32 @@ mod tests {
         assert_eq!(number(0.125), "0.125");
         assert_eq!(number(f64::INFINITY), "null");
         assert!(number(1.0e18).parse::<f64>().is_ok());
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let hs = vec![
+            Headline::new("e9", "speedup_t1", 7.25),
+            Headline::new("e9", "warm_qps_t8", 120000.0),
+            Headline::new("table41", "avg_class_cardinality_db1", 52.0),
+            Headline::new("e10", "optimize_plan_p50_us", 12.875),
+        ];
+        let parsed = parse_headlines(&render_json(42, false, &hs)).unwrap();
+        assert_eq!(parsed.len(), hs.len());
+        for (p, h) in parsed.iter().zip(&hs) {
+            assert_eq!(p.experiment, h.experiment);
+            assert_eq!(p.metric, h.metric);
+            assert!((p.value - h.value).abs() < 1e-12, "{p:?} vs {h:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_null_and_rejects_garbage() {
+        let hs = vec![Headline::new("x", "nan_metric", f64::NAN)];
+        let parsed = parse_headlines(&render_json(0, true, &hs)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed[0].value.is_nan());
+        assert!(parse_headlines("not json at all").is_err());
+        assert!(parse_headlines("{\"experiments\": {\"e\": {\"m\": abc}}}").is_err());
     }
 }

@@ -14,10 +14,14 @@
 //! | E7 | priority-queue budget | [`experiments::budget_sweep`] |
 //! | E8 | closure materialization | [`experiments::closure_ablation`] |
 //! | E9 | serving-layer throughput (plan cache) | [`experiments::service_throughput`] |
+//! | E10 | cold-path optimize+plan latency (p50/p99) | [`experiments::cold_path_latency`] |
 //!
 //! The `report` binary prints any subset (and emits machine-readable
 //! headline numbers with `--json <path>`); the Criterion benches under
-//! `benches/` measure the same code paths with statistical rigor.
+//! `benches/` measure the same code paths with statistical rigor. The
+//! `benchdiff` binary compares two `--json` documents and fails on
+//! regression — CI runs it against the committed `BENCH_<n>.json`
+//! baseline.
 
 #![forbid(unsafe_code)]
 
@@ -26,8 +30,8 @@ pub mod fmt;
 pub mod json;
 
 pub use experiments::{
-    baseline_comparison, budget_sweep, calibrate_units_per_second, closure_ablation, e9_headlines,
-    fig41_headlines, figure41, grouping, service_throughput, table41, table42, table42_headlines,
-    E9Row, Fig41Point, Table42Row,
+    baseline_comparison, budget_sweep, calibrate_units_per_second, closure_ablation,
+    cold_path_latency, e10_headlines, e9_headlines, fig41_headlines, figure41, grouping,
+    service_throughput, table41, table42, table42_headlines, E10Row, E9Row, Fig41Point, Table42Row,
 };
-pub use json::{render_json, Headline};
+pub use json::{parse_headlines, render_json, Headline};

@@ -11,12 +11,14 @@
 //! configurable limits; truncation is safe (the closure only *adds*
 //! optimization opportunities, never correctness).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use sqo_catalog::Catalog;
 
 use crate::error::ConstraintError;
 use crate::horn::{HornConstraint, Origin};
+use crate::index::AttrKey;
+use crate::pool::PredicatePool;
 
 /// Limits for the fixpoint computation.
 #[derive(Debug, Clone, Copy)]
@@ -44,13 +46,59 @@ pub struct ClosureResult {
     pub truncated: bool,
 }
 
-/// Canonical dedup key: order-insensitive in the antecedents.
-fn key(c: &HornConstraint) -> String {
-    let mut ants: Vec<String> = c.antecedents.iter().map(|p| format!("{p:?}")).collect();
+/// Canonical dedup key: order-insensitive in the antecedents. Predicates
+/// are interned into a shared [`PredicatePool`] so the key is three small
+/// integer lists instead of a formatted string — canonical predicates make
+/// structural interning coincide with logical equality.
+type DedupKey = (Vec<u32>, Vec<u32>, u32);
+
+fn key(pool: &mut PredicatePool, c: &HornConstraint) -> DedupKey {
+    let mut ants: Vec<u32> = c.antecedents.iter().map(|p| pool.intern(p.clone()).0).collect();
     ants.sort_unstable();
     let mut rels: Vec<u32> = c.relationships.iter().map(|r| r.0).collect();
     rels.sort_unstable();
-    format!("{ants:?}|{rels:?}|{:?}", c.consequent)
+    (ants, rels, pool.intern(c.consequent.clone()).0)
+}
+
+/// Attribute-keyed postings over the working constraint set: which
+/// constraints *consume* (have an antecedent on) and which *produce* (have
+/// their consequent on) a given attribute key. Because implication never
+/// crosses attribute keys, these postings are a complete candidate filter
+/// for [`resolve`] — the fixpoint probes them instead of pairing every
+/// frontier constraint against the whole set.
+#[derive(Debug, Default)]
+struct ResolutionIndex {
+    consumers: HashMap<AttrKey, Vec<usize>>,
+    producers: HashMap<AttrKey, Vec<usize>>,
+}
+
+impl ResolutionIndex {
+    fn file(&mut self, i: usize, c: &HornConstraint) {
+        for a in &c.antecedents {
+            let bucket = self.consumers.entry(AttrKey::of(a)).or_default();
+            if bucket.last() != Some(&i) {
+                bucket.push(i);
+            }
+        }
+        self.producers.entry(AttrKey::of(&c.consequent)).or_default().push(i);
+    }
+
+    fn consumers_of(&self, key: AttrKey) -> &[usize] {
+        self.consumers.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Constraints whose consequent could discharge one of `c`'s
+    /// antecedents, ascending and deduplicated.
+    fn producers_for(&self, c: &HornConstraint, out: &mut Vec<usize>) {
+        out.clear();
+        for a in &c.antecedents {
+            out.extend_from_slice(
+                self.producers.get(&AttrKey::of(a)).map(|v| v.as_slice()).unwrap_or(&[]),
+            );
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
 }
 
 /// Attempts the resolution of `ci` into `cj`: discharge every antecedent of
@@ -94,26 +142,53 @@ pub fn transitive_closure(
     options: ClosureOptions,
 ) -> Result<ClosureResult, ConstraintError> {
     let mut all = constraints;
-    let mut seen: HashSet<String> = all.iter().map(key).collect();
+    let mut pool = PredicatePool::new();
+    let mut seen: HashSet<DedupKey> = HashSet::with_capacity(all.len() * 2);
+    let mut index = ResolutionIndex::default();
+    for (i, c) in all.iter().enumerate() {
+        seen.insert(key(&mut pool, c));
+        index.file(i, c);
+    }
     let mut derived_count = 0usize;
     let mut truncated = false;
     let mut rounds = 0usize;
 
-    // Frontier-based semi-naive iteration: only pair new constraints against
-    // everything each round.
+    // Frontier-based semi-naive iteration, probing the attribute-keyed
+    // postings instead of pairing each new constraint with the whole set:
+    // only constraints sharing an attribute key can ever resolve, so the
+    // probe is recall-complete and the derived set matches the exhaustive
+    // pairing exactly (same discovery order, see the merge walk below).
+    let mut producers: Vec<usize> = Vec::new();
     let mut frontier: Vec<usize> = (0..all.len()).collect();
     while !frontier.is_empty() && rounds < options.max_rounds {
         rounds += 1;
         let mut fresh: Vec<HornConstraint> = Vec::new();
         for &fi in &frontier {
-            for j in 0..all.len() {
-                if fi == j {
+            // `consumers` could absorb fi's consequent (direction fi → j);
+            // `producers` could discharge one of fi's antecedents (j → fi).
+            // Walk both ascending, trying (fi, j) before (j, fi) per j — the
+            // candidate order of the exhaustive double loop.
+            let consumers = index.consumers_of(AttrKey::of(&all[fi].consequent));
+            index.producers_for(&all[fi], &mut producers);
+            let (mut ci, mut pi) = (0usize, 0usize);
+            while ci < consumers.len() || pi < producers.len() {
+                let j = match (consumers.get(ci), producers.get(pi)) {
+                    (Some(&c), Some(&p)) => c.min(p),
+                    (Some(&c), None) => c,
+                    (None, Some(&p)) => p,
+                    (None, None) => unreachable!(),
+                };
+                let as_consumer = consumers.get(ci) == Some(&j);
+                let as_producer = producers.get(pi) == Some(&j);
+                ci += usize::from(as_consumer);
+                pi += usize::from(as_producer);
+                if j == fi {
                     continue;
                 }
-                // Both directions: frontier as producer and as consumer.
-                for (a, b) in [(fi, j), (j, fi)] {
+                let dirs = [as_consumer.then_some((fi, j)), as_producer.then_some((j, fi))];
+                for (a, b) in dirs.into_iter().flatten() {
                     if let Some(d) = resolve(catalog, &all[a], &all[b]) {
-                        let k = key(&d);
+                        let k = key(&mut pool, &d);
                         if seen.insert(k) {
                             if derived_count >= options.max_derived {
                                 truncated = true;
@@ -131,6 +206,9 @@ pub fn transitive_closure(
         }
         let start = all.len();
         all.extend(fresh);
+        for (i, c) in all.iter().enumerate().skip(start) {
+            index.file(i, c);
+        }
         frontier = (start..all.len()).collect();
     }
     if !frontier.is_empty() && rounds >= options.max_rounds {

@@ -23,6 +23,7 @@ mod dsl;
 mod error;
 mod examples;
 mod horn;
+mod index;
 mod pool;
 mod store;
 
@@ -31,6 +32,7 @@ pub use dsl::ConstraintBuilder;
 pub use error::ConstraintError;
 pub use examples::figure22;
 pub use horn::{ConstraintClass, ConstraintDisplay, ConstraintId, HornConstraint, Origin};
+pub use index::{AttrKey, ConstraintIndex, RetrievalScratch};
 pub use pool::{PredId, PredicatePool};
 pub use store::{
     AssignmentPolicy, CompiledConstraint, ConstraintStore, RetrievalMetrics, StoreOptions,

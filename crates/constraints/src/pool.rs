@@ -43,6 +43,13 @@ impl PredicatePool {
         Self::default()
     }
 
+    /// Empties the pool while keeping its allocations, so one pool can be
+    /// reused across many per-query builds (the optimizer-scratch pattern).
+    pub fn clear(&mut self) {
+        self.preds.clear();
+        self.index.clear();
+    }
+
     /// Interns a predicate, returning its id (existing or fresh).
     pub fn intern(&mut self, pred: Predicate) -> PredId {
         if let Some(&id) = self.index.get(&pred) {

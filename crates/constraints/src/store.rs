@@ -25,6 +25,7 @@ use sqo_query::Query;
 use crate::closure::{transitive_closure, ClosureOptions};
 use crate::error::ConstraintError;
 use crate::horn::{ConstraintClass, ConstraintId, HornConstraint, Origin};
+use crate::index::{ConstraintIndex, RetrievalScratch};
 use crate::pool::{PredId, PredicatePool};
 
 /// How a constraint picks its home group among the classes it references.
@@ -108,6 +109,10 @@ pub struct ConstraintStore {
     pool: PredicatePool,
     /// groups[class] = constraints assigned to that class.
     groups: RwLock<Vec<Vec<ConstraintId>>>,
+    /// Exact inverted index over the compiled constraints — the production
+    /// retrieval path ([`ConstraintStore::relevant_into`]); the grouped
+    /// scheme above stays as the paper's measured baseline.
+    index: ConstraintIndex,
     policy: AssignmentPolicy,
     access: AccessTracker,
     metrics: RetrievalMetrics,
@@ -151,12 +156,18 @@ impl ConstraintStore {
             .collect();
 
         let access = AccessTracker::new(catalog.class_count());
+        let index = ConstraintIndex::build(
+            catalog.class_count(),
+            catalog.relationship_count(),
+            compiled.iter().map(|c| (c, c.antecedents.iter().map(|&a| pool.get(a)).collect())),
+        );
         let store = Self {
             groups: RwLock::new(vec![Vec::new(); catalog.class_count()]),
             catalog,
             constraints,
             compiled,
             pool,
+            index,
             policy: options.policy,
             access,
             metrics: RetrievalMetrics::default(),
@@ -251,6 +262,9 @@ impl ConstraintStore {
             origin: constraint.origin,
         };
         let home = self.home_of(&compiled);
+        let antecedents: Vec<&sqo_query::Predicate> =
+            compiled.antecedents.iter().map(|&a| self.pool.get(a)).collect();
+        self.index.insert(&compiled, &antecedents);
         self.compiled.push(compiled);
         self.constraints.push(constraint);
         if let Some(home) = home {
@@ -266,39 +280,36 @@ impl ConstraintStore {
     /// `Arc` (the serving layer swaps the new store in while in-flight
     /// queries drain against the old one).
     ///
-    /// Retrieval metrics and access counters restart from zero in the new
-    /// store; grouping is recomputed under the same policy.
+    /// The copy is **incremental**: the predicate pool, compiled
+    /// constraints, secondary index, groups and access counters are cloned
+    /// as-is and only the new constraint is compiled and filed — O(new
+    /// constraint + store size in `memcpy`), not O(store × re-intern) as a
+    /// from-scratch rebuild would be. Existing constraints keep their group
+    /// homes; the newcomer is assigned under the current policy and live
+    /// access statistics. Retrieval metrics restart from zero.
     pub fn with_constraint(&self, constraint: HornConstraint) -> Self {
-        let mut constraints = self.constraints.clone();
-        constraints.push(constraint);
-        let mut pool = PredicatePool::new();
-        let compiled: Vec<CompiledConstraint> = constraints
-            .iter()
-            .enumerate()
-            .map(|(i, c)| CompiledConstraint {
-                id: ConstraintId(i as u32),
-                antecedents: c.antecedents.iter().cloned().map(|p| pool.intern(p)).collect(),
-                consequent: pool.intern(c.consequent.clone()),
-                relationships: c.relationships.clone(),
-                classes: c.classes.clone(),
-                classification: c.classification(),
-                origin: c.origin,
-            })
-            .collect();
-        let store = Self {
-            groups: RwLock::new(vec![Vec::new(); self.catalog.class_count()]),
+        let access = AccessTracker::new(self.catalog.class_count());
+        for c in 0..self.catalog.class_count() as u32 {
+            access.seed(ClassId(c), self.access.count(ClassId(c)));
+        }
+        let mut store = Self {
+            groups: RwLock::new(self.groups.read().clone()),
             catalog: Arc::clone(&self.catalog),
-            constraints,
-            compiled,
-            pool,
+            constraints: self.constraints.clone(),
+            compiled: self.compiled.clone(),
+            pool: self.pool.clone(),
+            index: self.index.clone(),
             policy: self.policy,
-            access: AccessTracker::new(self.catalog.class_count()),
+            access,
             metrics: RetrievalMetrics::default(),
             epoch: AtomicU64::new(self.epoch() + 1),
             derived_count: self.derived_count,
             closure_truncated: self.closure_truncated,
         };
-        store.regroup();
+        store.insert_constraint(constraint);
+        // `insert_constraint` bumped the epoch once more; keep the contract
+        // "exactly one past the source store" stable for cache invalidation.
+        store.epoch = AtomicU64::new(self.epoch() + 1);
         store
     }
 
@@ -358,6 +369,37 @@ impl ConstraintStore {
             .collect();
         self.metrics.relevant.fetch_add(relevant.len() as u64, Ordering::Relaxed);
         relevant
+    }
+
+    /// The exact relevant set via the secondary [`ConstraintIndex`] — the
+    /// production retrieval path. Writes ascending [`ConstraintId`]s into
+    /// `out` without allocating (given a warm `scratch`), records the
+    /// access-frequency counters that drive LFA regrouping, and returns the
+    /// same set as [`ConstraintStore::relevant_for`] /
+    /// [`ConstraintStore::relevant_for_ungrouped`] (property-tested in
+    /// `tests/prop_index_recall.rs`). Group-waste metrics are *not* touched:
+    /// the indexed path retrieves no irrelevant constraint to measure.
+    pub fn relevant_into(
+        &self,
+        query: &Query,
+        scratch: &mut RetrievalScratch,
+        out: &mut Vec<ConstraintId>,
+    ) {
+        self.access.record(query.classes.iter().copied());
+        self.index.relevant_into(query, scratch, out);
+    }
+
+    /// Allocating convenience wrapper around [`ConstraintStore::relevant_into`].
+    pub fn relevant_for_indexed(&self, query: &Query) -> Vec<ConstraintId> {
+        let mut scratch = RetrievalScratch::new();
+        let mut out = Vec::new();
+        self.relevant_into(query, &mut scratch, &mut out);
+        out
+    }
+
+    /// The secondary index over compiled constraints.
+    pub fn index(&self) -> &ConstraintIndex {
+        &self.index
     }
 
     /// Exhaustive relevance scan, bypassing the grouping scheme — the

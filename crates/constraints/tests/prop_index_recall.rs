@@ -1,0 +1,213 @@
+//! Recall-equivalence of the secondary constraint index: for arbitrary
+//! stores and queries, the indexed retrieval
+//! (`ConstraintStore::relevant_for_indexed`) must return **exactly** the
+//! same constraint set as the linear-scan baseline
+//! (`relevant_for_ungrouped`) and as the paper's grouped scheme
+//! (`relevant_for`) — the index may never drop a relevant constraint nor
+//! invent an irrelevant one, including across incremental inserts and
+//! copy-on-write store copies.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use sqo_catalog::{AttributeDef, Catalog, ClassId, DataType, RelId};
+use sqo_constraints::{ConstraintStore, HornConstraint, Origin, StoreOptions};
+use sqo_query::{CompOp, Predicate, Query};
+
+const CLASSES: usize = 6;
+const ATTRS: usize = 3;
+
+/// A 6-class chain schema with 3 int attributes per class and a
+/// relationship between each adjacent pair — enough shape for constraints
+/// spanning 1–3 classes with relationship requirements.
+fn catalog() -> Arc<Catalog> {
+    let mut b = Catalog::builder();
+    let mut ids = Vec::new();
+    for c in 0..CLASSES {
+        let attrs = (0..ATTRS).map(|a| AttributeDef::new(format!("a{a}"), DataType::Int)).collect();
+        ids.push(b.class(format!("c{c}"), attrs).unwrap());
+    }
+    for w in ids.windows(2) {
+        b.many_to_one(format!("r{}", w[0].0), w[0], w[1]).unwrap();
+    }
+    Arc::new(b.build().unwrap())
+}
+
+/// One randomly-shaped (but always valid) constraint: distinct antecedent
+/// attributes, a consequent on a different attribute, and any subset of the
+/// adjacent relationships among the referenced classes.
+#[derive(Debug, Clone)]
+struct RawConstraint {
+    antecedents: Vec<(usize, usize, i64)>, // (class, attr, value)
+    consequent: (usize, usize, i64),
+    rels: Vec<usize>,
+}
+
+fn raw_constraint() -> impl Strategy<Value = RawConstraint> {
+    let site = (0..CLASSES, 0..ATTRS, -3i64..3);
+    (
+        proptest::collection::vec(site.clone(), 0..3),
+        site,
+        proptest::collection::vec(0..(CLASSES - 1), 0..2),
+    )
+        .prop_map(|(antecedents, consequent, rels)| RawConstraint {
+            antecedents,
+            consequent,
+            rels,
+        })
+}
+
+fn materialize(catalog: &Catalog, raw: &RawConstraint) -> Option<HornConstraint> {
+    let pred = |&(c, a, v): &(usize, usize, i64)| {
+        let attr = catalog.attr_ref(&format!("c{c}"), &format!("a{a}")).unwrap();
+        Predicate::sel(attr, CompOp::Eq, v)
+    };
+    // Drop clauses with duplicate antecedent sites — same-attribute equality
+    // pairs are either redundant or contradictory, both rejected anyway.
+    let mut sites: Vec<(usize, usize)> = raw.antecedents.iter().map(|&(c, a, _)| (c, a)).collect();
+    sites.push((raw.consequent.0, raw.consequent.1));
+    sites.sort_unstable();
+    sites.dedup();
+    if sites.len() != raw.antecedents.len() + 1 {
+        return None;
+    }
+    HornConstraint::new(
+        catalog,
+        "p",
+        raw.antecedents.iter().map(pred).collect(),
+        raw.rels.iter().map(|&r| RelId(r as u32)).collect(),
+        pred(&raw.consequent),
+        vec![],
+        Origin::Declared,
+    )
+    .ok()
+}
+
+/// A raw retrieval probe: any class subset and relationship subset. The
+/// retrieval APIs only consult these two lists, so the probe need not be an
+/// executable (connected, projected) query.
+fn raw_query() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        proptest::collection::vec(0..CLASSES, 0..CLASSES),
+        proptest::collection::vec(0..(CLASSES - 1), 0..3),
+    )
+}
+
+fn probe(classes: &[usize], rels: &[usize]) -> Query {
+    let mut q = Query::new();
+    q.classes = classes.iter().map(|&c| ClassId(c as u32)).collect();
+    q.classes.sort_unstable();
+    q.classes.dedup();
+    q.relationships = rels.iter().map(|&r| RelId(r as u32)).collect();
+    q.relationships.sort_unstable();
+    q.relationships.dedup();
+    q
+}
+
+fn assert_equivalent(store: &ConstraintStore, query: &Query) {
+    let mut indexed = store.relevant_for_indexed(query);
+    let mut grouped = store.relevant_for(query);
+    let mut linear = store.relevant_for_ungrouped(query);
+    indexed.sort_unstable();
+    grouped.sort_unstable();
+    linear.sort_unstable();
+    assert_eq!(indexed, linear, "index must match the linear scan exactly");
+    assert_eq!(grouped, linear, "grouped retrieval must match the linear scan exactly");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `(ClassId, attr)` antecedent postings are complete and exact:
+    /// `watchers(key)` returns precisely the constraints holding a value
+    /// antecedent on that attribute — the candidate set a predicate on the
+    /// attribute could enable (implication never crosses attributes).
+    #[test]
+    fn antecedent_watchers_match_brute_force(
+        raws in proptest::collection::vec(raw_constraint(), 0..16),
+    ) {
+        let catalog = catalog();
+        let constraints: Vec<HornConstraint> =
+            raws.iter().filter_map(|r| materialize(&catalog, r)).collect();
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            constraints,
+            StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+        ).unwrap();
+        for c in 0..CLASSES {
+            for a in 0..ATTRS {
+                let attr = catalog.attr_ref(&format!("c{c}"), &format!("a{a}")).unwrap();
+                let probe = Predicate::sel(attr, CompOp::Eq, 0i64);
+                let mut indexed: Vec<_> =
+                    store.index().watchers(sqo_constraints::AttrKey::of(&probe)).to_vec();
+                indexed.sort_unstable();
+                let mut brute: Vec<_> = store
+                    .constraints()
+                    .filter(|(_, hc)| hc.antecedents.iter().any(
+                        |p| sqo_constraints::AttrKey::of(p) == sqo_constraints::AttrKey::of(&probe),
+                    ))
+                    .map(|(id, _)| id)
+                    .collect();
+                brute.sort_unstable();
+                assert_eq!(indexed, brute, "watchers must equal the brute-force antecedent scan");
+            }
+        }
+    }
+
+    /// Build-time index: equivalence over arbitrary stores and probes.
+    #[test]
+    fn indexed_retrieval_equals_linear_scan(
+        raws in proptest::collection::vec(raw_constraint(), 0..16),
+        probes in proptest::collection::vec(raw_query(), 1..8),
+        materialize_closure in (0..2usize).prop_map(|b| b == 1),
+    ) {
+        let catalog = catalog();
+        let constraints: Vec<HornConstraint> =
+            raws.iter().filter_map(|r| materialize(&catalog, r)).collect();
+        let store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            constraints,
+            StoreOptions { materialize_closure, ..StoreOptions::paper_defaults() },
+        ).unwrap();
+        for (classes, rels) in &probes {
+            assert_equivalent(&store, &probe(classes, rels));
+        }
+    }
+
+    /// The index stays exact across in-place inserts and copy-on-write
+    /// copies (the serving layer's constraint-update path).
+    #[test]
+    fn index_survives_inserts_and_cow_copies(
+        base in proptest::collection::vec(raw_constraint(), 0..8),
+        extra in proptest::collection::vec(raw_constraint(), 1..6),
+        probes in proptest::collection::vec(raw_query(), 1..6),
+    ) {
+        let catalog = catalog();
+        let constraints: Vec<HornConstraint> =
+            base.iter().filter_map(|r| materialize(&catalog, r)).collect();
+        let mut store = ConstraintStore::build(
+            Arc::clone(&catalog),
+            constraints,
+            StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+        ).unwrap();
+        let seeds: Vec<HornConstraint> =
+            extra.iter().filter_map(|r| materialize(&catalog, r)).collect();
+        prop_assume!(!seeds.is_empty());
+        // Keep the in-place store and the copy-on-write chain in lockstep.
+        store.insert_constraint(seeds[0].clone());
+        let mut cow = ConstraintStore::build(
+            Arc::clone(&catalog),
+            base.iter().filter_map(|r| materialize(&catalog, r)).collect(),
+            StoreOptions { materialize_closure: false, ..StoreOptions::paper_defaults() },
+        ).unwrap().with_constraint(seeds[0].clone());
+        for c in &seeds[1..] {
+            store.insert_constraint(c.clone());
+            cow = cow.with_constraint(c.clone());
+        }
+        for (classes, rels) in &probes {
+            let q = probe(classes, rels);
+            assert_equivalent(&store, &q);
+            assert_equivalent(&cow, &q);
+        }
+    }
+}

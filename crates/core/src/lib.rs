@@ -53,6 +53,7 @@ mod optimizer;
 mod oracle;
 mod queue;
 mod report;
+mod scratch;
 mod table;
 mod tag;
 mod transform;
@@ -64,9 +65,11 @@ pub use optimizer::{Optimized, SemanticOptimizer};
 pub use oracle::{DropAllOracle, ProfitOracle, StructuralOracle};
 pub use queue::{ActionKind, TransformationQueue};
 pub use report::{OptimizationReport, PhaseTimings};
-pub use table::{Row, TransformationTable};
+pub use scratch::OptimizerScratch;
+pub use table::{Row, TableBuffers, TransformationTable};
 pub use tag::{CellState, ColumnPresence, PredicateTag};
 pub use transform::{
-    run_transformations, target_tag, TransformLog, TransformationKind, TransformationRecord,
+    run_transformations, run_transformations_with, target_tag, TransformLog, TransformScratch,
+    TransformationKind, TransformationRecord,
 };
 pub use verify::{verify_optimization, VerificationReport};

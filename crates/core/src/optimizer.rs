@@ -17,8 +17,9 @@ use crate::config::OptimizerConfig;
 use crate::formulate::formulate;
 use crate::oracle::ProfitOracle;
 use crate::report::{OptimizationReport, PhaseTimings};
+use crate::scratch::OptimizerScratch;
 use crate::table::TransformationTable;
-use crate::transform::run_transformations;
+use crate::transform::run_transformations_with;
 
 /// The optimized query plus the full report.
 #[derive(Debug, Clone)]
@@ -96,34 +97,60 @@ impl<'a> SemanticOptimizer<'a> {
 
     /// Optimizes `query` (which must validate against the catalog),
     /// delegating cost–benefit decisions to `oracle`.
+    ///
+    /// Allocates fresh working memory per call; long-lived callers that
+    /// optimize repeatedly should hold an [`OptimizerScratch`] and use
+    /// [`SemanticOptimizer::optimize_with`] instead.
     pub fn optimize(
         &self,
         query: &Query,
         oracle: &dyn ProfitOracle,
     ) -> Result<Optimized, QueryError> {
+        self.optimize_with(query, oracle, &mut OptimizerScratch::new())
+    }
+
+    /// [`SemanticOptimizer::optimize`] against reusable working memory: the
+    /// indexed constraint retrieval, the transformation table and the
+    /// fixpoint loop all run out of `scratch`'s buffers, so a warmed-up
+    /// caller pays near-zero transient allocation per query — the exact
+    /// pattern the serving layer hits on every cache miss.
+    pub fn optimize_with(
+        &self,
+        query: &Query,
+        oracle: &dyn ProfitOracle,
+        scratch: &mut OptimizerScratch,
+    ) -> Result<Optimized, QueryError> {
         let store = self.store.get();
         let catalog = store.catalog().clone();
         query.validate(&catalog)?;
 
-        // Phase 0: constraint retrieval via the grouping scheme.
+        // Phase 0: constraint retrieval via the secondary index (exact, no
+        // group waste; recall-equivalent to the grouped scheme).
         let t0 = Instant::now();
-        let relevant = store.relevant_for(query);
+        let OptimizerScratch { retrieval, relevant, table: table_buf, transform } = scratch;
+        store.relevant_into(query, retrieval, relevant);
         let retrieval = t0.elapsed();
 
         // Phase 1: initialization (§3.1).
         let t1 = Instant::now();
-        let mut table =
-            TransformationTable::build(&catalog, store, &relevant, query, self.config.match_policy);
+        let mut table = TransformationTable::build_with(
+            &catalog,
+            store,
+            relevant,
+            query,
+            self.config.match_policy,
+            table_buf,
+        );
         let initialization = t1.elapsed();
 
         // Phases 2+3: queue updates and transformations (§3.2, §3.3).
         let t2 = Instant::now();
-        let log = run_transformations(&mut table, &self.config);
+        let log = run_transformations_with(&mut table, &self.config, transform);
         let transformation = t2.elapsed();
 
         // Phase 4: query formulation (§3.4).
         let t3 = Instant::now();
-        let formulation_result = formulate(&catalog, query, &table, &self.config, oracle);
+        let mut formulation_result = formulate(&catalog, query, &table, &self.config, oracle);
         let formulation = t3.elapsed();
 
         debug_assert!(
@@ -132,15 +159,17 @@ impl<'a> SemanticOptimizer<'a> {
             formulation_result.query
         );
 
+        let optimized_query = std::mem::take(&mut formulation_result.query);
         let report = OptimizationReport::from_parts(
             relevant.len(),
             table.column_count(),
             query.classes.len(),
             log,
-            formulation_result.clone(),
+            formulation_result,
             PhaseTimings { retrieval, initialization, transformation, formulation },
         );
-        Ok(Optimized { query: formulation_result.query, report })
+        table.recycle(table_buf);
+        Ok(Optimized { query: optimized_query, report })
     }
 }
 

@@ -54,13 +54,26 @@ pub struct TransformationQueue {
 
 impl TransformationQueue {
     pub fn new(discipline: QueueDiscipline, rows: usize) -> Self {
-        Self {
+        let mut q = Self {
             discipline,
             fifo: VecDeque::new(),
             heap: BinaryHeap::new(),
-            queued: vec![false; rows],
+            queued: Vec::new(),
             seq: 0,
-        }
+        };
+        q.reset(discipline, rows);
+        q
+    }
+
+    /// Re-initializes the queue for a new run of `rows` rows, keeping the
+    /// backing allocations (the optimizer-scratch pattern).
+    pub fn reset(&mut self, discipline: QueueDiscipline, rows: usize) {
+        self.discipline = discipline;
+        self.fifo.clear();
+        self.heap.clear();
+        self.queued.clear();
+        self.queued.resize(rows, false);
+        self.seq = 0;
     }
 
     /// Enqueues a row (idempotent while the row is queued).

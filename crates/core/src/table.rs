@@ -13,8 +13,13 @@
 //!    lowerings from different constraints can never raise a tag;
 //! 2. all consequent cells of a column stay synchronized (the paper leaves
 //!    `AbsentConsequent` rows stale after an introduction).
-
-use std::collections::HashMap;
+//!
+//! Because the table is rebuilt for every optimized query — the dominant
+//! allocation source of the cold path — construction can run against a
+//! reusable [`TableBuffers`] ([`TransformationTable::build_with`] /
+//! [`TransformationTable::recycle`]): every vector and the predicate pool
+//! keep their capacity across queries, so a warmed-up serving thread builds
+//! tables with near-zero transient allocation.
 
 use sqo_catalog::Catalog;
 use sqo_constraints::{ConstraintClass, ConstraintId, ConstraintStore, PredId, PredicatePool};
@@ -37,6 +42,23 @@ pub struct Row {
     pub active: bool,
 }
 
+/// Recyclable storage for [`TransformationTable`]: the per-query pool and
+/// every backing vector, kept warm between optimizations. Obtain one with
+/// `TableBuffers::default()`, thread it through
+/// [`TransformationTable::build_with`], and return the table's storage with
+/// [`TransformationTable::recycle`] when the table is no longer needed.
+#[derive(Debug, Default)]
+pub struct TableBuffers {
+    pool: PredicatePool,
+    rows: Vec<Row>,
+    presence: Vec<ColumnPresence>,
+    tags: Vec<Option<PredicateTag>>,
+    cells: Vec<CellState>,
+    query_columns: Vec<PredId>,
+    antecedent_rows: Vec<Vec<usize>>,
+    consequent_rows: Vec<Vec<usize>>,
+}
+
 /// The transformation table.
 #[derive(Debug)]
 pub struct TransformationTable {
@@ -49,12 +71,18 @@ pub struct TransformationTable {
     /// Columns of the original query's predicates, in query order.
     query_columns: Vec<PredId>,
     /// antecedent column -> rows listing it (for incremental wake-ups).
-    antecedent_rows: HashMap<PredId, Vec<usize>>,
+    /// Indexed by column; may be longer than `cols` when recycled from a
+    /// wider query (the excess lists are empty).
+    antecedent_rows: Vec<Vec<usize>>,
+    /// consequent column -> rows whose consequent it is (for tag
+    /// synchronization and targeted eligibility rechecks).
+    consequent_rows: Vec<Vec<usize>>,
 }
 
 impl TransformationTable {
     /// Builds and initializes the table for `query` and the given relevant
-    /// constraints — the paper's *Initialization* algorithm.
+    /// constraints — the paper's *Initialization* algorithm. Allocates
+    /// fresh storage; use [`TransformationTable::build_with`] on a hot path.
     pub fn build(
         catalog: &Catalog,
         store: &ConstraintStore,
@@ -62,30 +90,58 @@ impl TransformationTable {
         query: &Query,
         match_policy: MatchPolicy,
     ) -> Self {
-        let mut pool = PredicatePool::new();
+        Self::build_with(
+            catalog,
+            store,
+            relevant,
+            query,
+            match_policy,
+            &mut TableBuffers::default(),
+        )
+    }
+
+    /// [`TransformationTable::build`] against recycled storage: all backing
+    /// vectors and the predicate pool are taken from `buf` (clearing, not
+    /// freeing, their contents). Pass the table back through
+    /// [`TransformationTable::recycle`] to reuse the storage again.
+    pub fn build_with(
+        catalog: &Catalog,
+        store: &ConstraintStore,
+        relevant: &[ConstraintId],
+        query: &Query,
+        match_policy: MatchPolicy,
+        buf: &mut TableBuffers,
+    ) -> Self {
+        let mut pool = std::mem::take(&mut buf.pool);
+        pool.clear();
         // Query predicates first: stable, paper-like column order.
-        let query_columns: Vec<PredId> = query.predicates().map(|p| pool.intern(p)).collect();
-        let rows: Vec<Row> = relevant
-            .iter()
-            .map(|&id| {
-                let c = store.constraint(id);
-                Row {
-                    constraint: id,
-                    antecedents: c.antecedents.iter().cloned().map(|p| pool.intern(p)).collect(),
-                    consequent: pool.intern(c.consequent.clone()),
-                    classification: c.classification(),
-                    consequent_indexed: c.consequent.is_indexed(catalog),
-                    active: true,
-                }
-            })
-            .collect();
+        let mut query_columns = std::mem::take(&mut buf.query_columns);
+        query_columns.clear();
+        query_columns.extend(query.predicates().map(|p| pool.intern(p)));
+        let mut rows = std::mem::take(&mut buf.rows);
+        rows.clear();
+        rows.extend(relevant.iter().map(|&id| {
+            let c = store.constraint(id);
+            Row {
+                constraint: id,
+                antecedents: c.antecedents.iter().cloned().map(|p| pool.intern(p)).collect(),
+                consequent: pool.intern(c.consequent.clone()),
+                classification: c.classification(),
+                consequent_indexed: c.consequent.is_indexed(catalog),
+                active: true,
+            }
+        }));
         let cols = pool.len();
 
         // Column presence and initial tags: every query predicate starts
         // imperative ("unless proven otherwise, we have to assume that all
         // the predicates contribute to the results").
-        let mut presence = vec![ColumnPresence::Absent; cols];
-        let mut tags = vec![None; cols];
+        let mut presence = std::mem::take(&mut buf.presence);
+        presence.clear();
+        presence.resize(cols, ColumnPresence::Absent);
+        let mut tags = std::mem::take(&mut buf.tags);
+        tags.clear();
+        tags.resize(cols, None);
         for &qc in &query_columns {
             presence[qc.index()] = ColumnPresence::InQuery;
             tags[qc.index()] = Some(PredicateTag::Imperative);
@@ -99,12 +155,24 @@ impl TransformationTable {
             }
         }
 
-        // Cells.
-        let mut cells = vec![CellState::NotPresent; rows.len() * cols];
-        let mut antecedent_rows: HashMap<PredId, Vec<usize>> = HashMap::new();
+        // Cells and the column → rows postings.
+        let mut cells = std::mem::take(&mut buf.cells);
+        cells.clear();
+        cells.resize(rows.len() * cols, CellState::NotPresent);
+        let mut antecedent_rows = std::mem::take(&mut buf.antecedent_rows);
+        let mut consequent_rows = std::mem::take(&mut buf.consequent_rows);
+        for list in antecedent_rows.iter_mut().chain(consequent_rows.iter_mut()) {
+            list.clear();
+        }
+        if antecedent_rows.len() < cols {
+            antecedent_rows.resize_with(cols, Vec::new);
+        }
+        if consequent_rows.len() < cols {
+            consequent_rows.resize_with(cols, Vec::new);
+        }
         for (ri, row) in rows.iter().enumerate() {
             for &a in &row.antecedents {
-                antecedent_rows.entry(a).or_default().push(ri);
+                antecedent_rows[a.index()].push(ri);
                 cells[ri * cols + a.index()] = if presence[a.index()].satisfies_antecedent() {
                     CellState::PresentAntecedent
                 } else {
@@ -112,6 +180,7 @@ impl TransformationTable {
                 };
             }
             let cj = row.consequent;
+            consequent_rows[cj.index()].push(ri);
             cells[ri * cols + cj.index()] = match presence[cj.index()] {
                 ColumnPresence::InQuery => CellState::Tagged(PredicateTag::Imperative),
                 // Implied-but-absent consequents are introduction candidates,
@@ -123,7 +192,30 @@ impl TransformationTable {
             };
         }
 
-        Self { rows, pool, presence, tags, cells, cols, query_columns, antecedent_rows }
+        Self {
+            rows,
+            pool,
+            presence,
+            tags,
+            cells,
+            cols,
+            query_columns,
+            antecedent_rows,
+            consequent_rows,
+        }
+    }
+
+    /// Returns the table's backing storage to `buf` for the next
+    /// [`TransformationTable::build_with`] call.
+    pub fn recycle(self, buf: &mut TableBuffers) {
+        buf.pool = self.pool;
+        buf.rows = self.rows;
+        buf.presence = self.presence;
+        buf.tags = self.tags;
+        buf.cells = self.cells;
+        buf.query_columns = self.query_columns;
+        buf.antecedent_rows = self.antecedent_rows;
+        buf.consequent_rows = self.consequent_rows;
     }
 
     // ---- basic accessors ---------------------------------------------------
@@ -170,7 +262,13 @@ impl TransformationTable {
 
     /// Rows that list `col` among their antecedents.
     pub fn rows_watching(&self, col: PredId) -> &[usize] {
-        self.antecedent_rows.get(&col).map(|v| v.as_slice()).unwrap_or(&[])
+        self.antecedent_rows.get(col.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Rows whose consequent is `col` — the only rows whose eligibility can
+    /// change when `col`'s tag moves.
+    pub fn rows_with_consequent(&self, col: PredId) -> &[usize] {
+        self.consequent_rows.get(col.index()).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// All antecedents of row `ri` present/implied/introduced?
@@ -184,6 +282,19 @@ impl TransformationTable {
     /// Returns columns whose presence changed (for wake-ups).
     pub fn introduce(&mut self, col: PredId, match_policy: MatchPolicy) -> Vec<PredId> {
         let mut changed = Vec::new();
+        self.introduce_into(col, match_policy, &mut changed);
+        changed
+    }
+
+    /// Allocation-free [`TransformationTable::introduce`]: columns whose
+    /// presence changed are written into `changed` (cleared first).
+    pub fn introduce_into(
+        &mut self,
+        col: PredId,
+        match_policy: MatchPolicy,
+        changed: &mut Vec<PredId>,
+    ) {
+        changed.clear();
         if self.presence[col.index()] == ColumnPresence::Absent
             || self.presence[col.index()] == ColumnPresence::Implied
         {
@@ -194,30 +305,31 @@ impl TransformationTable {
         if match_policy == MatchPolicy::Implication {
             // The introduced predicate may satisfy weaker antecedents
             // elsewhere in the pool.
-            let introduced = self.pool.get(col).clone();
-            let weaker: Vec<PredId> = self
-                .pool
-                .iter()
-                .filter(|(id, q)| {
-                    *id != col
-                        && self.presence[id.index()] == ColumnPresence::Absent
-                        && introduced.implies(q)
-                })
-                .map(|(id, _)| id)
-                .collect();
-            for w in weaker {
+            let start = changed.len();
+            let introduced = self.pool.get(col);
+            changed.extend(
+                self.pool
+                    .iter()
+                    .filter(|(id, q)| {
+                        *id != col
+                            && self.presence[id.index()] == ColumnPresence::Absent
+                            && introduced.implies(q)
+                    })
+                    .map(|(id, _)| id),
+            );
+            let woken: &[PredId] = &changed[start..];
+            for &w in woken {
                 self.presence[w.index()] = ColumnPresence::Implied;
                 self.mark_antecedents_present(w);
-                changed.push(w);
             }
         }
-        changed
     }
 
     fn mark_antecedents_present(&mut self, col: PredId) {
-        if let Some(rows) = self.antecedent_rows.get(&col) {
-            for &ri in rows.clone().iter() {
-                let idx = ri * self.cols + col.index();
+        let cols = self.cols;
+        if let Some(rows) = self.antecedent_rows.get(col.index()) {
+            for &ri in rows {
+                let idx = ri * cols + col.index();
                 if self.cells[idx] == CellState::AbsentAntecedent {
                     self.cells[idx] = CellState::PresentAntecedent;
                 }
@@ -233,9 +345,10 @@ impl TransformationTable {
             None => new_tag,
         };
         self.tags[col.index()] = Some(merged);
-        for ri in 0..self.rows.len() {
-            if self.rows[ri].consequent == col {
-                let idx = ri * self.cols + col.index();
+        let cols = self.cols;
+        if let Some(rows) = self.consequent_rows.get(col.index()) {
+            for &ri in rows {
+                let idx = ri * cols + col.index();
                 match self.cells[idx] {
                     CellState::Tagged(_) | CellState::AbsentConsequent => {
                         self.cells[idx] = CellState::Tagged(merged);
@@ -489,5 +602,66 @@ mod tests {
         );
         assert!(!t_syn.antecedents_satisfied(0));
         let _ = store.len(); // keep `store` used
+    }
+
+    /// Recycled buffers must reproduce byte-identical tables: build twice
+    /// through one `TableBuffers` (interleaving a differently-shaped query)
+    /// and compare against a fresh build.
+    #[test]
+    fn recycled_buffers_build_identical_tables() {
+        let (catalog, store, query) = setup();
+        let other = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.quantity", CompOp::Gt, 20i64)
+            .build()
+            .unwrap();
+        let relevant = store.relevant_for(&query);
+        let relevant_other = store.relevant_for(&other);
+        let mut buf = TableBuffers::default();
+        for _ in 0..3 {
+            let wide = TransformationTable::build_with(
+                &catalog,
+                &store,
+                &relevant,
+                &query,
+                MatchPolicy::Implication,
+                &mut buf,
+            );
+            let fresh = TransformationTable::build(
+                &catalog,
+                &store,
+                &relevant,
+                &query,
+                MatchPolicy::Implication,
+            );
+            assert_eq!(wide.row_count(), fresh.row_count());
+            assert_eq!(wide.column_count(), fresh.column_count());
+            for ri in 0..wide.row_count() {
+                for c in 0..wide.column_count() {
+                    assert_eq!(wide.cell(ri, PredId(c as u32)), fresh.cell(ri, PredId(c as u32)));
+                }
+            }
+            for c in 0..wide.column_count() {
+                let col = PredId(c as u32);
+                assert_eq!(wide.presence(col), fresh.presence(col));
+                assert_eq!(wide.tag(col), fresh.tag(col));
+                assert_eq!(wide.rows_watching(col), fresh.rows_watching(col));
+                assert_eq!(wide.rows_with_consequent(col), fresh.rows_with_consequent(col));
+                assert_eq!(wide.predicate(col), fresh.predicate(col));
+            }
+            assert_eq!(wide.query_columns(), fresh.query_columns());
+            wide.recycle(&mut buf);
+            // A narrower query in between must not leave stale state behind.
+            let narrow = TransformationTable::build_with(
+                &catalog,
+                &store,
+                &relevant_other,
+                &other,
+                MatchPolicy::Implication,
+                &mut buf,
+            );
+            assert_eq!(narrow.row_count(), relevant_other.len());
+            narrow.recycle(&mut buf);
+        }
     }
 }

@@ -116,13 +116,50 @@ fn could_become_eligible(table: &TransformationTable, ri: usize, config: &Optimi
     }
 }
 
+/// Reusable working memory of [`run_transformations_with`]: the queue and
+/// the wake-up lists, kept warm across optimizations so the fixpoint loop
+/// performs no transient allocation.
+#[derive(Debug)]
+pub struct TransformScratch {
+    queue: TransformationQueue,
+    woken_cols: Vec<sqo_constraints::PredId>,
+    recheck: Vec<usize>,
+}
+
+impl Default for TransformScratch {
+    fn default() -> Self {
+        Self {
+            queue: TransformationQueue::new(crate::config::QueueDiscipline::Fifo, 0),
+            woken_cols: Vec::new(),
+            recheck: Vec::new(),
+        }
+    }
+}
+
+impl TransformScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs the transformation loop to its fixpoint (or budget), §3.2 + §3.3.
 pub fn run_transformations(
     table: &mut TransformationTable,
     config: &OptimizerConfig,
 ) -> TransformLog {
+    run_transformations_with(table, config, &mut TransformScratch::default())
+}
+
+/// [`run_transformations`] against recycled working memory — the hot-path
+/// variant the serving layer drives through `OptimizerScratch`.
+pub fn run_transformations_with(
+    table: &mut TransformationTable,
+    config: &OptimizerConfig,
+    scratch: &mut TransformScratch,
+) -> TransformLog {
     let mut log = TransformLog::default();
-    let mut queue = TransformationQueue::new(config.queue, table.row_count());
+    let queue = &mut scratch.queue;
+    queue.reset(config.queue, table.row_count());
 
     // Initial Update-Transformation-Queue pass.
     for ri in 0..table.row_count() {
@@ -154,16 +191,18 @@ pub fn run_transformations(
             *b -= 1;
         }
 
-        let row = table.row(ri).clone();
-        let target = target_tag(row.classification, row.consequent_indexed, config.tag_policy);
-        let col = row.consequent;
+        let row = table.row(ri);
+        let (constraint, classification, consequent_indexed, col) =
+            (row.constraint, row.classification, row.consequent_indexed, row.consequent);
+        let target = target_tag(classification, consequent_indexed, config.tag_policy);
         let presence_before = table.presence(col);
         let tag_before = table.tag(col);
 
         // Apply: introduce if absent, then meet-assign the tag.
-        let mut woken_cols = Vec::new();
+        let woken_cols = &mut scratch.woken_cols;
+        woken_cols.clear();
         if !matches!(presence_before, ColumnPresence::InQuery | ColumnPresence::Introduced) {
-            woken_cols = table.introduce(col, config.match_policy);
+            table.introduce_into(col, config.match_policy, woken_cols);
         }
         let final_tag = table.assign_tag(col, target);
 
@@ -171,7 +210,7 @@ pub fn run_transformations(
             ColumnPresence::InQuery => TransformationKind::RestrictionElimination,
             ColumnPresence::Introduced => TransformationKind::TagLowering,
             ColumnPresence::Absent | ColumnPresence::Implied => {
-                if row.consequent_indexed {
+                if consequent_indexed {
                     TransformationKind::IndexIntroduction
                 } else {
                     TransformationKind::RestrictionIntroduction
@@ -179,7 +218,7 @@ pub fn run_transformations(
             }
         };
         log.applied.push(TransformationRecord {
-            constraint: row.constraint,
+            constraint,
             predicate: table.predicate(col).clone(),
             kind,
             from: tag_before,
@@ -189,15 +228,20 @@ pub fn run_transformations(
 
         // Update Q: wake rows watching any column whose presence changed,
         // and re-examine rows whose consequent is this column (they may now
-        // be unable to contribute).
+        // be unable to contribute). Eligibility depends only on a row's own
+        // consequent cell, and `assign_tag` touched exactly the cells of
+        // `col`'s consequent rows — so the targeted recheck is equivalent to
+        // a full sweep of `C`.
         for &wcol in woken_cols.iter().chain(std::iter::once(&col)) {
-            for &watcher in table.rows_watching(wcol).to_vec().iter() {
+            for &watcher in table.rows_watching(wcol) {
                 if let Some(kind) = pending_action(table, watcher, config) {
                     queue.push(watcher, kind);
                 }
             }
         }
-        for rj in 0..table.row_count() {
+        scratch.recheck.clear();
+        scratch.recheck.extend_from_slice(table.rows_with_consequent(col));
+        for &rj in &scratch.recheck {
             if table.row(rj).active && !could_become_eligible(table, rj, config) {
                 table.deactivate(rj);
             }

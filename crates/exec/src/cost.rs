@@ -52,26 +52,59 @@ impl CostModel {
         access: &ClassAccess,
         indexed_sel: Option<f64>,
     ) -> (f64, f64) {
-        let n = stats.cardinality(access.class) as f64;
         let residual_sel = self.conjunction_selectivity(stats, &access.residual);
-        let mut counters = CostCounters::default();
-        let rows;
         match &access.path {
             AccessPath::SeqScan => {
-                counters.seq_tuples = n as u64;
-                counters.predicate_evals = (n * access.residual.len() as f64) as u64;
-                rows = n * residual_sel;
+                self.scan_estimate(stats, access.class, access.residual.len(), residual_sel)
             }
             AccessPath::Index { set, .. } => {
                 let sel = indexed_sel.unwrap_or_else(|| self.set_selectivity(stats, access, set));
-                let matched = n * sel;
-                counters.index_probes = 1;
-                counters.index_entries = matched as u64;
-                counters.predicate_evals = (matched * access.residual.len() as f64) as u64;
-                rows = matched * residual_sel;
+                self.index_estimate(stats, access.class, access.residual.len(), residual_sel, sel)
             }
         }
-        counters.tuples_out = rows as u64;
+    }
+
+    /// [`CostModel::access_estimate`] for a sequential scan, taking the
+    /// residual conjunction as `(count, selectivity)` so planners can cost
+    /// candidates without materializing a [`ClassAccess`] per candidate.
+    pub fn scan_estimate(
+        &self,
+        stats: &StatsSnapshot,
+        class: sqo_catalog::ClassId,
+        residual_count: usize,
+        residual_sel: f64,
+    ) -> (f64, f64) {
+        let n = stats.cardinality(class) as f64;
+        let rows = n * residual_sel;
+        let counters = CostCounters {
+            seq_tuples: n as u64,
+            predicate_evals: (n * residual_count as f64) as u64,
+            tuples_out: rows as u64,
+            ..Default::default()
+        };
+        (self.weights.work_units(&self.pages, &counters), rows)
+    }
+
+    /// [`CostModel::access_estimate`] for an index probe of selectivity
+    /// `indexed_sel`, residuals given as `(count, selectivity)`.
+    pub fn index_estimate(
+        &self,
+        stats: &StatsSnapshot,
+        class: sqo_catalog::ClassId,
+        residual_count: usize,
+        residual_sel: f64,
+        indexed_sel: f64,
+    ) -> (f64, f64) {
+        let n = stats.cardinality(class) as f64;
+        let matched = n * indexed_sel;
+        let rows = matched * residual_sel;
+        let counters = CostCounters {
+            index_probes: 1,
+            index_entries: matched as u64,
+            predicate_evals: (matched * residual_count as f64) as u64,
+            tuples_out: rows as u64,
+            ..Default::default()
+        };
         (self.weights.work_units(&self.pages, &counters), rows)
     }
 
@@ -108,14 +141,33 @@ impl CostModel {
         residual: &[SelPredicate],
         join_filter_count: usize,
     ) -> (f64, f64) {
-        let produced = input_rows * fanout;
         let residual_sel = self.conjunction_selectivity(stats, residual);
+        self.join_step_estimate_parts(
+            input_rows,
+            fanout,
+            residual.len(),
+            residual_sel,
+            join_filter_count,
+        )
+    }
+
+    /// [`CostModel::join_step_estimate`] with the residual conjunction given
+    /// as `(count, selectivity)` — the planner's candidate-costing form.
+    pub fn join_step_estimate_parts(
+        &self,
+        input_rows: f64,
+        fanout: f64,
+        residual_count: usize,
+        residual_sel: f64,
+        join_filter_count: usize,
+    ) -> (f64, f64) {
+        let produced = input_rows * fanout;
         // Join filters default to the classic 1/3 selectivity each.
         let join_sel = (1.0f64 / 3.0).powi(join_filter_count as i32);
         let rows = produced * residual_sel * join_sel;
         let counters = CostCounters {
             link_traversals: produced as u64,
-            predicate_evals: (produced * (residual.len() + join_filter_count) as f64) as u64,
+            predicate_evals: (produced * (residual_count + join_filter_count) as f64) as u64,
             tuples_out: rows as u64,
             ..Default::default()
         };

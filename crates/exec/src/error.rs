@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sqo_catalog::{CatalogError, ClassId};
+use sqo_catalog::{AttrRef, CatalogError, ClassId};
 use sqo_query::QueryError;
 use sqo_storage::StorageError;
 
@@ -16,6 +16,13 @@ pub enum ExecError {
     Unreachable(ClassId),
     /// The query has no classes to drive from.
     EmptyQuery,
+    /// The plan demands an index probe on an attribute that carries no
+    /// index — a planner/executor contract violation (e.g. a plan cached
+    /// against a different physical schema).
+    MissingIndex(AttrRef),
+    /// The plan demands a probe shape (e.g. a range) the attribute's index
+    /// cannot serve.
+    UnsupportedProbe(AttrRef),
 }
 
 impl fmt::Display for ExecError {
@@ -26,6 +33,12 @@ impl fmt::Display for ExecError {
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::Unreachable(c) => write!(f, "{c} is unreachable from the plan root"),
             ExecError::EmptyQuery => write!(f, "query accesses no classes"),
+            ExecError::MissingIndex(a) => {
+                write!(f, "plan probes {a} but the attribute has no index")
+            }
+            ExecError::UnsupportedProbe(a) => {
+                write!(f, "index on {a} cannot serve the plan's probe set")
+            }
         }
     }
 }

@@ -22,7 +22,7 @@ mod result;
 
 pub use cost::{point_of, CostModel};
 pub use error::ExecError;
-pub use executor::execute;
+pub use executor::{execute, execute_with, ExecScratch};
 pub use oracle::CostBasedOracle;
 pub use plan::{AccessPath, ClassAccess, JoinStep, PhysicalPlan, PlanDisplay};
 pub use planner::{plan_query, plan_query_shared};

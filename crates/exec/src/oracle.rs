@@ -6,6 +6,8 @@
 //! overhead of retaining pⱼ, using a cost model and conventional query
 //! optimization techniques".
 
+use std::cell::RefCell;
+
 use sqo_catalog::ClassId;
 use sqo_core::ProfitOracle;
 use sqo_query::{Predicate, Query};
@@ -14,20 +16,32 @@ use sqo_storage::Database;
 use crate::cost::CostModel;
 use crate::planner::plan_query;
 
+/// How many recently-costed queries the oracle remembers. Formulation asks
+/// about overlapping `(with, without)` pairs — the `with` side of one
+/// decision is the `with` or `without` side of the previous one — so a tiny
+/// window already removes almost half of the planning work.
+const COST_MEMO: usize = 4;
+
 /// Plan-cost-comparing oracle over a concrete database instance.
+///
+/// Plan costs are memoized per oracle instance (the database is immutable,
+/// so a query's estimated cost never changes). The memo makes the oracle
+/// `!Sync` — use one oracle per thread, which is how both the optimizer and
+/// the serving layer already drive it.
 #[derive(Debug)]
 pub struct CostBasedOracle<'db> {
     db: &'db Database,
     model: CostModel,
+    memo: RefCell<Vec<(Query, f64)>>,
 }
 
 impl<'db> CostBasedOracle<'db> {
     pub fn new(db: &'db Database) -> Self {
-        Self { db, model: CostModel::default() }
+        Self::with_model(db, CostModel::default())
     }
 
     pub fn with_model(db: &'db Database, model: CostModel) -> Self {
-        Self { db, model }
+        Self { db, model, memo: RefCell::new(Vec::with_capacity(COST_MEMO)) }
     }
 
     pub fn model(&self) -> &CostModel {
@@ -35,7 +49,17 @@ impl<'db> CostBasedOracle<'db> {
     }
 
     fn cost_of(&self, q: &Query) -> Option<f64> {
-        plan_query(self.db, q, &self.model).ok().map(|p| p.estimated_cost)
+        let mut memo = self.memo.borrow_mut();
+        if let Some(i) = memo.iter().position(|(mq, _)| mq == q) {
+            let hit = memo.remove(i);
+            let cost = hit.1;
+            memo.insert(0, hit); // most-recent first
+            return Some(cost);
+        }
+        let cost = plan_query(self.db, q, &self.model).ok().map(|p| p.estimated_cost)?;
+        memo.truncate(COST_MEMO - 1);
+        memo.insert(0, (q.clone(), cost));
+        Some(cost)
     }
 }
 

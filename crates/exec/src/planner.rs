@@ -7,13 +7,56 @@
 //! System-R-style selectivity estimates. The semantic optimizer consults it
 //! through [`crate::CostBasedOracle`] for every cost–benefit decision.
 
-use sqo_catalog::{ClassId, RelId};
+use sqo_catalog::{Catalog, ClassId, RelId};
 use sqo_query::{JoinPredicate, Query, SelPredicate};
 use sqo_storage::Database;
 
 use crate::cost::CostModel;
 use crate::error::ExecError;
 use crate::plan::{AccessPath, ClassAccess, JoinStep, PhysicalPlan};
+
+/// Join predicates that become checkable when `to_class` is bound on top of
+/// `bound` — the single source both for candidate *costing* (`.count()`)
+/// and for materializing the winning step's filter list, so the two can
+/// never diverge.
+fn step_join_filters<'q>(
+    query: &'q Query,
+    applied_joins: &'q [JoinPredicate],
+    bound: &'q [ClassId],
+    to_class: ClassId,
+) -> impl Iterator<Item = &'q JoinPredicate> {
+    query.join_predicates.iter().filter(|j| !applied_joins.contains(j)).filter(move |j| {
+        let (x, y) = j.classes();
+        let after = |c: ClassId| c == to_class || bound.contains(&c);
+        after(x) && after(y) && (x == to_class || y == to_class)
+    })
+}
+
+/// Cycle edges closed when `to_class` is bound via `rel`: other unused
+/// relationships whose both endpoints are then bound. Shared between
+/// costing and materialization like [`step_join_filters`].
+fn step_link_filters<'q>(
+    query: &'q Query,
+    catalog: &'q Catalog,
+    used_rels: &'q [RelId],
+    bound: &'q [ClassId],
+    rel: RelId,
+    to_class: ClassId,
+) -> impl Iterator<Item = (RelId, ClassId, ClassId)> + 'q {
+    query.relationships.iter().filter_map(move |&r2| {
+        if r2 == rel || used_rels.contains(&r2) {
+            return None;
+        }
+        let d2 = catalog.relationship(r2).ok()?;
+        let (x, y) = d2.classes();
+        let after = |c: ClassId| c == to_class || bound.contains(&c);
+        if after(x) && after(y) && (x == to_class || y == to_class) {
+            Some((r2, x, y))
+        } else {
+            None
+        }
+    })
+}
 
 /// Plans `query` against `db` with `model`.
 ///
@@ -30,36 +73,69 @@ pub fn plan_query(
         return Err(ExecError::EmptyQuery);
     }
 
-    // Selective predicates per class.
-    let preds_of = |class: ClassId| -> Vec<SelPredicate> {
-        query.selective_predicates.iter().filter(|p| p.attr.class == class).cloned().collect()
+    // Selective predicates per class, by reference: candidates are *costed*
+    // without cloning predicates; only the winning access/step is ever
+    // materialized.
+    let preds_of = |class: ClassId| -> Vec<&SelPredicate> {
+        query.selective_predicates.iter().filter(|p| p.attr.class == class).collect()
+    };
+    // Residual conjunction selectivity, optionally excluding the indexed
+    // predicate (multiplication order matches `conjunction_selectivity`).
+    let residual_sel = |preds: &[&SelPredicate], skip: Option<usize>| -> f64 {
+        preds
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| Some(*j) != skip)
+            .map(|(_, p)| model.selectivity(stats, p))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
     };
 
     // Best access path for a class if it were the driving class.
     let best_access = |class: ClassId| -> (ClassAccess, f64, f64) {
         let preds = preds_of(class);
-        let scan = ClassAccess { class, path: AccessPath::SeqScan, residual: preds.clone() };
-        let (scan_cost, scan_rows) = model.access_estimate(stats, &scan, None);
-        let mut best = (scan, scan_cost, scan_rows);
+        let (scan_cost, scan_rows) =
+            model.scan_estimate(stats, class, preds.len(), residual_sel(&preds, None));
+        // `None` = sequential scan; `Some(i)` = probe the index on preds[i].
+        let mut best: (Option<usize>, f64, f64) = (None, scan_cost, scan_rows);
         for (i, p) in preds.iter().enumerate() {
             let Some(index) = db.index(p.attr) else {
                 continue;
             };
-            let set = p.value_set();
-            if !index.supports(&set) {
+            if !index.supports(&p.value_set()) {
                 continue;
             }
-            let mut residual = preds.clone();
-            residual.remove(i);
-            let access =
-                ClassAccess { class, path: AccessPath::Index { attr: p.attr, set }, residual };
             let sel = model.selectivity(stats, p);
-            let (cost, rows) = model.access_estimate(stats, &access, Some(sel));
+            let (cost, rows) = model.index_estimate(
+                stats,
+                class,
+                preds.len() - 1,
+                residual_sel(&preds, Some(i)),
+                sel,
+            );
             if cost < best.1 {
-                best = (access, cost, rows);
+                best = (Some(i), cost, rows);
             }
         }
-        best
+        let (choice, cost, rows) = best;
+        let access = match choice {
+            None => ClassAccess {
+                class,
+                path: AccessPath::SeqScan,
+                residual: preds.iter().map(|&p| p.clone()).collect(),
+            },
+            Some(i) => ClassAccess {
+                class,
+                path: AccessPath::Index { attr: preds[i].attr, set: preds[i].value_set() },
+                residual: preds
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, p)| (*p).clone())
+                    .collect(),
+            },
+        };
+        (access, cost, rows)
     };
 
     // Driving class: fewest estimated output rows, then cheapest access.
@@ -83,8 +159,10 @@ pub fn plan_query(
     let mut steps: Vec<JoinStep> = Vec::new();
 
     while bound.len() < query.classes.len() {
-        // Frontier: relationships with exactly one endpoint bound.
-        let mut best: Option<(f64, f64, JoinStep)> = None;
+        // Frontier: relationships with exactly one endpoint bound. Candidates
+        // are costed from counts alone; the winner's filter lists are
+        // materialized once after the scan.
+        let mut best: Option<(f64, f64, RelId, ClassId, ClassId)> = None;
         for &rel in &query.relationships {
             if used_rels.contains(&rel) {
                 continue;
@@ -107,57 +185,22 @@ pub fn plan_query(
             }
             .max(0.0);
             let residual = preds_of(to_class);
-            // Join predicates that become checkable.
-            let join_filters: Vec<JoinPredicate> = query
-                .join_predicates
-                .iter()
-                .filter(|j| !applied_joins.contains(j))
-                .filter(|j| {
-                    let (x, y) = j.classes();
-                    let after_bound = |c: ClassId| c == to_class || bound.contains(&c);
-                    after_bound(x) && after_bound(y) && (x == to_class || y == to_class)
-                })
-                .copied()
-                .collect();
-            // Cycle edges closed by this step.
-            let link_filters: Vec<(RelId, ClassId, ClassId)> = query
-                .relationships
-                .iter()
-                .filter(|&&r2| r2 != rel && !used_rels.contains(&r2))
-                .filter_map(|&r2| {
-                    let d2 = catalog.relationship(r2).ok()?;
-                    let (x, y) = d2.classes();
-                    let after_bound = |c: ClassId| c == to_class || bound.contains(&c);
-                    if after_bound(x) && after_bound(y) && (x == to_class || y == to_class) {
-                        Some((r2, x, y))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            let (step_cost, out_rows) = model.join_step_estimate(
-                stats,
+            let join_filter_count =
+                step_join_filters(query, &applied_joins, &bound, to_class).count();
+            let link_filter_count =
+                step_link_filters(query, catalog, &used_rels, &bound, rel, to_class).count();
+            let (step_cost, out_rows) = model.join_step_estimate_parts(
                 current_rows,
                 fanout,
-                &residual,
-                join_filters.len() + link_filters.len(),
+                residual.len(),
+                residual_sel(&residual, None),
+                join_filter_count + link_filter_count,
             );
-            let step = JoinStep {
-                rel,
-                from_class,
-                access: ClassAccess {
-                    class: to_class,
-                    path: AccessPath::SeqScan, // pointer access; path unused
-                    residual,
-                },
-                join_filters,
-                link_filters,
-            };
-            if best.as_ref().map(|(r, c, _)| (out_rows, step_cost) < (*r, *c)).unwrap_or(true) {
-                best = Some((out_rows, step_cost, step));
+            if best.as_ref().map(|(r, c, ..)| (out_rows, step_cost) < (*r, *c)).unwrap_or(true) {
+                best = Some((out_rows, step_cost, rel, from_class, to_class));
             }
         }
-        let Some((out_rows, step_cost, step)) = best else {
+        let Some((out_rows, step_cost, rel, from_class, to_class)) = best else {
             let missing = query
                 .classes
                 .iter()
@@ -165,6 +208,23 @@ pub fn plan_query(
                 .find(|c| !bound.contains(c))
                 .expect("loop condition guarantees a missing class");
             return Err(ExecError::Unreachable(missing));
+        };
+        // Materialize the winning step from the same candidate sets the
+        // costing loop counted.
+        let join_filters: Vec<JoinPredicate> =
+            step_join_filters(query, &applied_joins, &bound, to_class).copied().collect();
+        let link_filters: Vec<(RelId, ClassId, ClassId)> =
+            step_link_filters(query, catalog, &used_rels, &bound, rel, to_class).collect();
+        let step = JoinStep {
+            rel,
+            from_class,
+            access: ClassAccess {
+                class: to_class,
+                path: AccessPath::SeqScan, // pointer access; path unused
+                residual: preds_of(to_class).into_iter().cloned().collect(),
+            },
+            join_filters,
+            link_filters,
         };
         for lf in &step.link_filters {
             used_rels.push(lf.0);

@@ -94,8 +94,14 @@ impl Query {
 
     /// Whether some query predicate *implies* `pred` — the implication-aware
     /// presence test used by `MatchPolicy::Implication` (DESIGN.md §3.2).
+    /// Implication never holds between a join and a selective predicate, so
+    /// only the matching list is consulted (and nothing is cloned — this
+    /// runs once per candidate column when a transformation table is built).
     pub fn satisfies_predicate(&self, pred: &Predicate) -> bool {
-        self.predicates().any(|p| p.implies(pred))
+        match pred {
+            Predicate::Sel(b) => self.selective_predicates.iter().any(|a| a.implies(b)),
+            Predicate::Join(b) => self.join_predicates.iter().any(|a| a.implies(b)),
+        }
     }
 
     /// Classes with at least one projection on them.

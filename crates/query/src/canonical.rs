@@ -156,7 +156,16 @@ impl Query {
     /// collisions, which the cache tolerates by storing the canonical query
     /// alongside the entry).
     pub fn fingerprint(&self) -> QueryFingerprint {
-        let q = self.canonical();
+        self.canonical().fingerprint_canonical()
+    }
+
+    /// [`Query::fingerprint`] for a query that **is already canonical** —
+    /// skips the clone + re-sort. Callers holding the result of
+    /// [`Query::canonical`] (the serving layer's cache key path) use this to
+    /// canonicalize exactly once per request.
+    pub fn fingerprint_canonical(&self) -> QueryFingerprint {
+        debug_assert!(self.is_canonical(), "fingerprint_canonical needs a canonical query");
+        let q = self;
         let mut h = Fnv1a::new();
         // Length-prefix every section so section boundaries cannot alias.
         h.write_usize(q.projections.len());

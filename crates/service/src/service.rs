@@ -1,20 +1,30 @@
 //! The concurrent query service: shared state, prepared queries, and the
 //! worker-pool batch front end.
 
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use sqo_constraints::{ConstraintStore, HornConstraint};
-use sqo_core::{OptimizerConfig, SemanticOptimizer};
+use sqo_core::{OptimizerConfig, OptimizerScratch, SemanticOptimizer};
 use sqo_exec::{
-    execute, plan_query_shared, CostBasedOracle, CostModel, ExecError, PhysicalPlan, ResultSet,
+    execute_with, plan_query_shared, CostBasedOracle, CostModel, ExecError, ExecScratch,
+    PhysicalPlan, ResultSet,
 };
 use sqo_query::{Query, QueryError};
 use sqo_storage::Database;
 
 use crate::cache::{CacheEntry, CacheKey, CacheStats, ShardedCache};
+
+thread_local! {
+    /// Per-worker reusable optimizer + executor buffers: the cold path of
+    /// every service thread runs allocation-free once warmed up, without
+    /// any cross-thread coordination.
+    static WORKER_SCRATCH: RefCell<(OptimizerScratch, ExecScratch)> =
+        RefCell::new((OptimizerScratch::new(), ExecScratch::new()));
+}
 
 /// Anything that can go wrong answering a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -256,7 +266,7 @@ impl QueryService {
         let canonical = query.canonical();
         let store = self.store();
         let epoch = store.epoch();
-        let key = CacheKey { fingerprint: canonical.fingerprint(), epoch };
+        let key = CacheKey { fingerprint: canonical.fingerprint_canonical(), epoch };
         if !self.config.bypass_cache {
             if let Some(entry) = self.cache.get(key, &canonical) {
                 return Ok(PreparedQuery { entry, epoch, cache_hit: true });
@@ -279,7 +289,8 @@ impl QueryService {
         let optimizer =
             SemanticOptimizer::shared_with_config(Arc::clone(store), self.config.optimizer);
         let oracle = CostBasedOracle::with_model(&self.db, self.model);
-        let out = optimizer.optimize(&canonical, &oracle)?;
+        let out = WORKER_SCRATCH
+            .with(|s| optimizer.optimize_with(&canonical, &oracle, &mut s.borrow_mut().0))?;
         self.optimizations.fetch_add(1, Ordering::Relaxed);
         let provably_empty = out.report.provably_empty;
         let (plan, columns) = if provably_empty {
@@ -312,7 +323,8 @@ impl QueryService {
             Arc::new(ResultSet::new(entry.columns.clone()))
         } else {
             let plan = entry.plan.as_ref().expect("non-empty entries carry a plan");
-            let (res, _counters) = execute(&self.db, plan)?;
+            let (res, _counters) =
+                WORKER_SCRATCH.with(|s| execute_with(&self.db, plan, &mut s.borrow_mut().1))?;
             self.executions.fetch_add(1, Ordering::Relaxed);
             Arc::new(res)
         };
