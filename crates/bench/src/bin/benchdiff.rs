@@ -17,10 +17,18 @@
 //!   relative, with a small absolute floor).
 //!
 //! Direction matters: `qps`/`speedup`/`improved_fraction` are
-//! better-when-higher, everything else better-when-lower. Metrics present
-//! in the baseline but missing from the current run fail the diff (an
-//! experiment silently dropping out of `report` is itself a regression);
-//! extra metrics in the current run are reported but fine.
+//! better-when-higher, everything else better-when-lower.
+//!
+//! Asymmetric set handling — the growth-friendly contract:
+//!
+//! * metrics present in the baseline but **removed** from the current run
+//!   fail the diff (an experiment silently dropping out of `report` is
+//!   itself a regression);
+//! * metrics **missing from the committed baseline** (i.e. new in the
+//!   current run) are *informational only*: a PR adding a new experiment
+//!   must be able to pass bench-smoke *before* its baseline lands, so new
+//!   metrics are listed as `NEW` with their values and never fail CI. They
+//!   become enforced the moment the next `BENCH_<n>.json` is committed.
 
 use std::process::exit;
 
@@ -37,7 +45,7 @@ fn is_timing(metric: &str) -> bool {
 }
 
 fn higher_is_better(metric: &str) -> bool {
-    ["qps", "speedup", "improved_fraction"].iter().any(|k| metric.contains(k))
+    ["qps", "speedup", "improved_fraction", "hit_rate"].iter().any(|k| metric.contains(k))
 }
 
 /// `Some(reason)` if `current` regresses from `baseline` beyond tolerance.
@@ -87,6 +95,45 @@ fn load(path: &str) -> Vec<Headline> {
     })
 }
 
+/// Outcome of comparing a current headline document against a baseline.
+#[derive(Debug, Default)]
+struct Diff {
+    compared: usize,
+    /// Baseline metrics that regressed beyond tolerance (fail).
+    regressions: Vec<String>,
+    /// Baseline metrics absent from the current run (fail).
+    removed: Vec<String>,
+    /// Current metrics absent from the baseline (informational: `NEW`).
+    new: Vec<String>,
+}
+
+impl Diff {
+    fn failed(&self) -> bool {
+        !self.removed.is_empty() || !self.regressions.is_empty()
+    }
+}
+
+fn diff(baseline: &[Headline], current: &[Headline], tol: Tolerances) -> Diff {
+    let mut out = Diff::default();
+    for b in baseline {
+        match current.iter().find(|c| c.experiment == b.experiment && c.metric == b.metric) {
+            None => out.removed.push(format!("{}/{}", b.experiment, b.metric)),
+            Some(c) => {
+                out.compared += 1;
+                if let Some(reason) = regression(&b.metric, b.value, c.value, tol) {
+                    out.regressions.push(format!("{}/{}", b.experiment, reason));
+                }
+            }
+        }
+    }
+    out.new = current
+        .iter()
+        .filter(|c| !baseline.iter().any(|b| b.experiment == c.experiment && b.metric == c.metric))
+        .map(|c| format!("{}/{} = {:.4}", c.experiment, c.metric, c.value))
+        .collect();
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tol = Tolerances { timing_factor: 8.0, ratio_slack: 0.5 };
@@ -121,38 +168,25 @@ fn main() {
     };
     let baseline = load(baseline_path);
     let current = load(current_path);
-
-    let mut regressions = Vec::new();
-    let mut missing = Vec::new();
-    let mut compared = 0usize;
-    for b in &baseline {
-        match current.iter().find(|c| c.experiment == b.experiment && c.metric == b.metric) {
-            None => missing.push(format!("{}/{}", b.experiment, b.metric)),
-            Some(c) => {
-                compared += 1;
-                if let Some(reason) = regression(&b.metric, b.value, c.value, tol) {
-                    regressions.push(format!("{}/{}", b.experiment, reason));
-                }
-            }
-        }
-    }
-    let extra = current
-        .iter()
-        .filter(|c| !baseline.iter().any(|b| b.experiment == c.experiment && b.metric == c.metric))
-        .count();
+    let d = diff(&baseline, &current, tol);
 
     println!(
-        "benchdiff: {compared} metric(s) compared, {} missing, {extra} new, {} regression(s)",
-        missing.len(),
-        regressions.len()
+        "benchdiff: {} metric(s) compared, {} removed, {} new (informational), {} regression(s)",
+        d.compared,
+        d.removed.len(),
+        d.new.len(),
+        d.regressions.len()
     );
-    for m in &missing {
-        println!("  MISSING   {m}");
+    for m in &d.new {
+        println!("  NEW       {m}");
     }
-    for r in &regressions {
+    for m in &d.removed {
+        println!("  REMOVED   {m}");
+    }
+    for r in &d.regressions {
         println!("  REGRESSED {r}");
     }
-    if !missing.is_empty() || !regressions.is_empty() {
+    if d.failed() {
         exit(1);
     }
 }
@@ -160,4 +194,66 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("benchdiff: {msg}");
     exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(experiment: &'static str, metric: &str, value: f64) -> Headline {
+        Headline::new(experiment, metric, value)
+    }
+
+    const TOL: Tolerances = Tolerances { timing_factor: 8.0, ratio_slack: 0.5 };
+
+    #[test]
+    fn new_metrics_are_informational_not_failures() {
+        // The E11 scenario: a PR adds an experiment whose metrics the
+        // committed baseline does not know yet. bench-smoke must pass.
+        let baseline = vec![h("e9", "warm_qps_t1", 1000.0)];
+        let current = vec![
+            h("e9", "warm_qps_t1", 1000.0),
+            h("e11", "qps_w5_t1", 800.0),
+            h("e11", "p99_us_w5_t1", 30.0),
+        ];
+        let d = diff(&baseline, &current, TOL);
+        assert_eq!(d.compared, 1);
+        assert_eq!(d.new.len(), 2);
+        assert!(d.removed.is_empty() && d.regressions.is_empty());
+        assert!(!d.failed(), "baseline-missing metrics must never fail CI: {d:?}");
+    }
+
+    #[test]
+    fn removed_metrics_still_fail() {
+        let baseline = vec![h("e9", "warm_qps_t1", 1000.0), h("e10", "optimize_plan_p50_us", 14.0)];
+        let current = vec![h("e9", "warm_qps_t1", 1000.0)];
+        let d = diff(&baseline, &current, TOL);
+        assert_eq!(d.removed, vec!["e10/optimize_plan_p50_us".to_string()]);
+        assert!(d.failed(), "a silently-dropped experiment is a regression");
+    }
+
+    #[test]
+    fn regressions_fail_within_set_intersection() {
+        let baseline = vec![h("e9", "warm_qps_t1", 1000.0)];
+        let current = vec![h("e9", "warm_qps_t1", 10.0), h("e11", "qps_w1_t1", 1.0)];
+        let d = diff(&baseline, &current, TOL);
+        assert_eq!(d.regressions.len(), 1, "{d:?}");
+        assert_eq!(d.new.len(), 1);
+        assert!(d.failed());
+    }
+
+    #[test]
+    fn timing_and_ratio_tolerances_hold() {
+        // 8x timing slack: a 7x qps drop passes, a 9x drop fails.
+        assert!(regression("warm_qps_t1", 800.0, 800.0 / 7.0, TOL).is_none());
+        assert!(regression("warm_qps_t1", 800.0, 800.0 / 9.0, TOL).is_some());
+        // Better-when-lower timing (p99).
+        assert!(regression("p99_us_w5_t4", 10.0, 70.0, TOL).is_none());
+        assert!(regression("p99_us_w5_t4", 10.0, 90.0, TOL).is_some());
+        // Machine-independent ratio: ±50% + 0.05 floor.
+        assert!(regression("plan_hit_rate_w5", 0.9, 0.5, TOL).is_none());
+        assert!(regression("db1_mean_ratio", 0.8, 1.3, TOL).is_some());
+        // Non-finite current for a finite baseline is a broken experiment.
+        assert!(regression("db1_mean_ratio", 0.8, f64::NAN, TOL).is_some());
+    }
 }

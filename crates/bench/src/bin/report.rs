@@ -35,8 +35,8 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|e9|e10|all]* \
-                     [--seed N] [--smoke] [--json PATH]\n\n\
+                    "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|e9|e10|\
+                     e11|all]* [--seed N] [--smoke] [--json PATH]\n\n\
                      --smoke      run every experiment at minimal repetition counts; exercises\n\
                      \x20            the full harness in well under a second so CI catches rot\n\
                      --json PATH  also write every experiment's headline numbers as JSON"
@@ -48,7 +48,8 @@ fn main() {
     }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = [
-            "e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure", "e9", "e10",
+            "e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure", "e9",
+            "e10", "e11",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -109,6 +110,11 @@ fn main() {
             "e10" | "coldpath" => {
                 let (row, s) = sqo_bench::cold_path_latency(seed, smoke);
                 headlines.extend(sqo_bench::e10_headlines(&row));
+                println!("{s}");
+            }
+            "e11" | "mutable" => {
+                let (rows, s) = sqo_bench::mutable_serving(seed, smoke);
+                headlines.extend(sqo_bench::e11_headlines(&rows));
                 println!("{s}");
             }
             other => die(&format!("unknown experiment `{other}`")),

@@ -145,6 +145,17 @@ impl ConstraintIndex {
         self.by_rel.get(rel.index()).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
+    /// The classes whose by-class postings carry constraint `id` — the
+    /// touched class set a serving layer tests cache entries against when
+    /// `id` is inserted (class-overlap invalidation).
+    pub fn classes_of(&self, id: ConstraintId) -> impl Iterator<Item = ClassId> + '_ {
+        self.by_class
+            .iter()
+            .enumerate()
+            .filter(move |(_, posting)| posting.contains(&id))
+            .map(|(c, _)| ClassId(c as u32))
+    }
+
     /// Computes the exact relevant set for `query` into `out` (ascending
     /// [`ConstraintId`] order), by counting postings hits: a constraint is
     /// relevant iff all of its `needs` references are present in the query.

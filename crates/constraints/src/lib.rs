@@ -36,4 +36,5 @@ pub use index::{AttrKey, ConstraintIndex, RetrievalScratch};
 pub use pool::{PredId, PredicatePool};
 pub use store::{
     AssignmentPolicy, CompiledConstraint, ConstraintStore, RetrievalMetrics, StoreOptions,
+    StoreVersion,
 };

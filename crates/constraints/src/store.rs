@@ -100,6 +100,32 @@ impl RetrievalMetrics {
     }
 }
 
+/// The unambiguous cache identity of a store state: which store *instance*
+/// (`generation`, globally unique per [`ConstraintStore`] ever constructed
+/// in this process) at which of its semantic [`ConstraintStore::epoch`]s.
+///
+/// Epochs alone are **not** an identity: a copy-on-write successor starts
+/// at `source.epoch() + 1`, a value the source can independently reach via
+/// [`ConstraintStore::note_statistics_change`] /
+/// [`ConstraintStore::insert_constraint`] — two stores with different
+/// constraint sets then share an epoch, and an epoch-keyed plan cache can
+/// serve a rewrite derived under the wrong constraints. Pairing the epoch
+/// with a generation drawn from a process-global allocator makes collisions
+/// impossible (property-tested in `tests/prop_store_version.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreVersion {
+    /// Globally unique id of the store instance.
+    pub generation: u64,
+    /// The instance's semantic epoch at observation time.
+    pub epoch: u64,
+}
+
+/// Allocates a process-globally unique store generation.
+fn next_generation() -> u64 {
+    static NEXT_GENERATION: AtomicU64 = AtomicU64::new(0);
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The grouped semantic-constraint store.
 #[derive(Debug)]
 pub struct ConstraintStore {
@@ -117,9 +143,12 @@ pub struct ConstraintStore {
     access: AccessTracker,
     metrics: RetrievalMetrics,
     /// Monotone semantic version: bumped whenever the constraint population
-    /// or the statistics the optimizer consults change, so downstream caches
-    /// keyed by `(query fingerprint, epoch)` invalidate correctly.
+    /// or the statistics the optimizer consults change. Downstream caches
+    /// key on the full [`StoreVersion`] (generation + epoch) — the epoch
+    /// alone is ambiguous across copy-on-write store copies.
     epoch: AtomicU64,
+    /// Process-globally unique instance id (see [`StoreVersion`]).
+    generation: u64,
     /// Closure bookkeeping for reporting.
     pub derived_count: usize,
     pub closure_truncated: bool,
@@ -172,6 +201,7 @@ impl ConstraintStore {
             access,
             metrics: RetrievalMetrics::default(),
             epoch: AtomicU64::new(0),
+            generation: next_generation(),
             derived_count,
             closure_truncated,
         };
@@ -217,9 +247,20 @@ impl ConstraintStore {
 
     /// The store's current semantic epoch. Two calls returning the same
     /// value bracket a window in which no constraint or statistics change
-    /// occurred, so any optimization derived in between is still valid.
+    /// occurred **on this instance**, so any optimization derived in between
+    /// is still valid. Cross-instance comparisons need [`ConstraintStore::version`].
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
+    }
+
+    /// This instance's process-globally unique generation id.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The store's unambiguous cache identity: `(generation, epoch)`.
+    pub fn version(&self) -> StoreVersion {
+        StoreVersion { generation: self.generation, epoch: self.epoch() }
     }
 
     /// Records an external change to the statistics the optimizer's cost
@@ -230,8 +271,10 @@ impl ConstraintStore {
     }
 
     /// Raises the epoch to at least `floor` (monotone; never lowers it).
-    /// Used when a rebuilt store replaces an older one so that epochs keep
-    /// increasing across the swap.
+    /// Used when a rebuilt store replaces an older one so that epoch
+    /// *sequences* keep increasing across the swap for readability — cache
+    /// identity does not depend on it (the rebuilt store already has its own
+    /// generation, so its versions can never collide with the old store's).
     pub fn raise_epoch_to(&self, floor: u64) {
         self.epoch.fetch_max(floor, Ordering::AcqRel);
     }
@@ -288,6 +331,15 @@ impl ConstraintStore {
     /// homes; the newcomer is assigned under the current policy and live
     /// access statistics. Retrieval metrics restart from zero.
     pub fn with_constraint(&self, constraint: HornConstraint) -> Self {
+        self.with_constraint_tracked(constraint).0
+    }
+
+    /// [`ConstraintStore::with_constraint`], also reporting the id the
+    /// constraint received in the successor store. Serving layers combine it
+    /// with [`ConstraintStore::touched_classes`] to invalidate only the
+    /// cache entries whose class set overlaps the new constraint's, instead
+    /// of orphaning every entry.
+    pub fn with_constraint_tracked(&self, constraint: HornConstraint) -> (Self, ConstraintId) {
         let access = AccessTracker::new(self.catalog.class_count());
         for c in 0..self.catalog.class_count() as u32 {
             access.seed(ClassId(c), self.access.count(ClassId(c)));
@@ -303,14 +355,32 @@ impl ConstraintStore {
             access,
             metrics: RetrievalMetrics::default(),
             epoch: AtomicU64::new(self.epoch() + 1),
+            // A fresh generation: the successor is a *different* store even
+            // when the source later reaches the same epoch value.
+            generation: next_generation(),
             derived_count: self.derived_count,
             closure_truncated: self.closure_truncated,
         };
-        store.insert_constraint(constraint);
+        let id = store.insert_constraint(constraint);
         // `insert_constraint` bumped the epoch once more; keep the contract
-        // "exactly one past the source store" stable for cache invalidation.
+        // "exactly one past the source store" stable for readability of
+        // epoch sequences (identity comes from the generation).
         store.epoch = AtomicU64::new(self.epoch() + 1);
-        store
+        (store, id)
+    }
+
+    /// The classes whose by-class postings in the [`ConstraintIndex`] carry
+    /// constraint `id` — exactly the class set a cached query must overlap
+    /// for `id` to ever become relevant to it (relevance requires
+    /// `classes(id) ⊆ classes(query)`, so disjointness proves the cached
+    /// rewrite untouched).
+    ///
+    /// The postings are populated verbatim from the compiled constraint's
+    /// class list, so this reads it directly instead of scanning the
+    /// postings; [`ConstraintIndex::classes_of`] derives the same set from
+    /// the index side, and the store tests assert the two agree.
+    pub fn touched_classes(&self, id: ConstraintId) -> Vec<ClassId> {
+        self.compiled[id.index()].classes.clone()
     }
 
     /// The group a constraint should live in under the current policy and
@@ -611,6 +681,50 @@ mod tests {
         grouped.sort_unstable();
         full.sort_unstable();
         assert_eq!(grouped, full);
+    }
+
+    #[test]
+    fn cow_copies_get_their_own_generation() {
+        // The epoch-collision regression: the source can independently reach
+        // the derived store's epoch, but the *versions* must stay distinct.
+        let (_, store) = setup(AssignmentPolicy::Arbitrary);
+        let extra = store.constraint(ConstraintId(0)).clone();
+        let derived = store.with_constraint(extra);
+        store.note_statistics_change();
+        assert_eq!(store.epoch(), derived.epoch(), "the collision the old scheme keyed on");
+        assert_ne!(store.generation(), derived.generation());
+        assert_ne!(store.version(), derived.version());
+        // In-place mutation keeps the generation; only the epoch moves.
+        let g = store.generation();
+        store.note_statistics_change();
+        assert_eq!(store.generation(), g);
+    }
+
+    #[test]
+    fn touched_classes_come_from_the_index_postings() {
+        let (catalog, mut store) = setup(AssignmentPolicy::Arbitrary);
+        // c1 relates vehicles and the cargo they collect.
+        let cargo = catalog.class_id("cargo").unwrap();
+        let vehicle = catalog.class_id("vehicle").unwrap();
+        let c1 = store.constraint(ConstraintId(0)).clone();
+        let mut expected = c1.classes.clone();
+        expected.sort_unstable();
+        // Via the COW path.
+        let (bigger, id) = store.with_constraint_tracked(c1.clone());
+        let mut touched = bigger.touched_classes(id);
+        touched.sort_unstable();
+        assert_eq!(touched, expected);
+        assert!(touched.contains(&cargo) && touched.contains(&vehicle), "{touched:?}");
+        // Via the in-place path.
+        let id = store.insert_constraint(c1);
+        let mut touched = store.touched_classes(id);
+        touched.sort_unstable();
+        assert_eq!(touched, expected);
+        // The invariant touched_classes relies on: the index's by-class
+        // postings derive exactly the same set.
+        let mut from_postings: Vec<_> = store.index().classes_of(id).collect();
+        from_postings.sort_unstable();
+        assert_eq!(from_postings, touched);
     }
 
     #[test]

@@ -7,11 +7,12 @@
 //! optimization techniques".
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use sqo_catalog::ClassId;
 use sqo_core::ProfitOracle;
 use sqo_query::{Predicate, Query};
-use sqo_storage::Database;
+use sqo_storage::{Database, VersionedDatabase};
 
 use crate::cost::CostModel;
 use crate::planner::plan_query;
@@ -22,17 +23,34 @@ use crate::planner::plan_query;
 /// window already removes almost half of the planning work.
 const COST_MEMO: usize = 4;
 
+/// Where the oracle reads data and statistics from.
+#[derive(Debug)]
+enum DbSource<'db> {
+    /// One immutable snapshot; costs can never go stale.
+    Fixed(&'db Database),
+    /// A mutable handle; every costing resolves the current snapshot.
+    Versioned(&'db VersionedDatabase),
+}
+
 /// Plan-cost-comparing oracle over a concrete database instance.
 ///
-/// Plan costs are memoized per oracle instance (the database is immutable,
-/// so a query's estimated cost never changes). The memo makes the oracle
-/// `!Sync` — use one oracle per thread, which is how both the optimizer and
-/// the serving layer already drive it.
+/// Plan costs are memoized per oracle instance, keyed by the **data
+/// version** they were estimated at: a snapshot-backed oracle
+/// ([`CostBasedOracle::new`]) costs against one immutable snapshot and its
+/// memo never goes stale, while a handle-backed oracle
+/// ([`CostBasedOracle::versioned`]) re-resolves the current snapshot per
+/// costing and silently drops memo entries from older data epochs — a
+/// long-lived oracle over a mutable database re-costs after every write
+/// instead of serving estimates for data that no longer exists.
+///
+/// The memo makes the oracle `!Sync` — use one oracle per thread, which is
+/// how both the optimizer and the serving layer already drive it.
 #[derive(Debug)]
 pub struct CostBasedOracle<'db> {
-    db: &'db Database,
+    src: DbSource<'db>,
     model: CostModel,
-    memo: RefCell<Vec<(Query, f64)>>,
+    /// `(data version, query, estimated cost)`, most-recent first.
+    memo: RefCell<Vec<(u64, Query, f64)>>,
 }
 
 impl<'db> CostBasedOracle<'db> {
@@ -41,24 +59,55 @@ impl<'db> CostBasedOracle<'db> {
     }
 
     pub fn with_model(db: &'db Database, model: CostModel) -> Self {
-        Self { db, model, memo: RefCell::new(Vec::with_capacity(COST_MEMO)) }
+        Self { src: DbSource::Fixed(db), model, memo: RefCell::new(Vec::with_capacity(COST_MEMO)) }
+    }
+
+    /// An oracle over a mutable database: cardinality estimates and the
+    /// cost memo track the handle's current data epoch.
+    pub fn versioned(handle: &'db VersionedDatabase) -> Self {
+        Self::versioned_with_model(handle, CostModel::default())
+    }
+
+    pub fn versioned_with_model(handle: &'db VersionedDatabase, model: CostModel) -> Self {
+        Self {
+            src: DbSource::Versioned(handle),
+            model,
+            memo: RefCell::new(Vec::with_capacity(COST_MEMO)),
+        }
     }
 
     pub fn model(&self) -> &CostModel {
         &self.model
     }
 
+    /// The (memoized) planner cost estimate the oracle's decisions compare —
+    /// exposed for diagnostics and the data-epoch tests. `None` when the
+    /// query cannot be planned.
+    pub fn estimated_cost(&self, query: &Query) -> Option<f64> {
+        self.cost_of(query)
+    }
+
     fn cost_of(&self, q: &Query) -> Option<f64> {
+        let mut hold: Option<Arc<Database>> = None;
+        let (db, version): (&Database, u64) = match self.src {
+            DbSource::Fixed(db) => (db, db.data_version()),
+            DbSource::Versioned(handle) => {
+                let snapshot = hold.insert(handle.snapshot());
+                (snapshot, snapshot.data_version())
+            }
+        };
         let mut memo = self.memo.borrow_mut();
-        if let Some(i) = memo.iter().position(|(mq, _)| mq == q) {
+        // Estimates from older data epochs are garbage now; drop them.
+        memo.retain(|(v, _, _)| *v == version);
+        if let Some(i) = memo.iter().position(|(_, mq, _)| mq == q) {
             let hit = memo.remove(i);
-            let cost = hit.1;
+            let cost = hit.2;
             memo.insert(0, hit); // most-recent first
             return Some(cost);
         }
-        let cost = plan_query(self.db, q, &self.model).ok().map(|p| p.estimated_cost)?;
+        let cost = plan_query(db, q, &self.model).ok().map(|p| p.estimated_cost)?;
         memo.truncate(COST_MEMO - 1);
-        memo.insert(0, (q.clone(), cost));
+        memo.insert(0, (version, q.clone(), cost));
         Some(cost)
     }
 }
@@ -213,6 +262,56 @@ mod tests {
         let (res_orig, _) = crate::execute(&db, &plan_orig).unwrap();
         let (res_opt, _) = crate::execute(&db, &plan_opt).unwrap();
         assert!(res_orig.same_multiset(&res_opt));
+    }
+
+    #[test]
+    fn versioned_oracle_tracks_the_data_epoch() {
+        use sqo_storage::{DataWrite, VersionedDatabase};
+
+        let db = fig_db();
+        let catalog = db.catalog().clone();
+        let handle = VersionedDatabase::new(Arc::new(db));
+        let oracle = CostBasedOracle::versioned(&handle);
+        let cargo_scan = parse_query(
+            r#"(SELECT {cargo.desc} {} {cargo.desc = "dry goods"} {} {cargo})"#,
+            &catalog,
+        )
+        .unwrap();
+        let before = oracle.estimated_cost(&cargo_scan).expect("plannable");
+        // Same query, same epoch: the memo answers (and must agree).
+        assert_eq!(oracle.estimated_cost(&cargo_scan), Some(before));
+
+        // Grow cargo substantially; every new instance keeps the constraint
+        // and integrity story intact by duplicating an existing dry-goods
+        // cargo with its links.
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        let snapshot = handle.snapshot();
+        let src = sqo_storage::ObjectId(1); // i=1 is dry goods
+        let tuple = snapshot.tuple(cargo, src).unwrap().to_vec();
+        let links = vec![
+            (supplies, snapshot.traverse(supplies, cargo, src).unwrap()[0]),
+            (collects, snapshot.traverse(collects, cargo, src).unwrap()[0]),
+        ];
+        let batch: Vec<DataWrite> = (0..400)
+            .map(|_| DataWrite::Insert { class: cargo, tuple: tuple.clone(), links: links.clone() })
+            .collect();
+        handle.write(&batch).unwrap();
+
+        // The memo must not serve the stale pre-write estimate: tripling the
+        // extent makes the scan strictly more expensive.
+        let after = oracle.estimated_cost(&cargo_scan).expect("plannable");
+        assert!(
+            after > before,
+            "estimates must track the data epoch: before {before}, after {after}"
+        );
+
+        // A snapshot-backed oracle over the *old* snapshot keeps answering
+        // for its own (immutable) epoch.
+        let fixed = CostBasedOracle::new(&snapshot);
+        let frozen = fixed.estimated_cost(&cargo_scan).unwrap();
+        assert!((frozen - before).abs() < 1e-9);
     }
 
     #[test]

@@ -1,11 +1,32 @@
 //! The sharded semantic-plan cache.
 //!
-//! Keyed by `(query fingerprint, constraint-store epoch)`: the fingerprint
-//! collapses order-variant spellings of the same query onto one entry
-//! (`sqo-query`'s canonical form), and the epoch makes invalidation free —
-//! when the constraint store changes, its epoch bumps and every cached
-//! rewrite silently becomes unreachable, to be evicted by LRU pressure or an
-//! explicit [`ShardedCache::purge_stale`].
+//! Keyed by the **canonical query fingerprint**; every slot additionally
+//! records the [`StoreVersion`] (constraint-store generation + epoch) its
+//! rewrite was derived under, and a lookup only hits when the caller's
+//! current version matches. Versions — not raw epochs — are the identity:
+//! epochs collide across copy-on-write store swaps (see
+//! [`sqo_constraints::StoreVersion`]), and an epoch-keyed cache can serve a
+//! plan derived under the wrong constraints.
+//!
+//! Invalidation is two-level:
+//!
+//! * **Constraint inserts** call [`ShardedCache::invalidate_classes`] with
+//!   the inserted constraint's touched class set: entries whose canonical
+//!   query overlaps it are removed, all others are *revalidated* — re-stamped
+//!   to the successor store's version in place (sound because constraint
+//!   relevance requires `classes(c) ⊆ classes(q)`; a disjoint query's
+//!   relevant set, and hence its rewrite and plan, is unchanged).
+//! * **Statistics changes and store swaps** call
+//!   [`ShardedCache::purge_stale`], which drops everything not derived under
+//!   the current version — including entries stamped with *future* epochs of
+//!   a different store generation, the case the old `epoch >= floor`
+//!   retention silently kept alive.
+//!
+//! Data writes never touch the plan cache at all: plans depend only on
+//! constraints and the statistics tier. What a data write invalidates is
+//! each entry's **result memo**, which is gated on the data epoch it was
+//! computed at ([`CacheEntry::memoized_results`]) and recomputed on the next
+//! request after a write.
 //!
 //! Shards are independent `parking_lot::RwLock`s selected by fingerprint
 //! bits, so concurrent readers of *different* queries never contend, and
@@ -15,19 +36,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
-use sqo_catalog::AttrRef;
+use sqo_catalog::{AttrRef, ClassId};
+use sqo_constraints::StoreVersion;
 use sqo_exec::{PhysicalPlan, ResultSet};
 use sqo_query::{Query, QueryFingerprint};
-
-/// Cache key: what query (canonically) under which semantic world.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    pub fingerprint: QueryFingerprint,
-    pub epoch: u64,
-}
 
 /// One cached optimization: everything needed to answer the query again
 /// without re-running the transformation fixpoint or the planner.
@@ -45,23 +60,58 @@ pub struct CacheEntry {
     pub provably_empty: bool,
     /// Result columns, for materializing empty answers without a plan.
     pub columns: Vec<AttrRef>,
-    /// Result set cached after the first execution (the backing
-    /// [`sqo_storage::Database`] is immutable once built, so results stay
-    /// valid for the lifetime of the process; constraint changes alter
-    /// *plans*, never answers). Write-once: the first executing thread
-    /// publishes, every later thread shares the `Arc`.
-    pub results: OnceLock<Arc<ResultSet>>,
+    /// Result memo, gated on the **data epoch** it was computed at: a plan
+    /// survives data writes, its materialized answer does not. Readers at
+    /// the memo's epoch share the `Arc`; the first reader after a write
+    /// re-executes and republishes (monotone: a racing older execution
+    /// never overwrites a newer one).
+    results: RwLock<Option<(u64, Arc<ResultSet>)>>,
+}
+
+impl CacheEntry {
+    pub fn new(
+        canonical: Query,
+        optimized: Query,
+        plan: Option<Arc<PhysicalPlan>>,
+        provably_empty: bool,
+        columns: Vec<AttrRef>,
+    ) -> Self {
+        Self { canonical, optimized, plan, provably_empty, columns, results: RwLock::new(None) }
+    }
+
+    /// The memoized result set, iff it was computed at `data_epoch`.
+    pub fn memoized_results(&self, data_epoch: u64) -> Option<Arc<ResultSet>> {
+        match &*self.results.read() {
+            Some((epoch, results)) if *epoch == data_epoch => Some(Arc::clone(results)),
+            _ => None,
+        }
+    }
+
+    /// Publishes results computed at `data_epoch`. Keeps whichever memo is
+    /// newer, so a slow executor racing a write can never clobber the
+    /// post-write recomputation.
+    pub fn publish_results(&self, data_epoch: u64, results: &Arc<ResultSet>) {
+        let mut slot = self.results.write();
+        match &*slot {
+            Some((epoch, _)) if *epoch > data_epoch => {}
+            _ => *slot = Some((data_epoch, Arc::clone(results))),
+        }
+    }
 }
 
 #[derive(Debug)]
 struct Slot {
     entry: Arc<CacheEntry>,
+    /// The store version the entry's rewrite is valid under. Re-stamped in
+    /// place (under the shard write lock) when a constraint insert proves
+    /// the entry untouched.
+    version: StoreVersion,
     /// Global LRU clock value at last touch (relaxed: approximate recency
     /// is all LRU needs).
     last_used: AtomicU64,
 }
 
-type Shard = HashMap<CacheKey, Slot>;
+type Shard = HashMap<QueryFingerprint, Slot>;
 
 /// Point-in-time cache counters (monotone except `entries`/`shard_sizes`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,7 +119,13 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub insertions: u64,
+    /// Capacity (LRU) and staleness (purge) removals.
     pub evictions: u64,
+    /// Entries removed because a constraint insert touched their classes.
+    pub invalidations: u64,
+    /// Entries kept across a constraint insert (class sets disjoint) and
+    /// re-stamped to the successor store's version.
+    pub revalidations: u64,
     pub entries: usize,
     pub shard_sizes: Vec<usize>,
 }
@@ -95,6 +151,8 @@ pub struct ShardedCache {
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
+    revalidations: AtomicU64,
 }
 
 impl ShardedCache {
@@ -111,6 +169,8 @@ impl ShardedCache {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
         }
     }
 
@@ -122,19 +182,24 @@ impl ShardedCache {
         self.per_shard_capacity * self.shards.len()
     }
 
-    fn shard_of(&self, key: &CacheKey) -> &RwLock<Shard> {
-        // Mix the epoch in so successive epochs of a hot query do not pile
-        // onto one shard; the multiplier is Fibonacci hashing's.
-        let h = (key.fingerprint.0 ^ key.epoch.rotate_left(32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    fn shard_of(&self, fingerprint: QueryFingerprint) -> &RwLock<Shard> {
+        // Fibonacci hashing over the fingerprint bits.
+        let h = fingerprint.0.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         &self.shards[(h >> 32) as usize & (self.shards.len() - 1)]
     }
 
-    /// Looks up `key`, verifying the stored canonical query to rule out
-    /// fingerprint collisions. Counts a hit or a miss.
-    pub fn get(&self, key: CacheKey, canonical: &Query) -> Option<Arc<CacheEntry>> {
-        let shard = self.shard_of(&key).read();
-        match shard.get(&key) {
-            Some(slot) if slot.entry.canonical == *canonical => {
+    /// Looks up `fingerprint`, verifying both the stored canonical query (to
+    /// rule out 64-bit fingerprint collisions) and that the entry is valid
+    /// under `version`. Counts a hit or a miss.
+    pub fn get(
+        &self,
+        fingerprint: QueryFingerprint,
+        canonical: &Query,
+        version: StoreVersion,
+    ) -> Option<Arc<CacheEntry>> {
+        let shard = self.shard_of(fingerprint).read();
+        match shard.get(&fingerprint) {
+            Some(slot) if slot.version == version && slot.entry.canonical == *canonical => {
                 slot.last_used.store(self.tick(), Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&slot.entry))
@@ -146,11 +211,16 @@ impl ShardedCache {
         }
     }
 
-    /// Inserts (or replaces) an entry, evicting the least-recently-used
-    /// entry of the target shard if it is full.
-    pub fn insert(&self, key: CacheKey, entry: Arc<CacheEntry>) {
-        let mut shard = self.shard_of(&key).write();
-        if !shard.contains_key(&key) && shard.len() >= self.per_shard_capacity {
+    /// Inserts (or replaces) an entry derived under `version`, evicting the
+    /// least-recently-used entry of the target shard if it is full.
+    pub fn insert(
+        &self,
+        fingerprint: QueryFingerprint,
+        version: StoreVersion,
+        entry: Arc<CacheEntry>,
+    ) {
+        let mut shard = self.shard_of(fingerprint).write();
+        if !shard.contains_key(&fingerprint) && shard.len() >= self.per_shard_capacity {
             if let Some(victim) = shard
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
@@ -160,18 +230,51 @@ impl ShardedCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        let slot = Slot { entry, last_used: AtomicU64::new(self.tick()) };
+        let slot = Slot { entry, version, last_used: AtomicU64::new(self.tick()) };
         self.insertions.fetch_add(1, Ordering::Relaxed);
-        shard.insert(key, slot);
+        shard.insert(fingerprint, slot);
     }
 
-    /// Drops every entry whose epoch is older than `epoch` — entries that
-    /// can never be hit again once the store has moved past them.
-    pub fn purge_stale(&self, epoch: u64) {
+    /// Class-overlap invalidation for a constraint insert that moved the
+    /// store from `prev` to `next`: entries valid at `prev` whose canonical
+    /// query mentions any of `touched` are removed; entries valid at `prev`
+    /// with a disjoint class set are revalidated (re-stamped to `next`);
+    /// entries already at `next` are kept untouched (a reader that raced
+    /// the store swap cached them under the successor — they are valid);
+    /// entries at any *other* version are stale strays and are removed.
+    pub fn invalidate_classes(&self, prev: StoreVersion, next: StoreVersion, touched: &[ClassId]) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.retain(|_, slot| {
+                if slot.version == next {
+                    return true;
+                }
+                if slot.version != prev {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                let overlaps = slot.entry.canonical.classes.iter().any(|c| touched.contains(c));
+                if overlaps {
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    slot.version = next;
+                    self.revalidations.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+            });
+        }
+    }
+
+    /// Drops every entry not derived under `current` — both entries from
+    /// older epochs of the same store and entries from *any* epoch of a
+    /// different (e.g. swapped-out) store generation, which a bare
+    /// epoch-floor retention would wrongly keep.
+    pub fn purge_stale(&self, current: StoreVersion) {
         for shard in &self.shards {
             let mut shard = shard.write();
             let before = shard.len();
-            shard.retain(|k, _| k.epoch >= epoch);
+            shard.retain(|_, slot| slot.version == current);
             let dropped = before - shard.len();
             self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
         }
@@ -194,6 +297,8 @@ impl ShardedCache {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            revalidations: self.revalidations.load(Ordering::Relaxed),
             entries: shard_sizes.iter().sum(),
             shard_sizes,
         }
@@ -209,43 +314,52 @@ mod tests {
     use super::*;
 
     fn entry(q: &Query) -> Arc<CacheEntry> {
-        Arc::new(CacheEntry {
-            canonical: q.clone(),
-            optimized: q.clone(),
-            plan: None,
-            provably_empty: true,
-            columns: vec![],
-            results: OnceLock::new(),
-        })
+        Arc::new(CacheEntry::new(q.clone(), q.clone(), None, true, vec![]))
     }
 
-    fn key(fp: u64, epoch: u64) -> CacheKey {
-        CacheKey { fingerprint: QueryFingerprint(fp), epoch }
+    fn fp(v: u64) -> QueryFingerprint {
+        QueryFingerprint(v)
+    }
+
+    fn v(generation: u64, epoch: u64) -> StoreVersion {
+        StoreVersion { generation, epoch }
     }
 
     #[test]
     fn get_after_insert_hits() {
         let cache = ShardedCache::new(4, 64);
         let q = Query::new();
-        cache.insert(key(1, 0), entry(&q));
-        assert!(cache.get(key(1, 0), &q).is_some());
-        assert!(cache.get(key(2, 0), &q).is_none());
+        cache.insert(fp(1), v(0, 0), entry(&q));
+        assert!(cache.get(fp(1), &q, v(0, 0)).is_some());
+        assert!(cache.get(fp(2), &q, v(0, 0)).is_none());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
     }
 
     #[test]
-    fn epoch_partitions_the_key_space() {
+    fn version_mismatch_misses() {
         let cache = ShardedCache::new(2, 8);
         let q = Query::new();
-        cache.insert(key(1, 0), entry(&q));
-        assert!(cache.get(key(1, 1), &q).is_none(), "new epoch must miss");
-        cache.insert(key(1, 1), entry(&q));
-        assert_eq!(cache.len(), 2);
-        cache.purge_stale(1);
+        cache.insert(fp(1), v(0, 0), entry(&q));
+        assert!(cache.get(fp(1), &q, v(0, 1)).is_none(), "new epoch must miss");
+        assert!(cache.get(fp(1), &q, v(1, 0)).is_none(), "other generation must miss");
+        cache.insert(fp(1), v(0, 1), entry(&q));
+        assert_eq!(cache.len(), 1, "one slot per fingerprint");
+        cache.purge_stale(v(0, 1));
         assert_eq!(cache.len(), 1);
-        assert!(cache.get(key(1, 1), &q).is_some());
+        assert!(cache.get(fp(1), &q, v(0, 1)).is_some());
+    }
+
+    #[test]
+    fn purge_drops_future_epochs_of_other_generations() {
+        // The old `epoch >= floor` retention kept these: an entry stamped by
+        // a swapped-out store whose epoch ran ahead of the current store's.
+        let cache = ShardedCache::new(1, 8);
+        let q = Query::new();
+        cache.insert(fp(1), v(7, 40), entry(&q));
+        cache.purge_stale(v(8, 3));
+        assert_eq!(cache.len(), 0, "a stray from another store must not survive the swap");
     }
 
     #[test]
@@ -253,23 +367,67 @@ mod tests {
         let cache = ShardedCache::new(1, 8);
         let q = Query::new();
         let mut other = Query::new();
-        other.classes.push(sqo_catalog::ClassId(0));
-        cache.insert(key(7, 0), entry(&q));
-        // Same key, different canonical query: must miss, not serve garbage.
-        assert!(cache.get(key(7, 0), &other).is_none());
+        other.classes.push(ClassId(0));
+        cache.insert(fp(7), v(0, 0), entry(&q));
+        // Same fingerprint, different canonical query: must miss.
+        assert!(cache.get(fp(7), &other, v(0, 0)).is_none());
     }
 
     #[test]
     fn lru_evicts_the_coldest_entry() {
         let cache = ShardedCache::new(1, 2); // single shard, two slots
         let q = Query::new();
-        cache.insert(key(1, 0), entry(&q));
-        cache.insert(key(2, 0), entry(&q));
-        let _ = cache.get(key(1, 0), &q); // touch 1 → 2 is now coldest
-        cache.insert(key(3, 0), entry(&q));
-        assert!(cache.get(key(1, 0), &q).is_some(), "recently used survives");
-        assert!(cache.get(key(2, 0), &q).is_none(), "coldest was evicted");
+        cache.insert(fp(1), v(0, 0), entry(&q));
+        cache.insert(fp(2), v(0, 0), entry(&q));
+        let _ = cache.get(fp(1), &q, v(0, 0)); // touch 1 → 2 is now coldest
+        cache.insert(fp(3), v(0, 0), entry(&q));
+        assert!(cache.get(fp(1), &q, v(0, 0)).is_some(), "recently used survives");
+        assert!(cache.get(fp(2), &q, v(0, 0)).is_none(), "coldest was evicted");
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn class_overlap_invalidation_revalidates_disjoint_entries() {
+        let cache = ShardedCache::new(2, 16);
+        let mut on_c0 = Query::new();
+        on_c0.classes.push(ClassId(0));
+        let mut on_c1 = Query::new();
+        on_c1.classes.push(ClassId(1));
+        let prev = v(3, 5);
+        let next = v(4, 6);
+        cache.insert(fp(1), prev, entry(&on_c0));
+        cache.insert(fp(2), prev, entry(&on_c1));
+        cache.insert(fp(3), v(9, 9), entry(&on_c1)); // stray from another store
+                                                     // A reader racing the swap already cached an entry under `next`
+                                                     // (even one overlapping the touched classes — it was derived under
+                                                     // the successor store, so it is valid as-is).
+        cache.insert(fp(4), next, entry(&on_c0));
+        cache.invalidate_classes(prev, next, &[ClassId(0)]);
+        assert!(cache.get(fp(1), &on_c0, next).is_none(), "overlapping entry removed");
+        assert!(cache.get(fp(2), &on_c1, next).is_some(), "disjoint entry revalidated");
+        assert!(cache.get(fp(3), &on_c1, next).is_none(), "stray removed");
+        assert!(cache.get(fp(4), &on_c0, next).is_some(), "next-version entry kept");
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.revalidations, 1);
+        assert_eq!(s.entries, 2);
+    }
+
+    #[test]
+    fn result_memo_is_gated_on_the_data_epoch() {
+        let q = Query::new();
+        let e = entry(&q);
+        assert!(e.memoized_results(0).is_none());
+        let r0 = Arc::new(ResultSet::new(vec![]));
+        e.publish_results(0, &r0);
+        assert!(Arc::ptr_eq(&e.memoized_results(0).unwrap(), &r0));
+        assert!(e.memoized_results(1).is_none(), "a data write must force recomputation");
+        // Newer publications win; older racers never clobber them.
+        let r2 = Arc::new(ResultSet::new(vec![]));
+        e.publish_results(2, &r2);
+        e.publish_results(1, &r0);
+        assert!(e.memoized_results(2).is_some());
+        assert!(e.memoized_results(1).is_none());
     }
 
     #[test]

@@ -12,10 +12,16 @@
 //! * **Canonical fingerprints** ([`sqo_query::QueryFingerprint`]) collapse
 //!   every spelling of a query — shuffled predicates, reordered class
 //!   lists — onto one cache identity.
-//! * **Epoch-keyed invalidation**: cache keys pair the fingerprint with the
-//!   constraint store's monotone [`sqo_constraints::ConstraintStore::epoch`];
-//!   any constraint or statistics change bumps the epoch and every cached
-//!   rewrite becomes unreachable at once.
+//! * **Version-validated entries**: every cache entry records the
+//!   [`sqo_constraints::StoreVersion`] (store generation + epoch) its
+//!   rewrite was derived under, and lookups only hit on an exact match —
+//!   raw epochs are ambiguous across copy-on-write store swaps and can
+//!   serve plans derived under the wrong constraints.
+//! * **Two-level invalidation**: a constraint insert purges only entries
+//!   whose class set overlaps the new constraint's (everything else is
+//!   revalidated in place); a data write through the
+//!   [`sqo_storage::VersionedDatabase`] path leaves plans cached and only
+//!   expires each entry's data-epoch-gated result memo.
 //! * A **sharded LRU plan cache** ([`ShardedCache`]) keeps lock hold times
 //!   tiny: readers of different queries land on different
 //!   `parking_lot::RwLock` shards, readers of the same hot query share a
@@ -24,7 +30,7 @@
 //!   [`QueryService::execute_prepared`]) re-executes one shared
 //!   [`sqo_exec::PhysicalPlan`] without re-planning, and a fixed
 //!   worker-pool [`QueryService::run_batch`] drives closed-loop throughput
-//!   experiments (E9).
+//!   experiments (E9, and the mixed read/write E11).
 
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
@@ -32,7 +38,7 @@
 mod cache;
 mod service;
 
-pub use cache::{CacheEntry, CacheKey, CacheStats, ShardedCache};
+pub use cache::{CacheEntry, CacheStats, ShardedCache};
 pub use service::{
     PreparedQuery, QueryService, ServiceConfig, ServiceError, ServiceResponse, ServiceStats,
 };

@@ -4,19 +4,19 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
-use sqo_constraints::{ConstraintStore, HornConstraint};
+use sqo_constraints::{ConstraintStore, HornConstraint, StoreVersion};
 use sqo_core::{OptimizerConfig, OptimizerScratch, SemanticOptimizer};
 use sqo_exec::{
     execute_with, plan_query_shared, CostBasedOracle, CostModel, ExecError, ExecScratch,
     PhysicalPlan, ResultSet,
 };
 use sqo_query::{Query, QueryError};
-use sqo_storage::Database;
+use sqo_storage::{DataWrite, Database, StorageError, VersionedDatabase, WriteOutcome};
 
-use crate::cache::{CacheEntry, CacheKey, CacheStats, ShardedCache};
+use crate::cache::{CacheEntry, CacheStats, ShardedCache};
 
 thread_local! {
     /// Per-worker reusable optimizer + executor buffers: the cold path of
@@ -26,13 +26,15 @@ thread_local! {
         RefCell::new((OptimizerScratch::new(), ExecScratch::new()));
 }
 
-/// Anything that can go wrong answering a query.
+/// Anything that can go wrong answering a query or applying a write.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The query failed validation or semantic optimization.
     Query(QueryError),
     /// Planning or execution failed.
     Exec(ExecError),
+    /// A write batch failed validation or integrity enforcement.
+    Storage(StorageError),
 }
 
 impl fmt::Display for ServiceError {
@@ -40,6 +42,7 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Query(e) => write!(f, "query error: {e}"),
             ServiceError::Exec(e) => write!(f, "execution error: {e}"),
+            ServiceError::Storage(e) => write!(f, "write error: {e}"),
         }
     }
 }
@@ -49,6 +52,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Query(e) => Some(e),
             ServiceError::Exec(e) => Some(e),
+            ServiceError::Storage(e) => Some(e),
         }
     }
 }
@@ -65,6 +69,12 @@ impl From<ExecError> for ServiceError {
     }
 }
 
+impl From<StorageError> for ServiceError {
+    fn from(e: StorageError) -> Self {
+        ServiceError::Storage(e)
+    }
+}
+
 /// Service tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -72,9 +82,10 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Total cached entries across all shards.
     pub cache_capacity: usize,
-    /// Also memoize result sets, not just rewrites and plans. Sound because
-    /// the backing [`Database`] is immutable once built; turn off to model a
-    /// mutable-data deployment where only plans are reusable.
+    /// Also memoize result sets, not just rewrites and plans. Sound under
+    /// writes because the memo is gated on the data epoch it was computed
+    /// at: plans survive data writes, memoized results are recomputed on the
+    /// first request after one. Turn off to re-execute on every request.
     pub cache_results: bool,
     /// Skip the cache entirely — every request re-optimizes, re-plans and
     /// re-executes. The cold path of the E9 benchmark.
@@ -135,8 +146,11 @@ pub struct ServiceResponse {
     pub results: Arc<ResultSet>,
     /// Whether the optimization/plan came from the cache.
     pub cache_hit: bool,
-    /// Epoch the answer was derived under.
+    /// Constraint-store epoch the rewrite was derived under.
     pub epoch: u64,
+    /// Data epoch of the snapshot the results were computed against — every
+    /// answer is internally consistent with exactly one linearized epoch.
+    pub data_epoch: u64,
 }
 
 /// Point-in-time service counters for the bench harness.
@@ -148,20 +162,36 @@ pub struct ServiceStats {
     pub optimizations: u64,
     /// Physical plan executions (not answered from a memoized result).
     pub executions: u64,
+    /// Write batches committed through [`QueryService::write`].
+    pub writes: u64,
     /// Current constraint-store epoch.
     pub epoch: u64,
+    /// Current data epoch of the backing database.
+    pub data_epoch: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
 }
 
 /// A long-lived, thread-shared query-answering engine.
 ///
-/// Owns the database and the constraint store behind `Arc`s, so any number
-/// of client threads can call [`QueryService::run`] concurrently (`&self`
-/// throughout). Repeated queries — under *any* spelling that canonicalizes
-/// identically — are answered from an N-way sharded LRU cache keyed by
-/// `(fingerprint, epoch)`; constraint or statistics changes bump the epoch
-/// and atomically invalidate every stale rewrite.
+/// Owns the database (behind a [`VersionedDatabase`] write path) and the
+/// constraint store behind `Arc`s, so any number of client threads can call
+/// [`QueryService::run`] concurrently (`&self` throughout). Repeated
+/// queries — under *any* spelling that canonicalizes identically — are
+/// answered from an N-way sharded LRU cache keyed by the canonical
+/// fingerprint and validated against the store's
+/// [`StoreVersion`](sqo_constraints::StoreVersion).
+///
+/// Invalidation is two-level:
+///
+/// * **Constraint inserts** purge only cache entries whose class set
+///   overlaps the inserted constraint's; disjoint entries are revalidated
+///   in place. Statistics changes purge everything (every cost-based
+///   decision may shift).
+/// * **Data writes** ([`QueryService::write`]) never touch the plan cache —
+///   plans depend only on constraints and statistics — but gate each
+///   entry's memoized result set on the data epoch it was computed at, so
+///   the first request after a write re-executes the (still cached) plan.
 ///
 /// Answers are always produced in the **canonical** query's column order
 /// (projections sorted), so every spelling of a query receives an
@@ -181,7 +211,7 @@ pub struct ServiceStats {
 /// ```
 #[derive(Debug)]
 pub struct QueryService {
-    db: Arc<Database>,
+    db: Arc<VersionedDatabase>,
     /// Swapped wholesale on constraint changes (copy-on-write): in-flight
     /// queries drain against the store they started with.
     store: RwLock<Arc<ConstraintStore>>,
@@ -194,6 +224,7 @@ pub struct QueryService {
     requests: AtomicU64,
     optimizations: AtomicU64,
     executions: AtomicU64,
+    writes: AtomicU64,
 }
 
 impl QueryService {
@@ -206,6 +237,17 @@ impl QueryService {
         db: Arc<Database>,
         config: ServiceConfig,
     ) -> Self {
+        Self::with_versioned_db(store, Arc::new(VersionedDatabase::new(db)), config)
+    }
+
+    /// A service over an externally owned write path — used when writers or
+    /// a second service (e.g. an uncached cross-checking reference) must
+    /// share the same evolving database.
+    pub fn with_versioned_db(
+        store: Arc<ConstraintStore>,
+        db: Arc<VersionedDatabase>,
+        config: ServiceConfig,
+    ) -> Self {
         Self {
             db,
             store: RwLock::new(store),
@@ -216,12 +258,24 @@ impl QueryService {
             requests: AtomicU64::new(0),
             optimizations: AtomicU64::new(0),
             executions: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
         }
     }
 
-    /// The database every answer is computed against.
-    pub fn db(&self) -> &Arc<Database> {
+    /// The current database snapshot (immutable; answers computed from it
+    /// are consistent with its [`Database::data_version`]).
+    pub fn db(&self) -> Arc<Database> {
+        self.db.snapshot()
+    }
+
+    /// The versioned write path shared by every reader and writer.
+    pub fn versioned_db(&self) -> &Arc<VersionedDatabase> {
         &self.db
+    }
+
+    /// The current data epoch (see [`VersionedDatabase::data_epoch`]).
+    pub fn data_epoch(&self) -> u64 {
+        self.db.data_epoch()
     }
 
     /// A snapshot handle to the current constraint store.
@@ -234,9 +288,27 @@ impl QueryService {
         self.store.read().epoch()
     }
 
+    /// The current unambiguous store identity.
+    pub fn store_version(&self) -> StoreVersion {
+        self.store.read().version()
+    }
+
+    /// Applies one atomic batch of data writes, advancing the data epoch;
+    /// returns the batch's [`WriteOutcome`]. Plans stay cached (they depend
+    /// only on constraints + statistics tier); memoized result sets are
+    /// recomputed lazily because their data-epoch gate no longer matches.
+    pub fn write(&self, writes: &[DataWrite]) -> Result<WriteOutcome, ServiceError> {
+        let outcome = self.db.write(writes)?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(outcome)
+    }
+
     /// Adds a constraint by building a successor store (copy-on-write) and
-    /// swapping it in; returns the new epoch. Stale cache entries are purged
-    /// eagerly rather than left for LRU pressure.
+    /// swapping it in; returns the new epoch. Invalidation is
+    /// **class-overlap precise**: only cache entries whose canonical query
+    /// mentions one of the constraint's classes (reported by the store's
+    /// by-class index postings) are purged; every other entry is revalidated
+    /// under the new store version and keeps serving.
     ///
     /// The O(#constraints) rebuild happens outside the store lock (writers
     /// are serialized by a dedicated mutex), so concurrent readers keep
@@ -244,19 +316,41 @@ impl QueryService {
     pub fn add_constraint(&self, constraint: HornConstraint) -> u64 {
         let _writing = self.writer.lock();
         let base = self.store();
-        let next = Arc::new(base.with_constraint(constraint));
-        let epoch = next.epoch();
+        let prev = base.version();
+        let (next, id) = base.with_constraint_tracked(constraint);
+        let touched = next.touched_classes(id);
+        let next = Arc::new(next);
+        let version = next.version();
         *self.store.write() = next;
-        self.cache.purge_stale(epoch);
-        epoch
+        self.cache.invalidate_classes(prev, version, &touched);
+        version.epoch
     }
 
     /// Records an external statistics change (bumping the epoch so cached
-    /// cost-based rewrites are re-derived); returns the new epoch.
+    /// cost-based rewrites are re-derived); returns the new epoch. Every
+    /// entry is purged — any cost-based decision may shift under new
+    /// statistics, so there is no sound subset to keep.
     pub fn note_statistics_change(&self) -> u64 {
-        let epoch = self.store.read().note_statistics_change();
-        self.cache.purge_stale(epoch);
+        let _writing = self.writer.lock();
+        let store = self.store();
+        let epoch = store.note_statistics_change();
+        self.cache.purge_stale(store.version());
         epoch
+    }
+
+    /// Swaps in an externally rebuilt constraint store (e.g. after a full
+    /// closure rematerialization), raising its epoch past the old store's so
+    /// epoch sequences stay monotone across the swap, and purges every cache
+    /// entry — the new generation can never hit the old one's entries.
+    /// Returns the store's post-swap epoch.
+    pub fn replace_store(&self, next: Arc<ConstraintStore>) -> u64 {
+        let _writing = self.writer.lock();
+        let old = self.store();
+        next.raise_epoch_to(old.epoch() + 1);
+        let version = next.version();
+        *self.store.write() = next;
+        self.cache.purge_stale(version);
+        version.epoch
     }
 
     /// Canonicalizes, fingerprints and resolves `query` to its optimization
@@ -265,30 +359,32 @@ impl QueryService {
     pub fn prepare(&self, query: &Query) -> Result<PreparedQuery, ServiceError> {
         let canonical = query.canonical();
         let store = self.store();
-        let epoch = store.epoch();
-        let key = CacheKey { fingerprint: canonical.fingerprint_canonical(), epoch };
+        let version = store.version();
+        let fingerprint = canonical.fingerprint_canonical();
         if !self.config.bypass_cache {
-            if let Some(entry) = self.cache.get(key, &canonical) {
-                return Ok(PreparedQuery { entry, epoch, cache_hit: true });
+            if let Some(entry) = self.cache.get(fingerprint, &canonical, version) {
+                return Ok(PreparedQuery { entry, epoch: version.epoch, cache_hit: true });
             }
         }
         let entry = Arc::new(self.build_entry(canonical, &store)?);
         if !self.config.bypass_cache {
-            self.cache.insert(key, Arc::clone(&entry));
+            self.cache.insert(fingerprint, version, Arc::clone(&entry));
         }
-        Ok(PreparedQuery { entry, epoch, cache_hit: false })
+        Ok(PreparedQuery { entry, epoch: version.epoch, cache_hit: false })
     }
 
     /// The miss path: semantic optimization, then planning (skipped when
-    /// the optimizer proves the answer empty).
+    /// the optimizer proves the answer empty). Both run against one
+    /// database snapshot, so cost estimates are internally consistent.
     fn build_entry(
         &self,
         canonical: Query,
         store: &Arc<ConstraintStore>,
     ) -> Result<CacheEntry, ServiceError> {
+        let db = self.db.snapshot();
         let optimizer =
             SemanticOptimizer::shared_with_config(Arc::clone(store), self.config.optimizer);
-        let oracle = CostBasedOracle::with_model(&self.db, self.model);
+        let oracle = CostBasedOracle::with_model(&db, self.model);
         let out = WORKER_SCRATCH
             .with(|s| optimizer.optimize_with(&canonical, &oracle, &mut s.borrow_mut().0))?;
         self.optimizations.fetch_add(1, Ordering::Relaxed);
@@ -296,52 +392,60 @@ impl QueryService {
         let (plan, columns) = if provably_empty {
             (None, out.query.projections.iter().map(|p| p.attr).collect())
         } else {
-            let plan = plan_query_shared(&self.db, &out.query, &self.model)?;
+            let plan = plan_query_shared(&db, &out.query, &self.model)?;
             let columns = plan.projections.iter().map(|p| p.attr).collect();
             (Some(plan), columns)
         };
-        Ok(CacheEntry {
-            canonical,
-            optimized: out.query,
-            plan,
-            provably_empty,
-            columns,
-            results: OnceLock::new(),
-        })
+        Ok(CacheEntry::new(canonical, out.query, plan, provably_empty, columns))
     }
 
-    /// Executes a prepared query, sharing memoized results when enabled.
+    /// Executes a prepared query, sharing memoized results when they were
+    /// computed at the current data epoch.
     pub fn execute_prepared(
         &self,
         prepared: &PreparedQuery,
     ) -> Result<Arc<ResultSet>, ServiceError> {
-        let entry = &prepared.entry;
-        if let Some(cached) = entry.results.get() {
-            return Ok(Arc::clone(cached));
+        self.execute_entry(&prepared.entry).map(|(results, _)| results)
+    }
+
+    /// The execution core: resolves the current snapshot, serves the result
+    /// memo when its data epoch matches, re-executes otherwise. Returns the
+    /// results and the data epoch they are consistent with.
+    fn execute_entry(&self, entry: &CacheEntry) -> Result<(Arc<ResultSet>, u64), ServiceError> {
+        let db = self.db.snapshot();
+        let data_epoch = db.data_version();
+        let memoize = self.config.cache_results && !self.config.bypass_cache;
+        if memoize {
+            if let Some(cached) = entry.memoized_results(data_epoch) {
+                return Ok((cached, data_epoch));
+            }
         }
         let results = if entry.provably_empty {
             Arc::new(ResultSet::new(entry.columns.clone()))
         } else {
             let plan = entry.plan.as_ref().expect("non-empty entries carry a plan");
             let (res, _counters) =
-                WORKER_SCRATCH.with(|s| execute_with(&self.db, plan, &mut s.borrow_mut().1))?;
+                WORKER_SCRATCH.with(|s| execute_with(&db, plan, &mut s.borrow_mut().1))?;
             self.executions.fetch_add(1, Ordering::Relaxed);
             Arc::new(res)
         };
-        if self.config.cache_results && !self.config.bypass_cache {
-            // First publisher wins; racing executors converge on its copy.
-            let _ = entry.results.set(Arc::clone(&results));
-            return Ok(Arc::clone(entry.results.get().expect("just set")));
+        if memoize {
+            entry.publish_results(data_epoch, &results);
         }
-        Ok(results)
+        Ok((results, data_epoch))
     }
 
     /// Prepare + execute in one call — the per-request entry point.
     pub fn run(&self, query: &Query) -> Result<ServiceResponse, ServiceError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
         let prepared = self.prepare(query)?;
-        let results = self.execute_prepared(&prepared)?;
-        Ok(ServiceResponse { results, cache_hit: prepared.cache_hit, epoch: prepared.epoch })
+        let (results, data_epoch) = self.execute_entry(&prepared.entry)?;
+        Ok(ServiceResponse {
+            results,
+            cache_hit: prepared.cache_hit,
+            epoch: prepared.epoch,
+            data_epoch,
+        })
     }
 
     /// Answers `queries` on a fixed pool of `workers` threads (closed-loop:
@@ -386,7 +490,9 @@ impl QueryService {
             requests: self.requests.load(Ordering::Relaxed),
             optimizations: self.optimizations.load(Ordering::Relaxed),
             executions: self.executions.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
             epoch: self.epoch(),
+            data_epoch: self.data_epoch(),
             cache: self.cache.stats(),
         }
     }
@@ -451,19 +557,119 @@ mod tests {
         assert!(Arc::ptr_eq(&r1, &r2), "memoized results are shared");
     }
 
+    /// Some constraint of `service`'s store whose class set overlaps
+    /// `query`'s (duplicating it is semantics-preserving, so answers must
+    /// not move while the rewrite is re-derived).
+    fn overlapping_dup(service: &QueryService, query: &Query) -> sqo_constraints::HornConstraint {
+        let store = service.store();
+        let found = store
+            .constraints()
+            .find(|(_, c)| c.classes.iter().any(|cl| query.classes.contains(cl)))
+            .map(|(_, c)| c.clone());
+        found.expect("some constraint touches the query's classes")
+    }
+
     #[test]
     fn epoch_bump_invalidates_but_answers_stay_equal() {
         let (service, queries) = service();
         let before = service.run(&queries[2]).unwrap();
         let e0 = service.epoch();
-        let dup = service.store().constraint(sqo_constraints::ConstraintId(0)).clone();
+        let dup = overlapping_dup(&service, &queries[2]);
         let e1 = service.add_constraint(dup);
         assert!(e1 > e0);
         assert_eq!(service.epoch(), e1);
         let after = service.run(&queries[2]).unwrap();
-        assert!(!after.cache_hit, "constraint change must invalidate the cached rewrite");
+        assert!(!after.cache_hit, "an overlapping constraint must invalidate the cached rewrite");
         assert_eq!(after.epoch, e1);
         assert!(before.results.same_multiset(&after.results));
+        assert!(service.stats().cache.invalidations >= 1);
+    }
+
+    #[test]
+    fn non_overlapping_constraint_insert_preserves_entries() {
+        let (service, queries) = service();
+        let cached = service.run(&queries[0]).unwrap();
+        // A constraint scoped on a class the query never mentions: build it
+        // on any class outside the query's class set.
+        let catalog = Arc::clone(service.store().catalog());
+        let outside = catalog
+            .classes()
+            .map(|(cid, _)| cid)
+            .find(|cid| !queries[0].canonical().classes.contains(cid))
+            .expect("five classes, queries span fewer");
+        let name = catalog.class_name(outside).to_string();
+        let constraint = sqo_constraints::ConstraintBuilder::new(&catalog, "outside")
+            .when(&format!("{name}.a2"), sqo_query::CompOp::Eq, -1_000_000i64)
+            .then(&format!("{name}.b2"), sqo_query::CompOp::Eq, 0i64)
+            .build()
+            .unwrap();
+        let e1 = service.add_constraint(constraint);
+        let again = service.run(&queries[0]).unwrap();
+        assert!(
+            again.cache_hit,
+            "a disjoint constraint must not orphan the entry: {:?}",
+            service.stats()
+        );
+        assert_eq!(again.epoch, e1, "revalidated entries serve under the new epoch");
+        assert!(again.results.same_multiset(&cached.results));
+        let stats = service.stats();
+        assert!(stats.cache.revalidations >= 1, "{stats:?}");
+        assert_eq!(stats.cache.invalidations, 0, "{stats:?}");
+        assert_eq!(stats.optimizations, 1, "no re-optimization happened");
+    }
+
+    #[test]
+    fn data_writes_keep_plans_but_expire_result_memos() {
+        let (service, queries) = service();
+        let before = service.run(&queries[0]).unwrap();
+        assert_eq!(before.data_epoch, 0);
+        let stats0 = service.stats();
+        assert_eq!((stats0.executions, stats0.writes), (1, 0));
+
+        // Duplicate a cargo instance with its links (constraint- and
+        // integrity-preserving); the recomputed answer is cross-checked
+        // against a fresh uncached reference below.
+        let db = service.db();
+        let catalog = db.catalog();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        let src = sqo_storage::ObjectId(0);
+        let outcome = service
+            .write(&[DataWrite::Insert {
+                class: cargo,
+                tuple: db.tuple(cargo, src).unwrap().to_vec(),
+                links: vec![
+                    (supplies, db.traverse(supplies, cargo, src).unwrap()[0]),
+                    (collects, db.traverse(collects, cargo, src).unwrap()[0]),
+                ],
+            }])
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+
+        let after = service.run(&queries[0]).unwrap();
+        assert!(after.cache_hit, "plans survive pure data writes");
+        assert_eq!(after.data_epoch, 1);
+        let stats1 = service.stats();
+        assert_eq!(stats1.writes, 1);
+        assert_eq!(stats1.data_epoch, 1);
+        assert_eq!(stats1.optimizations, 1, "no re-optimization after a data write");
+        assert_eq!(stats1.executions, 2, "the memoized result must be recomputed");
+
+        // The recomputed answer matches a fresh uncached reference on the
+        // same shared database.
+        let reference = QueryService::with_versioned_db(
+            service.store(),
+            Arc::clone(service.versioned_db()),
+            ServiceConfig { bypass_cache: true, ..Default::default() },
+        );
+        let fresh = reference.run(&queries[0]).unwrap();
+        assert!(after.results.same_multiset(&fresh.results));
+
+        // Re-running without further writes serves the (re)memoized copy.
+        let warm = service.run(&queries[0]).unwrap();
+        assert_eq!(service.stats().executions, 2, "memo re-armed at the new epoch");
+        assert!(warm.results.same_multiset(&after.results));
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! The in-memory object database: extents, indexes, links, statistics.
 //!
-//! A [`Database`] is immutable once built. [`DatabaseBuilder`] validates
-//! tuples against the catalog, wires relationship links, and at
+//! A [`Database`] snapshot is immutable once built. [`DatabaseBuilder`]
+//! validates tuples against the catalog, wires relationship links, and at
 //! [`DatabaseBuilder::finalize`] builds the declared indexes, computes the
 //! statistics snapshot and enforces the integrity declarations (total
 //! participation, to-one multiplicity) that class elimination relies on.
+//!
+//! Mutation is copy-on-write: [`Database::with_writes`] applies a batch of
+//! [`DataWrite`]s to a clone of the logical state and assembles a fresh
+//! snapshot (links, indexes and statistics rebuilt) stamped with the next
+//! **data version**. The [`crate::VersionedDatabase`] handle wraps that into
+//! a concurrent write path with a monotone data epoch; readers keep their
+//! `Arc` snapshot and are never torn by a write.
 
 use std::collections::HashMap;
 
@@ -42,7 +49,31 @@ pub struct Violation {
     pub binding: Vec<(ClassId, ObjectId)>,
 }
 
-/// An immutable, loaded database instance.
+/// One logical mutation of a database snapshot (see
+/// [`Database::with_writes`]). Batches apply atomically: either every write
+/// validates and a new snapshot is produced, or the snapshot is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataWrite {
+    /// Insert a new instance of `class`, optionally linked to existing
+    /// objects. Each `(rel, other)` pair attaches the new object on the side
+    /// of `rel` whose class is `class` (the left side for
+    /// self-relationships) and `other` on the opposite side.
+    Insert { class: ClassId, tuple: Vec<Value>, links: Vec<(RelId, ObjectId)> },
+    /// Delete an instance and every link edge incident to it.
+    ///
+    /// Deletion has `swap_remove` semantics: the class's **last** object is
+    /// renumbered to take the deleted [`ObjectId`] (its tuple, index entries
+    /// and link edges follow it). Deleting the last object renumbers
+    /// nothing.
+    Delete { class: ClassId, object: ObjectId },
+    /// Add one link edge between existing objects.
+    Link { rel: RelId, left: ObjectId, right: ObjectId },
+    /// Remove one link edge (errors with [`StorageError::LinkNotFound`] if
+    /// the edge does not exist).
+    Unlink { rel: RelId, left: ObjectId, right: ObjectId },
+}
+
+/// An immutable, loaded database snapshot.
 #[derive(Debug)]
 pub struct Database {
     catalog: Arc<Catalog>,
@@ -50,11 +81,22 @@ pub struct Database {
     indexes: Vec<Vec<Option<AttrIndex>>>,
     links: Vec<RelLinks>,
     stats: StatsSnapshot,
+    /// Which data epoch this snapshot materializes: `0` for a
+    /// builder-finalized load, `source + 1` for every
+    /// [`Database::with_writes`] successor. Downstream memos (cached result
+    /// sets, oracle cost memos) key on it to stay data-epoch-aware.
+    data_version: u64,
 }
 
 impl Database {
     pub fn builder(catalog: Arc<Catalog>) -> DatabaseBuilder {
         DatabaseBuilder::new(catalog)
+    }
+
+    /// The data epoch this snapshot belongs to (see [`Database::with_writes`]
+    /// and [`crate::VersionedDatabase`]).
+    pub fn data_version(&self) -> u64 {
+        self.data_version
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
@@ -111,6 +153,125 @@ impl Database {
 
     pub fn stats(&self) -> &StatsSnapshot {
         &self.stats
+    }
+
+    /// Copy-on-write mutation: applies `writes` in order to a clone of this
+    /// snapshot's logical state and assembles a new snapshot (links, indexes
+    /// and the statistics the planner's cardinality estimates read are all
+    /// rebuilt) with `data_version` advanced by one.
+    ///
+    /// The batch is **atomic**: any validation error (arity, types, unknown
+    /// objects, missing links, or — when `integrity` is supplied — a
+    /// violated total-participation/multiplicity declaration) leaves `self`
+    /// untouched and returns the error. On success, the returned vector
+    /// holds the [`ObjectId`] of each [`DataWrite::Insert`] of the batch, in
+    /// batch order, **as of the end of the batch** — a later `Delete` in the
+    /// same batch that renumbers an earlier insert is accounted for.
+    /// (Deleting an object inserted earlier in the same batch leaves its
+    /// now-dead id in the vector; positions must line up with the inserts.)
+    pub fn with_writes(
+        &self,
+        writes: &[DataWrite],
+        integrity: Option<IntegrityOptions>,
+    ) -> Result<(Database, Vec<ObjectId>), StorageError> {
+        let catalog = Arc::clone(&self.catalog);
+        let mut extents = self.extents.clone();
+        let mut pairs: Vec<Vec<(ObjectId, ObjectId)>> =
+            self.links.iter().map(|lk| lk.pairs().collect()).collect();
+        // `(class, id)` per insert: the class is needed to track swap-remove
+        // renumbering by later deletes in the same batch.
+        let mut inserted: Vec<(ClassId, ObjectId)> = Vec::new();
+        for write in writes {
+            match write {
+                DataWrite::Insert { class, tuple, links } => {
+                    validate_tuple(&catalog, *class, tuple)?;
+                    let extent = &mut extents[class.index()];
+                    let oid = ObjectId(extent.len() as u32);
+                    extent.push(tuple.clone());
+                    for &(rel, other) in links {
+                        let def = catalog.relationship(rel)?;
+                        // The new object takes the side matching its class;
+                        // for self-relationships, the left side (matching
+                        // `Database::traverse`'s convention).
+                        let (left, right) = if def.left.class == *class {
+                            (oid, other)
+                        } else if def.right.class == *class {
+                            (other, oid)
+                        } else {
+                            return Err(StorageError::LinkClassMismatch { rel });
+                        };
+                        let other_class =
+                            if left == oid { def.right.class } else { def.left.class };
+                        if other.index() >= extents[other_class.index()].len() {
+                            return Err(StorageError::UnknownObject {
+                                class: other_class,
+                                object: other,
+                            });
+                        }
+                        pairs[rel.index()].push((left, right));
+                    }
+                    inserted.push((*class, oid));
+                }
+                DataWrite::Delete { class, object } => {
+                    let extent = &mut extents[class.index()];
+                    if object.index() >= extent.len() {
+                        return Err(StorageError::UnknownObject { class: *class, object: *object });
+                    }
+                    let last = ObjectId((extent.len() - 1) as u32);
+                    extent.swap_remove(object.index());
+                    // The renumbering applies to earlier inserts of this
+                    // batch too, so the returned ids stay live.
+                    if *object != last {
+                        for (c, id) in inserted.iter_mut() {
+                            if *c == *class && *id == last {
+                                *id = *object;
+                            }
+                        }
+                    }
+                    for (rel, def) in catalog.relationships() {
+                        let on_left = def.left.class == *class;
+                        let on_right = def.right.class == *class;
+                        if !on_left && !on_right {
+                            continue;
+                        }
+                        let ps = &mut pairs[rel.index()];
+                        ps.retain(|&(l, r)| !(on_left && l == *object || on_right && r == *object));
+                        if *object != last {
+                            for p in ps.iter_mut() {
+                                if on_left && p.0 == last {
+                                    p.0 = *object;
+                                }
+                                if on_right && p.1 == last {
+                                    p.1 = *object;
+                                }
+                            }
+                        }
+                    }
+                }
+                DataWrite::Link { rel, left, right } => {
+                    let def = catalog.relationship(*rel)?;
+                    for (class, object) in [(def.left.class, *left), (def.right.class, *right)] {
+                        if object.index() >= extents[class.index()].len() {
+                            return Err(StorageError::UnknownObject { class, object });
+                        }
+                    }
+                    pairs[rel.index()].push((*left, *right));
+                }
+                DataWrite::Unlink { rel, left, right } => {
+                    let ps = &mut pairs[rel.index()];
+                    let Some(at) = ps.iter().position(|&p| p == (*left, *right)) else {
+                        return Err(StorageError::LinkNotFound {
+                            rel: *rel,
+                            left: *left,
+                            right: *right,
+                        });
+                    };
+                    ps.remove(at);
+                }
+            }
+        }
+        let db = assemble(catalog, extents, pairs, integrity, self.data_version + 1)?;
+        Ok((db, inserted.into_iter().map(|(_, id)| id).collect()))
     }
 
     /// Exhaustively checks a semantic constraint against the data, returning
@@ -256,23 +417,7 @@ impl DatabaseBuilder {
 
     /// Inserts a tuple, validating arity and types.
     pub fn insert(&mut self, class: ClassId, tuple: Vec<Value>) -> Result<ObjectId, StorageError> {
-        let def = self.catalog.class(class)?;
-        if tuple.len() != def.attributes.len() {
-            return Err(StorageError::ArityMismatch {
-                class,
-                expected: def.attributes.len(),
-                got: tuple.len(),
-            });
-        }
-        for (i, (v, a)) in tuple.iter().zip(&def.attributes).enumerate() {
-            if v.data_type() != a.ty {
-                return Err(StorageError::TypeMismatch {
-                    class,
-                    attr: i,
-                    context: format!("expected {}, got {}", a.ty, v.data_type()),
-                });
-            }
-        }
+        validate_tuple(&self.catalog, class, &tuple)?;
         let extent = &mut self.extents[class.index()];
         let oid = ObjectId(extent.len() as u32);
         extent.push(tuple);
@@ -301,91 +446,144 @@ impl DatabaseBuilder {
 
     /// Builds indexes, statistics and link structures; enforces integrity.
     pub fn finalize(self, options: IntegrityOptions) -> Result<Database, StorageError> {
-        let catalog = self.catalog;
-        // Links.
-        let mut links: Vec<RelLinks> = catalog
-            .relationships()
-            .map(|(_, def)| {
-                RelLinks::new(
-                    self.extents[def.left.class.index()].len(),
-                    self.extents[def.right.class.index()].len(),
-                )
-            })
-            .collect();
+        let mut pairs: Vec<Vec<(ObjectId, ObjectId)>> =
+            vec![Vec::new(); self.catalog.relationship_count()];
         for (rel, l, r) in &self.pending_links {
-            links[rel.index()].add(*l, *r);
+            pairs[rel.index()].push((*l, *r));
         }
-        // Integrity.
-        for (rel, def) in catalog.relationships() {
-            let lk = &links[rel.index()];
-            if options.enforce_total_participation {
-                if def.left.total {
-                    if let Some(o) = lk.unlinked_left().next() {
-                        return Err(StorageError::TotalParticipationViolated {
-                            rel,
-                            class: def.left.class,
-                            object: o,
-                        });
-                    }
+        assemble(self.catalog, self.extents, pairs, Some(options), 0)
+    }
+}
+
+/// Validates one tuple against a class declaration (arity + types).
+fn validate_tuple(catalog: &Catalog, class: ClassId, tuple: &[Value]) -> Result<(), StorageError> {
+    let def = catalog.class(class)?;
+    if tuple.len() != def.attributes.len() {
+        return Err(StorageError::ArityMismatch {
+            class,
+            expected: def.attributes.len(),
+            got: tuple.len(),
+        });
+    }
+    for (i, (v, a)) in tuple.iter().zip(&def.attributes).enumerate() {
+        if v.data_type() != a.ty {
+            return Err(StorageError::TypeMismatch {
+                class,
+                attr: i,
+                context: format!("expected {}, got {}", a.ty, v.data_type()),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Assembles a snapshot from logical state: builds link structures, enforces
+/// integrity declarations (when requested), builds the declared indexes and
+/// computes statistics. Shared by [`DatabaseBuilder::finalize`] and
+/// [`Database::with_writes`].
+fn assemble(
+    catalog: Arc<Catalog>,
+    extents: Vec<Vec<Vec<Value>>>,
+    pairs: Vec<Vec<(ObjectId, ObjectId)>>,
+    integrity: Option<IntegrityOptions>,
+    data_version: u64,
+) -> Result<Database, StorageError> {
+    // Links.
+    let mut links: Vec<RelLinks> = catalog
+        .relationships()
+        .map(|(_, def)| {
+            RelLinks::new(
+                extents[def.left.class.index()].len(),
+                extents[def.right.class.index()].len(),
+            )
+        })
+        .collect();
+    for (rel, rel_pairs) in pairs.iter().enumerate() {
+        for &(l, r) in rel_pairs {
+            links[rel].add(l, r);
+        }
+    }
+    if let Some(options) = integrity {
+        enforce_integrity(&catalog, &links, options)?;
+    }
+    // Indexes.
+    let mut indexes: Vec<Vec<Option<AttrIndex>>> = Vec::with_capacity(catalog.class_count());
+    for (cid, cdef) in catalog.classes() {
+        let mut per_attr: Vec<Option<AttrIndex>> = Vec::with_capacity(cdef.attributes.len());
+        for (ai, adef) in cdef.attributes.iter().enumerate() {
+            per_attr.push(adef.index.map(|kind| {
+                let mut ix = AttrIndex::new(kind);
+                for (oi, tuple) in extents[cid.index()].iter().enumerate() {
+                    ix.insert(tuple[ai].clone(), ObjectId(oi as u32));
                 }
-                if def.right.total {
-                    if let Some(o) = lk.unlinked_right().next() {
-                        return Err(StorageError::TotalParticipationViolated {
-                            rel,
-                            class: def.right.class,
-                            object: o,
-                        });
-                    }
-                }
-            }
-            if options.enforce_multiplicity {
-                // `left.multiplicity == One` means each left object links to
-                // at most one right object.
-                if def.left.multiplicity == Multiplicity::One && lk.max_left_fanout() > 1 {
-                    let object = (0..lk.left_cardinality() as u32)
-                        .map(ObjectId)
-                        .find(|o| lk.from_left(*o).len() > 1)
-                        .expect("fanout > 1 implies a witness");
-                    return Err(StorageError::MultiplicityViolated {
+                ix
+            }));
+        }
+        indexes.push(per_attr);
+    }
+    // Statistics.
+    let stats = compute_stats(&catalog, &extents, &links);
+    Ok(Database { catalog, extents, indexes, links, stats, data_version })
+}
+
+/// Checks the total-participation and to-one declarations over built links.
+fn enforce_integrity(
+    catalog: &Catalog,
+    links: &[RelLinks],
+    options: IntegrityOptions,
+) -> Result<(), StorageError> {
+    for (rel, def) in catalog.relationships() {
+        let lk = &links[rel.index()];
+        if options.enforce_total_participation {
+            if def.left.total {
+                if let Some(o) = lk.unlinked_left().next() {
+                    return Err(StorageError::TotalParticipationViolated {
                         rel,
                         class: def.left.class,
-                        object,
-                        links: lk.from_left(object).len(),
+                        object: o,
                     });
                 }
-                if def.right.multiplicity == Multiplicity::One && lk.max_right_fanout() > 1 {
-                    let object = (0..lk.right_cardinality() as u32)
-                        .map(ObjectId)
-                        .find(|o| lk.from_right(*o).len() > 1)
-                        .expect("fanout > 1 implies a witness");
-                    return Err(StorageError::MultiplicityViolated {
+            }
+            if def.right.total {
+                if let Some(o) = lk.unlinked_right().next() {
+                    return Err(StorageError::TotalParticipationViolated {
                         rel,
                         class: def.right.class,
-                        object,
-                        links: lk.from_right(object).len(),
+                        object: o,
                     });
                 }
             }
         }
-        // Indexes.
-        let mut indexes: Vec<Vec<Option<AttrIndex>>> = Vec::with_capacity(catalog.class_count());
-        for (cid, cdef) in catalog.classes() {
-            let mut per_attr: Vec<Option<AttrIndex>> = Vec::with_capacity(cdef.attributes.len());
-            for (ai, adef) in cdef.attributes.iter().enumerate() {
-                per_attr.push(adef.index.map(|kind| {
-                    let mut ix = AttrIndex::new(kind);
-                    for (oi, tuple) in self.extents[cid.index()].iter().enumerate() {
-                        ix.insert(tuple[ai].clone(), ObjectId(oi as u32));
-                    }
-                    ix
-                }));
+        if options.enforce_multiplicity {
+            // `left.multiplicity == One` means each left object links to
+            // at most one right object.
+            if def.left.multiplicity == Multiplicity::One && lk.max_left_fanout() > 1 {
+                let object = (0..lk.left_cardinality() as u32)
+                    .map(ObjectId)
+                    .find(|o| lk.from_left(*o).len() > 1)
+                    .expect("fanout > 1 implies a witness");
+                return Err(StorageError::MultiplicityViolated {
+                    rel,
+                    class: def.left.class,
+                    object,
+                    links: lk.from_left(object).len(),
+                });
             }
-            indexes.push(per_attr);
+            if def.right.multiplicity == Multiplicity::One && lk.max_right_fanout() > 1 {
+                let object = (0..lk.right_cardinality() as u32)
+                    .map(ObjectId)
+                    .find(|o| lk.from_right(*o).len() > 1)
+                    .expect("fanout > 1 implies a witness");
+                return Err(StorageError::MultiplicityViolated {
+                    rel,
+                    class: def.right.class,
+                    object,
+                    links: lk.from_right(object).len(),
+                });
+            }
         }
-        // Statistics.
-        let stats = compute_stats(&catalog, &self.extents, &links);
-        Ok(Database { catalog, extents: self.extents, indexes, links, stats })
     }
+    Ok(())
 }
 
 fn compute_stats(
@@ -615,6 +813,214 @@ mod tests {
         let v = db.check_constraint(&bogus);
         assert_eq!(v.len(), 1, "the fresh-fruit cargo violates");
         assert_eq!(v[0].binding[0].1, ObjectId(1));
+    }
+
+    #[test]
+    fn write_insert_extends_extent_indexes_links_and_stats() {
+        let (catalog, db) = mini_db();
+        assert_eq!(db.data_version(), 0);
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        // A third cargo: frozen food from SFI on the reefer (mirrors row 0).
+        let (next, inserted) = db
+            .with_writes(
+                &[DataWrite::Insert {
+                    class: cargo,
+                    tuple: vec![Value::Int(102), Value::str("frozen food"), Value::Int(40)],
+                    links: vec![(supplies, ObjectId(0)), (collects, ObjectId(0))],
+                }],
+                None,
+            )
+            .unwrap();
+        assert_eq!(inserted, vec![ObjectId(2)]);
+        assert_eq!(next.data_version(), 1);
+        assert_eq!(next.cardinality(cargo), 3);
+        assert_eq!(db.cardinality(cargo), 2, "source snapshot untouched");
+        // Links wired both ways.
+        let supplier = catalog.class_id("supplier").unwrap();
+        assert_eq!(next.traverse(supplies, cargo, ObjectId(2)).unwrap(), &[ObjectId(0)]);
+        assert_eq!(
+            next.traverse(supplies, supplier, ObjectId(0)).unwrap(),
+            &[ObjectId(0), ObjectId(2)]
+        );
+        // Indexes rebuilt over the new extent.
+        let cno = catalog.attr_ref("cargo", "code").unwrap();
+        let ix = next.index(cno).expect("cargo.code is indexed");
+        assert_eq!(ix.probe_eq(&Value::Int(102)), &[ObjectId(2)]);
+        // Statistics track the write (cardinality estimates stay honest).
+        assert_eq!(next.stats().cardinality(cargo), 3);
+        assert_eq!(next.stats().relationship(supplies).unwrap().links, 3);
+    }
+
+    #[test]
+    fn write_delete_renumbers_the_last_object() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let desc = catalog.attr_ref("cargo", "desc").unwrap();
+        // Delete cargo 0 (frozen food): cargo 1 (fresh fruit) takes id 0.
+        let (next, _) = db
+            .with_writes(&[DataWrite::Delete { class: cargo, object: ObjectId(0) }], None)
+            .unwrap();
+        assert_eq!(next.cardinality(cargo), 1);
+        assert_eq!(next.value(desc, ObjectId(0)).unwrap(), &Value::str("fresh fruit"));
+        // The renumbered object's links followed it: fresh fruit ← NTUC (1).
+        assert_eq!(next.traverse(supplies, cargo, ObjectId(0)).unwrap(), &[ObjectId(1)]);
+        // The deleted object's edges are gone from the other side too.
+        let supplier = catalog.class_id("supplier").unwrap();
+        assert!(next.traverse(supplies, supplier, ObjectId(0)).unwrap().is_empty());
+        // Index entries for the deleted tuple are gone.
+        let cno = catalog.attr_ref("cargo", "code").unwrap();
+        if let Some(ix) = next.index(cno) {
+            assert!(ix.probe_eq(&Value::Int(100)).is_empty());
+            assert_eq!(ix.probe_eq(&Value::Int(101)), &[ObjectId(0)]);
+        }
+    }
+
+    #[test]
+    fn write_link_and_unlink_edges() {
+        let (catalog, db) = mini_db();
+        let collects = catalog.rel_id("collects").unwrap();
+        let cargo = catalog.class_id("cargo").unwrap();
+        // Put the frozen cargo on the flatbed too, then take it off again.
+        let (linked, _) = db
+            .with_writes(
+                &[DataWrite::Link { rel: collects, left: ObjectId(0), right: ObjectId(1) }],
+                None,
+            )
+            .unwrap();
+        assert_eq!(
+            linked.traverse(collects, cargo, ObjectId(0)).unwrap(),
+            &[ObjectId(0), ObjectId(1)]
+        );
+        let (unlinked, _) = linked
+            .with_writes(
+                &[DataWrite::Unlink { rel: collects, left: ObjectId(0), right: ObjectId(1) }],
+                None,
+            )
+            .unwrap();
+        assert_eq!(unlinked.traverse(collects, cargo, ObjectId(0)).unwrap(), &[ObjectId(0)]);
+        assert_eq!(unlinked.data_version(), 2);
+        assert!(matches!(
+            unlinked.with_writes(
+                &[DataWrite::Unlink { rel: collects, left: ObjectId(0), right: ObjectId(1) }],
+                None,
+            ),
+            Err(StorageError::LinkNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn inserted_ids_track_renumbering_by_later_deletes() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        // Insert a third cargo (id 2), then delete cargo 0: the insert is
+        // swap-renumbered to id 0, and the returned vector must say so.
+        let (next, inserted) = db
+            .with_writes(
+                &[
+                    DataWrite::Insert {
+                        class: cargo,
+                        tuple: vec![Value::Int(102), Value::str("canned soup"), Value::Int(9)],
+                        links: vec![(supplies, ObjectId(0)), (collects, ObjectId(0))],
+                    },
+                    DataWrite::Delete { class: cargo, object: ObjectId(0) },
+                ],
+                None,
+            )
+            .unwrap();
+        assert_eq!(inserted, vec![ObjectId(0)], "the insert's id followed the swap-remove");
+        let desc = catalog.attr_ref("cargo", "desc").unwrap();
+        assert_eq!(next.value(desc, inserted[0]).unwrap(), &Value::str("canned soup"));
+        assert_eq!(next.cardinality(cargo), 2);
+    }
+
+    #[test]
+    fn write_batches_are_atomic_and_validated() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        // Second write of the batch fails: nothing is applied.
+        let err = db.with_writes(
+            &[
+                DataWrite::Insert {
+                    class: cargo,
+                    tuple: vec![Value::Int(103), Value::str("d"), Value::Int(1)],
+                    links: vec![(supplies, ObjectId(0))],
+                },
+                DataWrite::Insert { class: cargo, tuple: vec![Value::Int(1)], links: vec![] },
+            ],
+            None,
+        );
+        assert!(matches!(err, Err(StorageError::ArityMismatch { .. })));
+        assert_eq!(db.cardinality(cargo), 2);
+        // Linking a new object against an unknown neighbor fails.
+        let err = db.with_writes(
+            &[DataWrite::Insert {
+                class: cargo,
+                tuple: vec![Value::Int(104), Value::str("d"), Value::Int(1)],
+                links: vec![(supplies, ObjectId(9))],
+            }],
+            None,
+        );
+        assert!(matches!(err, Err(StorageError::UnknownObject { .. })));
+    }
+
+    #[test]
+    fn write_integrity_enforcement_rejects_violating_batches() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let options = IntegrityOptions {
+            enforce_total_participation: false, // other classes are empty
+            enforce_multiplicity: true,
+        };
+        // A second supplier for cargo 0 violates the to-one side.
+        let err = db.with_writes(
+            &[DataWrite::Link { rel: supplies, left: ObjectId(0), right: ObjectId(1) }],
+            Some(options),
+        );
+        assert!(matches!(err, Err(StorageError::MultiplicityViolated { .. })));
+        // The same batch passes when enforcement is off.
+        assert!(db
+            .with_writes(
+                &[DataWrite::Link { rel: supplies, left: ObjectId(0), right: ObjectId(1) }],
+                None,
+            )
+            .is_ok());
+        // An unlinked cargo insert trips total participation when enforced.
+        let err = db.with_writes(
+            &[DataWrite::Insert {
+                class: cargo,
+                tuple: vec![Value::Int(105), Value::str("d"), Value::Int(1)],
+                links: vec![],
+            }],
+            Some(IntegrityOptions::default()),
+        );
+        assert!(matches!(err, Err(StorageError::TotalParticipationViolated { .. })));
+    }
+
+    #[test]
+    fn duplicating_an_instance_preserves_constraints() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        // Duplicate cargo 0 with its links — every figure 2.2 constraint
+        // that held keeps holding (the dup's bindings mirror the source's).
+        let tuple = db.tuple(cargo, ObjectId(0)).unwrap().to_vec();
+        let links: Vec<_> = [supplies, collects]
+            .into_iter()
+            .map(|rel| (rel, db.traverse(rel, cargo, ObjectId(0)).unwrap()[0]))
+            .collect();
+        let (next, _) =
+            db.with_writes(&[DataWrite::Insert { class: cargo, tuple, links }], None).unwrap();
+        for c in figure22(&catalog).unwrap() {
+            assert!(next.check_constraint(&c).is_empty(), "{} violated after dup", c.name);
+        }
     }
 
     #[test]

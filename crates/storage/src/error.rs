@@ -43,6 +43,12 @@ pub enum StorageError {
         object: ObjectId,
         links: usize,
     },
+    /// An unlink targeted a link edge that does not exist.
+    LinkNotFound {
+        rel: RelId,
+        left: ObjectId,
+        right: ObjectId,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -66,6 +72,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::MultiplicityViolated { rel, class, object, links } => {
                 write!(f, "{class} {object} has {links} links in {rel}, but the end is to-one")
+            }
+            StorageError::LinkNotFound { rel, left, right } => {
+                write!(f, "no {rel} link between {left} and {right}")
             }
         }
     }

@@ -13,6 +13,10 @@
 //! * **cost accounting**: raw operation counters, a page-I/O model and
 //!   scalar work units, so "execution cost" is deterministic and
 //!   machine-independent;
+//! * a **write path** ([`VersionedDatabase`]): copy-on-write snapshot
+//!   mutation behind a versioned handle with a monotone **data epoch**,
+//!   distinct from the constraint epoch, so serving layers can keep plans
+//!   across data writes while re-gating memoized results;
 //! * **semantic-constraint checking** against the data, used by generators
 //!   and property tests to certify that instances satisfy the constraint set
 //!   the optimizer will trust.
@@ -26,10 +30,12 @@ mod error;
 mod index;
 mod links;
 mod object;
+mod versioned;
 
 pub use cost::{CostCounters, CostWeights, PageModel};
-pub use db::{Database, DatabaseBuilder, IntegrityOptions, Violation};
+pub use db::{DataWrite, Database, DatabaseBuilder, IntegrityOptions, Violation};
 pub use error::StorageError;
 pub use index::{AttrIndex, IndexScanResult, OrdValue};
 pub use links::{RelLinks, Side, Traversal};
 pub use object::ObjectId;
+pub use versioned::{VersionedDatabase, WriteOutcome};

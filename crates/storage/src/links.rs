@@ -80,6 +80,15 @@ impl RelLinks {
     pub fn max_right_fanout(&self) -> usize {
         self.right_to_left.iter().map(|v| v.len()).max().unwrap_or(0)
     }
+
+    /// Every `(left, right)` pair, grouped by left object. The write path
+    /// reconstructs a mutated link population from this flat form.
+    pub fn pairs(&self) -> impl Iterator<Item = (ObjectId, ObjectId)> + '_ {
+        self.left_to_right
+            .iter()
+            .enumerate()
+            .flat_map(|(l, rs)| rs.iter().map(move |&r| (ObjectId(l as u32), r)))
+    }
 }
 
 /// A link endpoint reference used by the executor when walking either way.

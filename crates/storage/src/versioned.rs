@@ -1,0 +1,198 @@
+//! The concurrent write path: a versioned handle over immutable snapshots.
+//!
+//! A [`VersionedDatabase`] wraps an [`Arc<Database>`] behind a `RwLock` and
+//! gives it a **data epoch** — an `AtomicU64` advanced by every committed
+//! write batch, deliberately distinct from the *constraint* epoch of
+//! `sqo-constraints` (`ConstraintStore::epoch`): constraint changes
+//! invalidate cached *plans*, data changes invalidate cached *results*.
+//!
+//! Writers are serialized by an internal mutex and build the successor
+//! snapshot **outside** the read lock ([`Database::with_writes`] is
+//! copy-on-write), so concurrent readers only ever block on the pointer
+//! swap. A reader's [`VersionedDatabase::snapshot`] is an immutable
+//! `Arc<Database>` whose [`Database::data_version`] names the epoch it
+//! belongs to — answers computed from one snapshot are internally
+//! consistent by construction (no torn reads), and a memo stamped with that
+//! version can be checked against the current epoch in O(1).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::db::{DataWrite, Database, IntegrityOptions};
+use crate::error::StorageError;
+use crate::object::ObjectId;
+
+/// What one committed write batch produced.
+#[derive(Debug, Clone)]
+pub struct WriteOutcome {
+    /// The data epoch the batch established.
+    pub epoch: u64,
+    /// The snapshot materializing that epoch (readers arriving later may
+    /// already observe a newer one).
+    pub snapshot: Arc<Database>,
+    /// [`ObjectId`]s assigned to the batch's `Insert` writes, in order.
+    pub inserted: Vec<ObjectId>,
+}
+
+/// A mutable database: immutable snapshots behind a versioned swap.
+#[derive(Debug)]
+pub struct VersionedDatabase {
+    current: RwLock<Arc<Database>>,
+    /// Mirror of the current snapshot's `data_version`, readable without
+    /// taking the snapshot lock. Updated *after* the swap: a reader pairing
+    /// `snapshot()` with the snapshot's own `data_version()` is always
+    /// consistent; `data_epoch()` alone may trail by one swap.
+    data_epoch: AtomicU64,
+    /// Serializes writers so successor snapshots are built outside
+    /// `current`'s write lock.
+    writer: Mutex<()>,
+    /// Integrity declarations re-checked on every batch (`None` trusts the
+    /// writer, e.g. generators that only emit integrity-preserving batches).
+    integrity: Option<IntegrityOptions>,
+}
+
+impl VersionedDatabase {
+    /// A handle that applies writes without re-checking integrity
+    /// declarations (the batches themselves are still fully validated).
+    pub fn new(db: Arc<Database>) -> Self {
+        Self::with_integrity_option(db, None)
+    }
+
+    /// A handle that re-enforces `options` (total participation, to-one
+    /// multiplicity) on every write batch, rejecting violating batches.
+    pub fn with_integrity(db: Arc<Database>, options: IntegrityOptions) -> Self {
+        Self::with_integrity_option(db, Some(options))
+    }
+
+    fn with_integrity_option(db: Arc<Database>, integrity: Option<IntegrityOptions>) -> Self {
+        Self {
+            data_epoch: AtomicU64::new(db.data_version()),
+            current: RwLock::new(db),
+            writer: Mutex::new(()),
+            integrity,
+        }
+    }
+
+    /// The current snapshot. Immutable; callers may hold it across a write
+    /// (they keep reading the epoch it was taken at).
+    pub fn snapshot(&self) -> Arc<Database> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// The current data epoch, lock-free. May trail an in-flight swap by
+    /// one; use `snapshot().data_version()` when the epoch must match a
+    /// specific snapshot.
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch.load(Ordering::Acquire)
+    }
+
+    /// Applies one atomic write batch: builds the successor snapshot
+    /// copy-on-write, swaps it in, and advances the data epoch. Concurrent
+    /// readers keep the snapshot they started with.
+    pub fn write(&self, writes: &[DataWrite]) -> Result<WriteOutcome, StorageError> {
+        let _writing = self.writer.lock();
+        let base = self.snapshot();
+        let (db, inserted) = base.with_writes(writes, self.integrity)?;
+        let epoch = db.data_version();
+        let snapshot = Arc::new(db);
+        *self.current.write() = Arc::clone(&snapshot);
+        self.data_epoch.store(epoch, Ordering::Release);
+        Ok(WriteOutcome { epoch, snapshot, inserted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_catalog::{example::figure21, Value};
+
+    fn handle() -> (Arc<sqo_catalog::Catalog>, VersionedDatabase) {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        b.insert(supplier, vec![Value::str("SFI"), Value::str("1 Food St")]).unwrap();
+        let db = b
+            .finalize(IntegrityOptions {
+                enforce_total_participation: false,
+                enforce_multiplicity: true,
+            })
+            .unwrap();
+        (catalog, VersionedDatabase::new(Arc::new(db)))
+    }
+
+    #[test]
+    fn writes_advance_the_epoch_and_readers_keep_their_snapshot() {
+        let (catalog, handle) = handle();
+        let supplier = catalog.class_id("supplier").unwrap();
+        assert_eq!(handle.data_epoch(), 0);
+        let before = handle.snapshot();
+        let out = handle
+            .write(&[DataWrite::Insert {
+                class: supplier,
+                tuple: vec![Value::str("NTUC"), Value::str("2 Mart Ave")],
+                links: vec![],
+            }])
+            .unwrap();
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.inserted, vec![ObjectId(1)]);
+        assert_eq!(handle.data_epoch(), 1);
+        assert_eq!(handle.snapshot().data_version(), 1);
+        assert_eq!(handle.snapshot().cardinality(supplier), 2);
+        // The pre-write snapshot still answers from epoch 0.
+        assert_eq!(before.data_version(), 0);
+        assert_eq!(before.cardinality(supplier), 1);
+    }
+
+    #[test]
+    fn failed_batches_leave_the_epoch_alone() {
+        let (catalog, handle) = handle();
+        let supplier = catalog.class_id("supplier").unwrap();
+        let err = handle.write(&[DataWrite::Insert {
+            class: supplier,
+            tuple: vec![Value::Int(3)],
+            links: vec![],
+        }]);
+        assert!(matches!(err, Err(StorageError::ArityMismatch { .. })));
+        assert_eq!(handle.data_epoch(), 0);
+        assert_eq!(handle.snapshot().data_version(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_produce_distinct_epochs() {
+        let (catalog, handle) = handle();
+        let supplier = catalog.class_id("supplier").unwrap();
+        let epochs: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let handle = &handle;
+                    scope.spawn(move || {
+                        (0..8)
+                            .map(|j| {
+                                handle
+                                    .write(&[DataWrite::Insert {
+                                        class: supplier,
+                                        tuple: vec![
+                                            Value::str(format!("s{i}x{j}")),
+                                            Value::str("addr"),
+                                        ],
+                                        links: vec![],
+                                    }])
+                                    .unwrap()
+                                    .epoch
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        let mut sorted = epochs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32, "every committed batch gets its own epoch: {epochs:?}");
+        assert_eq!(handle.data_epoch(), 32);
+        assert_eq!(handle.snapshot().cardinality(supplier), 33);
+    }
+}

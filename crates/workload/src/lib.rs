@@ -15,7 +15,10 @@
 //!   the examples;
 //! * packaged [`PaperScenario`]s tying it all together per DB size;
 //! * **service workloads**: Zipf-skewed repeated-query request streams with
-//!   shuffled spellings, for the serving-layer experiments (E9).
+//!   shuffled spellings, for the serving-layer experiments (E9);
+//! * **mixed read/write workloads**: the same streams with a configurable
+//!   write ratio of constraint- and integrity-preserving duplicate
+//!   inserts/deletes, for the mutable-data serving experiment (E11).
 
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
@@ -24,6 +27,7 @@ pub mod bench_schema;
 mod constraint_gen;
 mod data_gen;
 mod figure21_data;
+mod mixed;
 mod path_enum;
 mod query_gen;
 mod scenarios;
@@ -35,6 +39,10 @@ pub use constraint_gen::{
 };
 pub use data_gen::{generate_database, table41_configs, DataGenConfig};
 pub use figure21_data::{logistics_database, LogisticsConfig};
+pub use mixed::{
+    copyable_rels, dup_safe_classes, mixed_workload, MixedApplier, MixedOp, MixedWorkload,
+    MixedWorkloadConfig, WriteKind,
+};
 pub use path_enum::{enumerate_directed_paths, enumerate_paths, SchemaPath};
 pub use query_gen::{generate_query, paper_query_set, QueryGenConfig};
 pub use scenarios::{paper_scenario, paper_scenario_with, DbSize, PaperScenario};

@@ -88,15 +88,33 @@ fn eight_threads_match_single_threaded_execution_across_epochs() {
 
     // Bump the epoch with a (sound) constraint insert: a duplicate of an
     // existing constraint changes no semantics, so answers must not move —
-    // but every cached rewrite must be re-derived under the new epoch.
+    // but every cached rewrite whose class set overlaps the constraint's
+    // must be re-derived under the new epoch, while disjoint entries are
+    // revalidated in place (class-overlap invalidation).
     let dup = service.store().constraint(sqo::constraints::ConstraintId(0)).clone();
+    let touched = dup.classes.clone();
+    let entries_before = service.stats().cache.entries;
+    let invalidations_before = service.stats().cache.invalidations;
+    let overlapping =
+        workload.distinct.iter().filter(|q| q.classes.iter().any(|c| touched.contains(c))).count();
+    assert!(overlapping >= 1, "c1's classes are hot in every workload");
     let new_epoch = service.add_constraint(dup);
     assert!(new_epoch > 0);
-    assert_eq!(service.stats().cache.entries, 0, "stale entries purged eagerly");
+    let mid = service.stats();
+    assert_eq!(
+        mid.cache.invalidations - invalidations_before,
+        overlapping as u64,
+        "exactly the overlapping entries are purged: {mid:?}"
+    );
+    assert_eq!(
+        mid.cache.entries,
+        entries_before - overlapping,
+        "disjoint entries survive the insert: {mid:?}"
+    );
 
     let new_store = service.store();
     let reference2 = reference_answers(&new_store, &db, &workload.distinct);
-    let optimizations_before = service.stats().optimizations;
+    let optimizations_before = mid.optimizations;
     let responses = service.run_batch(&workload.requests, 8);
     for (response, &i) in responses.iter().zip(&workload.indices) {
         let response = response.as_ref().expect("request must succeed");
@@ -110,12 +128,12 @@ fn eight_threads_match_single_threaded_execution_across_epochs() {
     let after = service.stats();
     assert!(
         after.optimizations > optimizations_before,
-        "epoch bump must force re-optimization: {after:?}"
+        "epoch bump must force re-optimization of overlapping queries: {after:?}"
     );
     assert!(
-        after.optimizations - optimizations_before <= miss_ceiling,
-        "re-optimization happens once per distinct query (modulo stampedes), \
-         then the cache takes over: {after:?}"
+        after.optimizations - optimizations_before <= (overlapping * 8) as u64,
+        "re-optimization happens once per *invalidated* distinct query (modulo \
+         stampedes); revalidated entries keep serving: {after:?}"
     );
 }
 
