@@ -1,0 +1,85 @@
+//! Microbenchmarks of the copy-on-write write path: applying a batch via
+//! the incremental `Arc` clone-and-patch ([`Database::with_writes`]) vs the
+//! from-scratch rebuild oracle ([`Database::with_writes_full`]), and the
+//! statistics side in isolation — per-touched-class delta folding (driven
+//! through an update-only batch, whose cost is dominated by the one-class
+//! stats recompute) vs the full rescan ([`Database::rebuild_statistics`]).
+//!
+//! Quick mode: set `SQO_BENCH_SMOKE=1` (the CI bench-smoke job does) to run
+//! every benchmark at minimal sample counts — same code paths, a fraction
+//! of the wall clock.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqo_catalog::AttrId;
+use sqo_storage::{DataWrite, Database, ObjectId};
+use sqo_workload::{copyable_rels, dup_insert, paper_scenario, DbSize};
+
+fn smoke() -> bool {
+    std::env::var_os("SQO_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+fn tune<'c>(c: &'c mut Criterion, name: &str) -> criterion::BenchmarkGroup<'c> {
+    let mut group = c.benchmark_group(name);
+    if smoke() {
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(20))
+            .measurement_time(Duration::from_millis(100));
+    } else {
+        group
+            .sample_size(60)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+    }
+    group
+}
+
+/// An E11-style duplicate-insert batch touching one class.
+fn dup_batch(db: &Database, size: usize) -> Vec<DataWrite> {
+    let catalog = db.catalog();
+    let cargo = catalog.class_id("cargo").expect("bench schema");
+    let rels = copyable_rels(catalog, cargo);
+    (0..size).map(|i| dup_insert(db, cargo, i as u32, &rels)).collect()
+}
+
+/// Batch apply, incremental vs full rebuild, on the DB2 instance.
+fn bench_batch_apply(c: &mut Criterion) {
+    let db = paper_scenario(DbSize::Db2, 42).db;
+    let batch = dup_batch(&db, 8);
+    let mut group = tune(c, "writepath_apply");
+    group.bench_function("incremental", |b| {
+        b.iter(|| std::hint::black_box(db.with_writes(&batch, None).expect("apply")));
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| std::hint::black_box(db.with_writes_full(&batch, None).expect("apply")));
+    });
+    group.finish();
+}
+
+/// The statistics side in isolation: a one-attribute in-place update folds
+/// exactly one class's stats (plus the extent/index patch, which is tiny
+/// next to the per-class rescan), vs recomputing every class from scratch.
+fn bench_stats(c: &mut Criterion) {
+    let db = paper_scenario(DbSize::Db2, 42).db;
+    let catalog = db.catalog();
+    let cargo = catalog.class_id("cargo").expect("bench schema");
+    let touch = vec![DataWrite::Update {
+        class: cargo,
+        object: ObjectId(0),
+        attr: AttrId(0),
+        value: db.tuple(cargo, ObjectId(0)).unwrap()[0].clone(),
+    }];
+    let mut group = tune(c, "writepath_stats");
+    group.bench_function("delta_fold_one_class", |b| {
+        b.iter(|| std::hint::black_box(db.with_writes(&touch, None).expect("apply")));
+    });
+    group.bench_function("full_rescan", |b| {
+        b.iter(|| std::hint::black_box(db.rebuild_statistics()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_apply, bench_stats);
+criterion_main!(benches);

@@ -36,7 +36,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: report [e1|table41|fig41|table42|e5|grouping|budget|closure|e9|e10|\
-                     e11|all]* [--seed N] [--smoke] [--json PATH]\n\n\
+                     e11|e12|all]* [--seed N] [--smoke] [--json PATH]\n\n\
                      --smoke      run every experiment at minimal repetition counts; exercises\n\
                      \x20            the full harness in well under a second so CI catches rot\n\
                      --json PATH  also write every experiment's headline numbers as JSON"
@@ -49,7 +49,7 @@ fn main() {
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = [
             "e1", "table41", "fig41", "table42", "e5", "grouping", "budget", "closure", "e9",
-            "e10", "e11",
+            "e10", "e11", "e12",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -115,6 +115,11 @@ fn main() {
             "e11" | "mutable" => {
                 let (rows, s) = sqo_bench::mutable_serving(seed, smoke);
                 headlines.extend(sqo_bench::e11_headlines(&rows));
+                println!("{s}");
+            }
+            "e12" | "writepath" => {
+                let (h, s) = sqo_bench::write_path_scaling(seed, smoke);
+                headlines.extend(h);
                 println!("{s}");
             }
             other => die(&format!("unknown experiment `{other}`")),

@@ -867,9 +867,9 @@ pub fn mutable_serving(seed: u64, smoke: bool) -> (Vec<E11Row>, String) {
                 match op {
                     MixedOp::Write(kind) => {
                         let snapshot = warm.db();
-                        let (class, is_insert, batch) = applier.resolve(&snapshot, kind);
+                        let (class, victim, batch) = applier.resolve(&snapshot, kind);
                         let outcome = warm.write(&batch).expect("safe write rejected");
-                        applier.confirm(class, is_insert, &outcome.inserted);
+                        applier.confirm(class, victim, &outcome.receipt);
                     }
                     MixedOp::Read { query, .. } => {
                         let a = warm.run(query).expect("warm");
@@ -929,11 +929,11 @@ pub fn mutable_serving(seed: u64, smoke: bool) -> (Vec<E11Row>, String) {
                                     MixedOp::Write(kind) => {
                                         let mut applier = applier.lock().expect("applier poisoned");
                                         let snapshot = service.db();
-                                        let (class, is_insert, batch) =
+                                        let (class, victim, batch) =
                                             applier.resolve(&snapshot, kind);
                                         let outcome =
                                             service.write(&batch).expect("safe write rejected");
-                                        applier.confirm(class, is_insert, &outcome.inserted);
+                                        applier.confirm(class, victim, &outcome.receipt);
                                     }
                                 }
                                 lat.push(t.elapsed());
@@ -996,6 +996,122 @@ pub fn mutable_serving(seed: u64, smoke: bool) -> (Vec<E11Row>, String) {
             min_hit * 100.0
         ),
     )
+}
+
+// ---------------------------------------------------------------------------
+// E12 — write-batch latency: O(touched classes), not O(database).
+// ---------------------------------------------------------------------------
+
+/// E12: isolates the cost of [`sqo_storage::Database::with_writes`]
+/// (incremental `Arc` clone-and-patch) against
+/// [`sqo_storage::Database::with_writes_full`] (the from-scratch rebuild
+/// oracle) along the three axes of the O(touched) claim:
+///
+/// 1. **batch size** (DB4, one touched class): both paths grow with the
+///    batch, the incremental path from a far smaller base;
+/// 2. **touched-class count** (DB4, fixed 60-write batch spread round-robin
+///    over 1/2/5 classes): incremental latency grows with the classes
+///    touched while the full rebuild stays flat — it always pays for all 5;
+/// 3. **database size** (one-write batch, DB1→DB4): the full rebuild grows
+///    with the database, the incremental path only with the touched class.
+///
+/// Writes are the constraint-preserving duplicate inserts of the E11
+/// workload, so every measured batch is a realistic serving-path batch.
+pub fn write_path_scaling(seed: u64, smoke: bool) -> (Vec<Headline>, String) {
+    use sqo_storage::{DataWrite, Database};
+    use sqo_workload::{copyable_rels, dup_insert, dup_safe_classes};
+
+    /// A `size`-write batch spread round-robin over the first `classes`
+    /// dup-safe classes of `db`.
+    fn batch(db: &Database, classes: usize, size: usize) -> Vec<DataWrite> {
+        let safe = dup_safe_classes(db.catalog());
+        (0..size)
+            .map(|i| {
+                let class = safe[i % classes.min(safe.len())];
+                dup_insert(db, class, i as u32, &copyable_rels(db.catalog(), class))
+            })
+            .collect()
+    }
+
+    fn median_us(db: &Database, writes: &[DataWrite], reps: usize, full: bool) -> f64 {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let out =
+                if full { db.with_writes_full(writes, None) } else { db.with_writes(writes, None) };
+            std::hint::black_box(out.expect("write batch applies"));
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        samples[samples.len() / 2].as_nanos() as f64 / 1000.0
+    }
+
+    let reps = if smoke { 5 } else { 60 };
+    let mut headlines = Vec::new();
+    let mut out = String::from(
+        "E12: Write-batch latency — incremental clone-and-patch vs full rebuild\n\
+         (µs per batch, median; writes are E11-style duplicate inserts)\n\n",
+    );
+
+    let db4 = paper_scenario(DbSize::Db4, seed).db;
+    let mut t = TextTable::new(vec!["batch size (DB4, 1 class)", "incremental µs", "full µs", "x"]);
+    for size in [1usize, 4, 16, 64] {
+        let writes = batch(&db4, 1, size);
+        let inc = median_us(&db4, &writes, reps, false);
+        let full = median_us(&db4, &writes, reps, true);
+        t.row(vec![
+            size.to_string(),
+            format!("{inc:.1}"),
+            format!("{full:.1}"),
+            format!("{:.1}x", full / inc.max(1e-9)),
+        ]);
+        headlines.push(Headline::new("e12", format!("inc_us_b{size}"), inc));
+        headlines.push(Headline::new("e12", format!("full_us_b{size}"), full));
+    }
+    out.push_str(&t.render());
+
+    let mut t =
+        TextTable::new(vec!["classes touched (DB4, 60 writes)", "incremental µs", "full µs", "x"]);
+    for classes in [1usize, 2, 5] {
+        let writes = batch(&db4, classes, 60);
+        let inc = median_us(&db4, &writes, reps, false);
+        let full = median_us(&db4, &writes, reps, true);
+        t.row(vec![
+            classes.to_string(),
+            format!("{inc:.1}"),
+            format!("{full:.1}"),
+            format!("{:.1}x", full / inc.max(1e-9)),
+        ]);
+        headlines.push(Headline::new("e12", format!("inc_us_c{classes}"), inc));
+        headlines.push(Headline::new("e12", format!("full_us_c{classes}"), full));
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+
+    let mut t = TextTable::new(vec!["database (1-write batch)", "incremental µs", "full µs", "x"]);
+    for size in DbSize::ALL {
+        let db = paper_scenario(size, seed).db;
+        let writes = batch(&db, 1, 1);
+        let inc = median_us(&db, &writes, reps, false);
+        let full = median_us(&db, &writes, reps, true);
+        let name = size.name().to_lowercase();
+        t.row(vec![
+            size.name().to_string(),
+            format!("{inc:.1}"),
+            format!("{full:.1}"),
+            format!("{:.1}x", full / inc.max(1e-9)),
+        ]);
+        headlines.push(Headline::new("e12", format!("inc_us_{name}"), inc));
+        headlines.push(Headline::new("e12", format!("full_us_{name}"), full));
+        headlines.push(Headline::new("e12", format!("speedup_{name}"), full / inc.max(1e-9)));
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    out.push_str(
+        "\nreading: the full rebuild's cost tracks the database; the incremental path's\n\
+         tracks the touched classes and their incident links (the O(touched) claim).\n",
+    );
+    (headlines, out)
 }
 
 /// Headline numbers of E11.
@@ -1107,6 +1223,22 @@ mod tests {
         }
         let headlines = e9_headlines(&rows);
         assert!(headlines.iter().any(|h| h.metric == "min_speedup"));
+    }
+
+    #[test]
+    fn e12_smoke_measures_both_write_paths() {
+        let (headlines, rendered) = write_path_scaling(42, true);
+        for metric in ["inc_us_b1", "full_us_b64", "inc_us_c5", "inc_us_db1", "speedup_db4"] {
+            assert!(
+                headlines.iter().any(|h| h.experiment == "e12" && h.metric == metric),
+                "missing {metric}\n{rendered}"
+            );
+        }
+        // Structural claim only (magnitudes belong to the release report
+        // run): on the largest instance a one-class batch must be cheaper
+        // to apply incrementally than by rebuilding the whole database.
+        let speedup = headlines.iter().find(|h| h.metric == "speedup_db4").unwrap().value;
+        assert!(speedup > 1.0, "incremental write path lost to the full rebuild\n{rendered}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::ids::{AttrRef, ClassId, RelId};
 use crate::types::Value;
 
 /// Per-attribute statistics, collected by the storage loader.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AttrStats {
     /// Number of rows observed.
     pub rows: u64,
@@ -102,14 +102,14 @@ impl AttrStats {
 }
 
 /// Per-class statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClassStats {
     pub cardinality: u64,
     pub attrs: Vec<AttrStats>,
 }
 
 /// Per-relationship statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RelStats {
     /// Total number of links.
     pub links: u64,
@@ -120,7 +120,7 @@ pub struct RelStats {
 }
 
 /// Snapshot of all statistics for a database instance.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     pub classes: Vec<ClassStats>,
     pub relationships: Vec<RelStats>,

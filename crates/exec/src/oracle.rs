@@ -315,6 +315,50 @@ mod tests {
     }
 
     #[test]
+    fn estimates_agree_between_patched_and_rebuilt_snapshots() {
+        // The oracle's memo stays keyed by data epoch; what the incremental
+        // storage rewrite must guarantee is that an `Arc`-patched successor
+        // yields bit-identical statistics — and therefore identical plan
+        // cost estimates — to a from-scratch rebuild of the same state.
+        use sqo_storage::DataWrite;
+
+        let db = fig_db();
+        let catalog = db.catalog().clone();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        let src = ObjectId(1); // dry goods
+        let tuple = db.tuple(cargo, src).unwrap().to_vec();
+        let links = vec![
+            (supplies, db.traverse(supplies, cargo, src).unwrap()[0]),
+            (collects, db.traverse(collects, cargo, src).unwrap()[0]),
+        ];
+        let batch = vec![
+            DataWrite::Insert { class: cargo, tuple: tuple.clone(), links: links.clone() },
+            DataWrite::Insert { class: cargo, tuple, links },
+            DataWrite::Delete { class: cargo, object: ObjectId(3) },
+        ];
+        let (patched, _) = db.with_writes(&batch, None).unwrap();
+        let (rebuilt, _) = db.with_writes_full(&batch, None).unwrap();
+        assert_eq!(patched.stats(), rebuilt.stats());
+        let o_patched = CostBasedOracle::new(&patched);
+        let o_rebuilt = CostBasedOracle::new(&rebuilt);
+        let queries = [
+            fig23_query(&catalog),
+            parse_query(
+                r#"(SELECT {cargo.desc} {} {cargo.desc = "dry goods"} {} {cargo})"#,
+                &catalog,
+            )
+            .unwrap(),
+        ];
+        for q in &queries {
+            let a = o_patched.estimated_cost(q).expect("plannable");
+            let b = o_rebuilt.estimated_cost(q).expect("plannable");
+            assert_eq!(a, b, "estimates diverged between patched and rebuilt snapshots");
+        }
+    }
+
+    #[test]
     fn oracle_keeps_class_when_planning_fails() {
         let db = fig_db();
         let oracle = CostBasedOracle::new(&db);

@@ -93,9 +93,9 @@ fn concurrent_writers_and_readers_observe_linearized_data_epochs() {
                     // must apply to the snapshot it was resolved against.
                     let mut applier = applier.lock();
                     let snapshot = service.db();
-                    let (class, is_insert, batch) = applier.resolve(&snapshot, kind);
+                    let (class, victim, batch) = applier.resolve(&snapshot, kind);
                     let outcome = service.write(&batch).expect("safe write rejected");
-                    applier.confirm(class, is_insert, &outcome.inserted);
+                    applier.confirm(class, victim, &outcome.receipt);
                     snapshots.lock().insert(outcome.epoch, outcome.snapshot);
                     drop(applier);
                     // Pace the writers so epochs spread across the readers'
@@ -165,12 +165,12 @@ fn concurrent_writers_and_readers_observe_linearized_data_epochs() {
     {
         let mut applier = applier.lock();
         let snapshot = service.db();
-        let (class, is_insert, batch) = applier.resolve(
+        let (class, victim, batch) = applier.resolve(
             &snapshot,
             &WriteKind::InsertDup { class: sqo_catalog::ClassId(1), source_rank: 3 },
         );
         let outcome = service.write(&batch).expect("write");
-        applier.confirm(class, is_insert, &outcome.inserted);
+        applier.confirm(class, victim, &outcome.receipt);
     }
     let mut with_plan = 0;
     for q in &reads.distinct {
@@ -226,9 +226,9 @@ fn single_threaded_write_stream_cross_checks_against_uncached_reference() {
         match op {
             MixedOp::Write(kind) => {
                 let snapshot = warm.db();
-                let (class, is_insert, batch) = applier.resolve(&snapshot, kind);
+                let (class, victim, batch) = applier.resolve(&snapshot, kind);
                 let outcome = warm.write(&batch).expect("safe write rejected");
-                applier.confirm(class, is_insert, &outcome.inserted);
+                applier.confirm(class, victim, &outcome.receipt);
                 writes_seen += 1;
             }
             MixedOp::Read { query, .. } => {

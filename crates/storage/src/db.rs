@@ -6,18 +6,50 @@
 //! statistics snapshot and enforces the integrity declarations (total
 //! participation, to-one multiplicity) that class elimination relies on.
 //!
-//! Mutation is copy-on-write: [`Database::with_writes`] applies a batch of
-//! [`DataWrite`]s to a clone of the logical state and assembles a fresh
-//! snapshot (links, indexes and statistics rebuilt) stamped with the next
-//! **data version**. The [`crate::VersionedDatabase`] handle wraps that into
-//! a concurrent write path with a monotone data epoch; readers keep their
-//! `Arc` snapshot and are never torn by a write.
+//! # Incremental copy-on-write snapshots
+//!
+//! Snapshot state is sharded per class and per relationship behind `Arc`s:
+//! one `Arc` per class extent, one per class index bank, one per
+//! relationship link table. [`Database::with_writes`] builds a successor
+//! snapshot by **cloning the `Arc` vector and patching only the shards the
+//! batch touches** (`Arc::make_mut` clone-and-patch); untouched shards are
+//! shared with the source by pointer. Statistics fold the same way: the
+//! previous [`StatsSnapshot`] is carried over and only the touched classes'
+//! [`ClassStats`] / touched relationships' [`RelStats`] are recomputed, so a
+//! write batch costs O(touched classes + their incident links), not
+//! O(database).
+//!
+//! ## Aliasing guarantees
+//!
+//! Sharing is safe because shards are never mutated after publication:
+//! `Arc::make_mut` observes the source snapshot's reference and clones, so a
+//! reader holding the source (or any other successor) can never see a
+//! patched shard. Two snapshots that share a shard are — by construction —
+//! bit-identical on every read API over that shard. Adjacency and index
+//! posting order follow a **canonical order** that is a function of the
+//! logical state alone (see [`crate::RelLinks`]'s module docs), which makes
+//! the incremental successor indistinguishable from a from-scratch rebuild:
+//! [`Database::with_writes_full`] keeps the old rebuild-everything algorithm
+//! as the independent equivalence oracle (exercised by
+//! `tests/prop_incremental.rs`), and [`Database::rebuild_statistics`] is the
+//! from-scratch statistics fallback the folded stats are checked against.
+//!
+//! Integrity re-checking is scoped the same way: only relationships the
+//! batch could have affected (those incident to inserted/deleted objects or
+//! named by link writes) are re-validated — untouched relationships remain
+//! valid by induction from the base snapshot. In-place attribute updates
+//! ([`DataWrite::Update`]) touch no link structure and therefore re-check
+//! nothing.
+//!
+//! The [`crate::VersionedDatabase`] handle wraps [`Database::with_writes`]
+//! into a concurrent write path with a monotone data epoch; readers keep
+//! their `Arc` snapshot and are never torn by a write.
 
 use std::collections::HashMap;
 
 use sqo_catalog::{
-    AttrRef, AttrStats, Catalog, ClassId, ClassStats, Multiplicity, RelId, RelStats, StatsSnapshot,
-    Value,
+    AttrId, AttrRef, AttrStats, Catalog, ClassDef, ClassId, ClassStats, Multiplicity, RelId,
+    RelStats, RelationshipDef, StatsSnapshot, Value,
 };
 use sqo_constraints::HornConstraint;
 use sqo_query::Predicate;
@@ -27,6 +59,9 @@ use crate::error::StorageError;
 use crate::index::AttrIndex;
 use crate::links::RelLinks;
 use crate::object::ObjectId;
+
+/// One class's tuples, in object-id order.
+type Extent = Vec<Vec<Value>>;
 
 /// Which integrity declarations to enforce at load time.
 #[derive(Debug, Clone, Copy)]
@@ -64,8 +99,17 @@ pub enum DataWrite {
     /// Deletion has `swap_remove` semantics: the class's **last** object is
     /// renumbered to take the deleted [`ObjectId`] (its tuple, index entries
     /// and link edges follow it). Deleting the last object renumbers
-    /// nothing.
+    /// nothing. Every renumbering is reported in the batch's
+    /// [`WriteReceipt::moves`], so callers tracking live ids need no
+    /// convention about *which* objects they delete.
     Delete { class: ClassId, object: ObjectId },
+    /// Overwrite one attribute of an existing instance in place. The object
+    /// keeps its id and its links; only the touched class's extent, the
+    /// attribute's index (when declared) and the class's statistics are
+    /// patched. No integrity re-checking happens for updates — the link
+    /// structure the total-participation/multiplicity declarations speak
+    /// about is untouched.
+    Update { class: ClassId, object: ObjectId, attr: AttrId, value: Value },
     /// Add one link edge between existing objects.
     Link { rel: RelId, left: ObjectId, right: ObjectId },
     /// Remove one link edge (errors with [`StorageError::LinkNotFound`] if
@@ -73,13 +117,38 @@ pub enum DataWrite {
     Unlink { rel: RelId, left: ObjectId, right: ObjectId },
 }
 
+/// What one committed write batch did to object identity — returned by
+/// [`Database::with_writes`] so callers no longer track swap-remove
+/// renumbering by convention.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteReceipt {
+    /// The [`ObjectId`] of each [`DataWrite::Insert`] of the batch, in batch
+    /// order, **as of the end of the batch** — a later `Delete` in the same
+    /// batch that renumbers an earlier insert is accounted for. (Deleting an
+    /// object inserted earlier in the same batch leaves its now-dead id in
+    /// the vector; positions must line up with the inserts.)
+    pub inserted: Vec<ObjectId>,
+    /// Every swap-remove renumbering, in batch order: deleting `object`
+    /// moved the class's then-last object from `moved_from` to `moved_to`
+    /// (`== object`). Apply the moves in order to re-map externally tracked
+    /// ids.
+    pub moves: Vec<(ClassId, ObjectId, ObjectId)>,
+    /// The classes whose extent, index or statistics shards this batch
+    /// patched, ascending. Everything else is `Arc`-shared with the source
+    /// snapshot.
+    pub touched_classes: Vec<ClassId>,
+}
+
 /// An immutable, loaded database snapshot.
+///
+/// State is `Arc`-sharded per class and per relationship; see the module
+/// docs for the sharing and patching model.
 #[derive(Debug)]
 pub struct Database {
     catalog: Arc<Catalog>,
-    extents: Vec<Vec<Vec<Value>>>,
-    indexes: Vec<Vec<Option<AttrIndex>>>,
-    links: Vec<RelLinks>,
+    extents: Vec<Arc<Extent>>,
+    indexes: Vec<Arc<Vec<Option<AttrIndex>>>>,
+    links: Vec<Arc<RelLinks>>,
     stats: StatsSnapshot,
     /// Which data epoch this snapshot materializes: `0` for a
     /// builder-finalized load, `source + 1` for every
@@ -155,73 +224,123 @@ impl Database {
         &self.stats
     }
 
-    /// Copy-on-write mutation: applies `writes` in order to a clone of this
-    /// snapshot's logical state and assembles a new snapshot (links, indexes
-    /// and the statistics the planner's cardinality estimates read are all
-    /// rebuilt) with `data_version` advanced by one.
+    /// Recomputes the full statistics snapshot from scratch — the fallback
+    /// (and equivalence oracle) for the per-class folding
+    /// [`Database::with_writes`] performs. `db.rebuild_statistics() ==
+    /// *db.stats()` holds for every reachable snapshot.
+    pub fn rebuild_statistics(&self) -> StatsSnapshot {
+        build_statistics(&self.catalog, &self.extents, &self.links)
+    }
+
+    /// Whether `self` and `other` share class `class`'s extent shard by
+    /// pointer (diagnostics for the copy-on-write tests and benches).
+    pub fn shares_extent_with(&self, other: &Database, class: ClassId) -> bool {
+        match (self.extents.get(class.index()), other.extents.get(class.index())) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Copy-on-write mutation: applies `writes` in order against `Arc`-shared
+    /// shards of this snapshot, cloning and patching **only the shards the
+    /// batch touches** — per-class extents and index banks, per-relationship
+    /// link tables — and folding per-class/per-relationship statistics
+    /// deltas into the previous snapshot. Cost is O(touched classes + their
+    /// incident links); untouched state is shared with `self` by pointer.
+    /// `data_version` advances by one.
     ///
     /// The batch is **atomic**: any validation error (arity, types, unknown
-    /// objects, missing links, or — when `integrity` is supplied — a
-    /// violated total-participation/multiplicity declaration) leaves `self`
-    /// untouched and returns the error. On success, the returned vector
-    /// holds the [`ObjectId`] of each [`DataWrite::Insert`] of the batch, in
-    /// batch order, **as of the end of the batch** — a later `Delete` in the
-    /// same batch that renumbers an earlier insert is accounted for.
-    /// (Deleting an object inserted earlier in the same batch leaves its
-    /// now-dead id in the vector; positions must line up with the inserts.)
+    /// objects or attributes, missing links, or — when `integrity` is
+    /// supplied — a violated total-participation/multiplicity declaration on
+    /// a relationship the batch touched) leaves `self` untouched and returns
+    /// the error. On success the [`WriteReceipt`] reports the inserted ids
+    /// and every swap-remove renumbering.
     pub fn with_writes(
         &self,
         writes: &[DataWrite],
         integrity: Option<IntegrityOptions>,
-    ) -> Result<(Database, Vec<ObjectId>), StorageError> {
+    ) -> Result<(Database, WriteReceipt), StorageError> {
         let catalog = Arc::clone(&self.catalog);
         let mut extents = self.extents.clone();
-        let mut pairs: Vec<Vec<(ObjectId, ObjectId)>> =
-            self.links.iter().map(|lk| lk.pairs().collect()).collect();
+        let mut indexes = self.indexes.clone();
+        let mut links = self.links.clone();
+        let mut touched_classes = vec![false; extents.len()];
+        let mut touched_rels = vec![false; links.len()];
         // `(class, id)` per insert: the class is needed to track swap-remove
         // renumbering by later deletes in the same batch.
         let mut inserted: Vec<(ClassId, ObjectId)> = Vec::new();
+        let mut moves: Vec<(ClassId, ObjectId, ObjectId)> = Vec::new();
         for write in writes {
             match write {
-                DataWrite::Insert { class, tuple, links } => {
+                DataWrite::Insert { class, tuple, links: new_links } => {
                     validate_tuple(&catalog, *class, tuple)?;
-                    let extent = &mut extents[class.index()];
+                    let extent = Arc::make_mut(&mut extents[class.index()]);
                     let oid = ObjectId(extent.len() as u32);
                     extent.push(tuple.clone());
-                    for &(rel, other) in links {
+                    let bank: &mut Vec<Option<AttrIndex>> =
+                        Arc::make_mut(&mut indexes[class.index()]);
+                    index_insert(bank, tuple, oid);
+                    touched_classes[class.index()] = true;
+                    // The class's side of every incident link table grows by
+                    // one (initially unlinked) slot.
+                    for (rel, def) in catalog.relationships() {
+                        if !def.involves(*class) {
+                            continue;
+                        }
+                        let lk = Arc::make_mut(&mut links[rel.index()]);
+                        if def.left.class == *class {
+                            lk.grow_left();
+                        }
+                        if def.right.class == *class {
+                            lk.grow_right();
+                        }
+                        touched_rels[rel.index()] = true;
+                    }
+                    for &(rel, other) in new_links {
                         let def = catalog.relationship(rel)?;
                         // The new object takes the side matching its class;
                         // for self-relationships, the left side (matching
-                        // `Database::traverse`'s convention).
-                        let (left, right) = if def.left.class == *class {
-                            (oid, other)
+                        // `Database::traverse`'s convention). The opposite
+                        // class comes from the same branch — comparing ids
+                        // would misattribute `other` when it numerically
+                        // equals the fresh oid.
+                        let (left, right, other_class) = if def.left.class == *class {
+                            (oid, other, def.right.class)
                         } else if def.right.class == *class {
-                            (other, oid)
+                            (other, oid, def.left.class)
                         } else {
                             return Err(StorageError::LinkClassMismatch { rel });
                         };
-                        let other_class =
-                            if left == oid { def.right.class } else { def.left.class };
                         if other.index() >= extents[other_class.index()].len() {
                             return Err(StorageError::UnknownObject {
                                 class: other_class,
                                 object: other,
                             });
                         }
-                        pairs[rel.index()].push((left, right));
+                        Arc::make_mut(&mut links[rel.index()]).add_sorted(left, right);
+                        touched_rels[rel.index()] = true;
                     }
                     inserted.push((*class, oid));
                 }
                 DataWrite::Delete { class, object } => {
-                    let extent = &mut extents[class.index()];
-                    if object.index() >= extent.len() {
+                    // Validate against the un-cloned shard: rejecting must
+                    // not pay the clone.
+                    if object.index() >= extents[class.index()].len() {
                         return Err(StorageError::UnknownObject { class: *class, object: *object });
                     }
+                    let extent = Arc::make_mut(&mut extents[class.index()]);
                     let last = ObjectId((extent.len() - 1) as u32);
+                    let dead = extent[object.index()].clone();
                     extent.swap_remove(object.index());
-                    // The renumbering applies to earlier inserts of this
-                    // batch too, so the returned ids stay live.
+                    let moved = (*object != last).then(|| extent[object.index()].clone());
+                    let bank: &mut Vec<Option<AttrIndex>> =
+                        Arc::make_mut(&mut indexes[class.index()]);
+                    index_delete(bank, &dead, *object, moved.as_deref(), last);
+                    touched_classes[class.index()] = true;
                     if *object != last {
+                        moves.push((*class, last, *object));
+                        // The renumbering applies to earlier inserts of this
+                        // batch too, so the returned ids stay live.
                         for (c, id) in inserted.iter_mut() {
                             if *c == *class && *id == last {
                                 *id = *object;
@@ -234,6 +353,190 @@ impl Database {
                         if !on_left && !on_right {
                             continue;
                         }
+                        touched_rels[rel.index()] = true;
+                        let lk = Arc::make_mut(&mut links[rel.index()]);
+                        if on_left && on_right {
+                            // Self-relationship: both sides renumber at once;
+                            // rebuilding this one table (O(its links)) is
+                            // simpler than an interleaved two-sided patch.
+                            *lk = rebuild_self_links(lk, *object);
+                        } else if on_left {
+                            lk.delete_left(*object);
+                        } else {
+                            lk.delete_right(*object);
+                        }
+                    }
+                }
+                DataWrite::Update { class, object, attr, value } => {
+                    let cdef = catalog.class(*class)?;
+                    let Some(adef) = cdef.attributes.get(attr.index()) else {
+                        return Err(StorageError::UnknownAttribute { class: *class, attr: *attr });
+                    };
+                    if value.data_type() != adef.ty {
+                        return Err(StorageError::TypeMismatch {
+                            class: *class,
+                            attr: attr.index(),
+                            context: format!("expected {}, got {}", adef.ty, value.data_type()),
+                        });
+                    }
+                    if object.index() >= extents[class.index()].len() {
+                        return Err(StorageError::UnknownObject { class: *class, object: *object });
+                    }
+                    let extent = Arc::make_mut(&mut extents[class.index()]);
+                    let tuple = &mut extent[object.index()];
+                    let old = std::mem::replace(&mut tuple[attr.index()], value.clone());
+                    if let Some(ix) =
+                        Arc::make_mut(&mut indexes[class.index()])[attr.index()].as_mut()
+                    {
+                        ix.remove(&old, *object);
+                        ix.insert_sorted(value.clone(), *object);
+                    }
+                    touched_classes[class.index()] = true;
+                }
+                DataWrite::Link { rel, left, right } => {
+                    let def = catalog.relationship(*rel)?;
+                    for (class, object) in [(def.left.class, *left), (def.right.class, *right)] {
+                        if object.index() >= extents[class.index()].len() {
+                            return Err(StorageError::UnknownObject { class, object });
+                        }
+                    }
+                    Arc::make_mut(&mut links[rel.index()]).add_sorted(*left, *right);
+                    touched_rels[rel.index()] = true;
+                }
+                DataWrite::Unlink { rel, left, right } => {
+                    // Probe read-only first: a missing edge must not clone
+                    // the link table.
+                    if !links[rel.index()].from_left(*left).contains(right) {
+                        return Err(StorageError::LinkNotFound {
+                            rel: *rel,
+                            left: *left,
+                            right: *right,
+                        });
+                    }
+                    let removed = Arc::make_mut(&mut links[rel.index()]).remove_edge(*left, *right);
+                    debug_assert!(removed, "probed edge must be removable");
+                    touched_rels[rel.index()] = true;
+                }
+            }
+        }
+        if let Some(options) = integrity {
+            for (rel, def) in catalog.relationships() {
+                if touched_rels[rel.index()] {
+                    enforce_rel_integrity(rel, def, &links[rel.index()], options)?;
+                }
+            }
+        }
+        // Fold statistics: recompute only the touched classes/relationships,
+        // carry everything else over from the previous snapshot.
+        let mut stats = self.stats.clone();
+        for (cid, cdef) in catalog.classes() {
+            if touched_classes[cid.index()] {
+                stats.classes[cid.index()] = class_statistics(cdef, &extents[cid.index()]);
+            }
+        }
+        for (r, touched) in touched_rels.iter().enumerate() {
+            if *touched {
+                stats.relationships[r] = rel_statistics(&links[r]);
+            }
+        }
+        let receipt = WriteReceipt {
+            inserted: inserted.iter().map(|&(_, id)| id).collect(),
+            moves,
+            touched_classes: touched_classes
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| **t)
+                .map(|(i, _)| ClassId(i as u32))
+                .collect(),
+        };
+        let db = Database {
+            catalog,
+            extents,
+            indexes,
+            links,
+            stats,
+            data_version: self.data_version + 1,
+        };
+        Ok((db, receipt))
+    }
+
+    /// The from-scratch write path: applies `writes` to a deep clone of the
+    /// logical state and reassembles **everything** — links, indexes and
+    /// statistics — exactly as a fresh [`DatabaseBuilder`] load would. It is
+    /// the independent equivalence oracle for [`Database::with_writes`]
+    /// (`tests/prop_incremental.rs` proves the two agree on every read API
+    /// for arbitrary batches) and the baseline `benches/writepath.rs`
+    /// measures the incremental path against. Semantics are identical,
+    /// including integrity scoping and the returned [`WriteReceipt`].
+    pub fn with_writes_full(
+        &self,
+        writes: &[DataWrite],
+        integrity: Option<IntegrityOptions>,
+    ) -> Result<(Database, WriteReceipt), StorageError> {
+        let catalog = Arc::clone(&self.catalog);
+        let mut extents: Vec<Extent> = self.extents.iter().map(|e| (**e).clone()).collect();
+        let mut pairs: Vec<Vec<(ObjectId, ObjectId)>> =
+            self.links.iter().map(|lk| lk.pairs().collect()).collect();
+        let mut touched_classes = vec![false; extents.len()];
+        let mut touched_rels = vec![false; pairs.len()];
+        let mut inserted: Vec<(ClassId, ObjectId)> = Vec::new();
+        let mut moves: Vec<(ClassId, ObjectId, ObjectId)> = Vec::new();
+        for write in writes {
+            match write {
+                DataWrite::Insert { class, tuple, links } => {
+                    validate_tuple(&catalog, *class, tuple)?;
+                    let extent = &mut extents[class.index()];
+                    let oid = ObjectId(extent.len() as u32);
+                    extent.push(tuple.clone());
+                    touched_classes[class.index()] = true;
+                    for (rel, def) in catalog.relationships() {
+                        if def.involves(*class) {
+                            touched_rels[rel.index()] = true;
+                        }
+                    }
+                    for &(rel, other) in links {
+                        let def = catalog.relationship(rel)?;
+                        let (left, right, other_class) = if def.left.class == *class {
+                            (oid, other, def.right.class)
+                        } else if def.right.class == *class {
+                            (other, oid, def.left.class)
+                        } else {
+                            return Err(StorageError::LinkClassMismatch { rel });
+                        };
+                        if other.index() >= extents[other_class.index()].len() {
+                            return Err(StorageError::UnknownObject {
+                                class: other_class,
+                                object: other,
+                            });
+                        }
+                        pairs[rel.index()].push((left, right));
+                        touched_rels[rel.index()] = true;
+                    }
+                    inserted.push((*class, oid));
+                }
+                DataWrite::Delete { class, object } => {
+                    let extent = &mut extents[class.index()];
+                    if object.index() >= extent.len() {
+                        return Err(StorageError::UnknownObject { class: *class, object: *object });
+                    }
+                    let last = ObjectId((extent.len() - 1) as u32);
+                    extent.swap_remove(object.index());
+                    touched_classes[class.index()] = true;
+                    if *object != last {
+                        moves.push((*class, last, *object));
+                        for (c, id) in inserted.iter_mut() {
+                            if *c == *class && *id == last {
+                                *id = *object;
+                            }
+                        }
+                    }
+                    for (rel, def) in catalog.relationships() {
+                        let on_left = def.left.class == *class;
+                        let on_right = def.right.class == *class;
+                        if !on_left && !on_right {
+                            continue;
+                        }
+                        touched_rels[rel.index()] = true;
                         let ps = &mut pairs[rel.index()];
                         ps.retain(|&(l, r)| !(on_left && l == *object || on_right && r == *object));
                         if *object != last {
@@ -248,6 +551,25 @@ impl Database {
                         }
                     }
                 }
+                DataWrite::Update { class, object, attr, value } => {
+                    let cdef = catalog.class(*class)?;
+                    let Some(adef) = cdef.attributes.get(attr.index()) else {
+                        return Err(StorageError::UnknownAttribute { class: *class, attr: *attr });
+                    };
+                    if value.data_type() != adef.ty {
+                        return Err(StorageError::TypeMismatch {
+                            class: *class,
+                            attr: attr.index(),
+                            context: format!("expected {}, got {}", adef.ty, value.data_type()),
+                        });
+                    }
+                    let extent = &mut extents[class.index()];
+                    let Some(tuple) = extent.get_mut(object.index()) else {
+                        return Err(StorageError::UnknownObject { class: *class, object: *object });
+                    };
+                    tuple[attr.index()] = value.clone();
+                    touched_classes[class.index()] = true;
+                }
                 DataWrite::Link { rel, left, right } => {
                     let def = catalog.relationship(*rel)?;
                     for (class, object) in [(def.left.class, *left), (def.right.class, *right)] {
@@ -256,6 +578,7 @@ impl Database {
                         }
                     }
                     pairs[rel.index()].push((*left, *right));
+                    touched_rels[rel.index()] = true;
                 }
                 DataWrite::Unlink { rel, left, right } => {
                     let ps = &mut pairs[rel.index()];
@@ -267,11 +590,40 @@ impl Database {
                         });
                     };
                     ps.remove(at);
+                    touched_rels[rel.index()] = true;
                 }
             }
         }
-        let db = assemble(catalog, extents, pairs, integrity, self.data_version + 1)?;
-        Ok((db, inserted.into_iter().map(|(_, id)| id).collect()))
+        let extents: Vec<Arc<Extent>> = extents.into_iter().map(Arc::new).collect();
+        let links = build_links(&catalog, &extents, &pairs);
+        if let Some(options) = integrity {
+            for (rel, def) in catalog.relationships() {
+                if touched_rels[rel.index()] {
+                    enforce_rel_integrity(rel, def, &links[rel.index()], options)?;
+                }
+            }
+        }
+        let indexes = build_indexes(&catalog, &extents);
+        let stats = build_statistics(&catalog, &extents, &links);
+        let receipt = WriteReceipt {
+            inserted: inserted.iter().map(|&(_, id)| id).collect(),
+            moves,
+            touched_classes: touched_classes
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| **t)
+                .map(|(i, _)| ClassId(i as u32))
+                .collect(),
+        };
+        let db = Database {
+            catalog,
+            extents,
+            indexes,
+            links,
+            stats,
+            data_version: self.data_version + 1,
+        };
+        Ok((db, receipt))
     }
 
     /// Exhaustively checks a semantic constraint against the data, returning
@@ -405,7 +757,7 @@ fn pick_next<'a>(
 #[derive(Debug)]
 pub struct DatabaseBuilder {
     catalog: Arc<Catalog>,
-    extents: Vec<Vec<Vec<Value>>>,
+    extents: Vec<Extent>,
     pending_links: Vec<(RelId, ObjectId, ObjectId)>,
 }
 
@@ -477,18 +829,70 @@ fn validate_tuple(catalog: &Catalog, class: ClassId, tuple: &[Value]) -> Result<
     Ok(())
 }
 
-/// Assembles a snapshot from logical state: builds link structures, enforces
-/// integrity declarations (when requested), builds the declared indexes and
-/// computes statistics. Shared by [`DatabaseBuilder::finalize`] and
-/// [`Database::with_writes`].
-fn assemble(
-    catalog: Arc<Catalog>,
-    extents: Vec<Vec<Vec<Value>>>,
-    pairs: Vec<Vec<(ObjectId, ObjectId)>>,
-    integrity: Option<IntegrityOptions>,
-    data_version: u64,
-) -> Result<Database, StorageError> {
-    // Links.
+/// Adds the new tuple's entries to every declared index of its class.
+fn index_insert(indexes: &mut [Option<AttrIndex>], tuple: &[Value], oid: ObjectId) {
+    for (ai, slot) in indexes.iter_mut().enumerate() {
+        if let Some(ix) = slot {
+            ix.insert(tuple[ai].clone(), oid);
+        }
+    }
+}
+
+/// Removes the deleted tuple's index entries and — when the deletion
+/// renumbered the class's last object — re-keys the moved tuple's entries
+/// from `last` to `object`, preserving the ascending-oid posting order.
+fn index_delete(
+    indexes: &mut [Option<AttrIndex>],
+    dead: &[Value],
+    object: ObjectId,
+    moved: Option<&[Value]>,
+    last: ObjectId,
+) {
+    for (ai, slot) in indexes.iter_mut().enumerate() {
+        if let Some(ix) = slot {
+            ix.remove(&dead[ai], object);
+            if let Some(m) = moved {
+                ix.remove(&m[ai], last);
+                ix.insert_sorted(m[ai].clone(), object);
+            }
+        }
+    }
+}
+
+/// Rebuilds one self-relationship link table around the deletion of
+/// `object` (edges removed, `last` renumbered onto `object`). O(this
+/// relationship's links) — still O(touched), both sides are the deleted
+/// object's class.
+fn rebuild_self_links(lk: &RelLinks, object: ObjectId) -> RelLinks {
+    let last = ObjectId((lk.left_cardinality() - 1) as u32);
+    let mut pairs: Vec<(ObjectId, ObjectId)> = lk.pairs().collect();
+    pairs.retain(|&(l, r)| l != object && r != object);
+    if object != last {
+        for p in pairs.iter_mut() {
+            if p.0 == last {
+                p.0 = object;
+            }
+            if p.1 == last {
+                p.1 = object;
+            }
+        }
+    }
+    let n = lk.left_cardinality() - 1;
+    let mut out = RelLinks::new(n, n);
+    for (l, r) in pairs {
+        out.add(l, r);
+    }
+    out.canonicalize();
+    out
+}
+
+/// Builds every relationship's link table from flat pairs, in canonical
+/// order.
+fn build_links(
+    catalog: &Catalog,
+    extents: &[Arc<Extent>],
+    pairs: &[Vec<(ObjectId, ObjectId)>],
+) -> Vec<Arc<RelLinks>> {
     let mut links: Vec<RelLinks> = catalog
         .relationships()
         .map(|(_, def)| {
@@ -502,12 +906,14 @@ fn assemble(
         for &(l, r) in rel_pairs {
             links[rel].add(l, r);
         }
+        links[rel].canonicalize();
     }
-    if let Some(options) = integrity {
-        enforce_integrity(&catalog, &links, options)?;
-    }
-    // Indexes.
-    let mut indexes: Vec<Vec<Option<AttrIndex>>> = Vec::with_capacity(catalog.class_count());
+    links.into_iter().map(Arc::new).collect()
+}
+
+/// Builds every class's declared indexes from its extent.
+fn build_indexes(catalog: &Catalog, extents: &[Arc<Extent>]) -> Vec<Arc<Vec<Option<AttrIndex>>>> {
+    let mut indexes = Vec::with_capacity(catalog.class_count());
     for (cid, cdef) in catalog.classes() {
         let mut per_attr: Vec<Option<AttrIndex>> = Vec::with_capacity(cdef.attributes.len());
         for (ai, adef) in cdef.attributes.iter().enumerate() {
@@ -519,148 +925,175 @@ fn assemble(
                 ix
             }));
         }
-        indexes.push(per_attr);
+        indexes.push(Arc::new(per_attr));
     }
-    // Statistics.
-    let stats = compute_stats(&catalog, &extents, &links);
+    indexes
+}
+
+/// Assembles a snapshot from logical state: builds link structures, enforces
+/// integrity declarations over **every** relationship (when requested),
+/// builds the declared indexes and computes statistics from scratch. The
+/// load path ([`DatabaseBuilder::finalize`]); the write paths share its
+/// parts.
+fn assemble(
+    catalog: Arc<Catalog>,
+    extents: Vec<Extent>,
+    pairs: Vec<Vec<(ObjectId, ObjectId)>>,
+    integrity: Option<IntegrityOptions>,
+    data_version: u64,
+) -> Result<Database, StorageError> {
+    let extents: Vec<Arc<Extent>> = extents.into_iter().map(Arc::new).collect();
+    let links = build_links(&catalog, &extents, &pairs);
+    if let Some(options) = integrity {
+        for (rel, def) in catalog.relationships() {
+            enforce_rel_integrity(rel, def, &links[rel.index()], options)?;
+        }
+    }
+    let indexes = build_indexes(&catalog, &extents);
+    let stats = build_statistics(&catalog, &extents, &links);
     Ok(Database { catalog, extents, indexes, links, stats, data_version })
 }
 
-/// Checks the total-participation and to-one declarations over built links.
-fn enforce_integrity(
-    catalog: &Catalog,
-    links: &[RelLinks],
+/// Checks one relationship's total-participation and to-one declarations.
+fn enforce_rel_integrity(
+    rel: RelId,
+    def: &RelationshipDef,
+    lk: &RelLinks,
     options: IntegrityOptions,
 ) -> Result<(), StorageError> {
-    for (rel, def) in catalog.relationships() {
-        let lk = &links[rel.index()];
-        if options.enforce_total_participation {
-            if def.left.total {
-                if let Some(o) = lk.unlinked_left().next() {
-                    return Err(StorageError::TotalParticipationViolated {
-                        rel,
-                        class: def.left.class,
-                        object: o,
-                    });
-                }
-            }
-            if def.right.total {
-                if let Some(o) = lk.unlinked_right().next() {
-                    return Err(StorageError::TotalParticipationViolated {
-                        rel,
-                        class: def.right.class,
-                        object: o,
-                    });
-                }
-            }
-        }
-        if options.enforce_multiplicity {
-            // `left.multiplicity == One` means each left object links to
-            // at most one right object.
-            if def.left.multiplicity == Multiplicity::One && lk.max_left_fanout() > 1 {
-                let object = (0..lk.left_cardinality() as u32)
-                    .map(ObjectId)
-                    .find(|o| lk.from_left(*o).len() > 1)
-                    .expect("fanout > 1 implies a witness");
-                return Err(StorageError::MultiplicityViolated {
+    if options.enforce_total_participation {
+        if def.left.total {
+            if let Some(o) = lk.unlinked_left().next() {
+                return Err(StorageError::TotalParticipationViolated {
                     rel,
                     class: def.left.class,
-                    object,
-                    links: lk.from_left(object).len(),
+                    object: o,
                 });
             }
-            if def.right.multiplicity == Multiplicity::One && lk.max_right_fanout() > 1 {
-                let object = (0..lk.right_cardinality() as u32)
-                    .map(ObjectId)
-                    .find(|o| lk.from_right(*o).len() > 1)
-                    .expect("fanout > 1 implies a witness");
-                return Err(StorageError::MultiplicityViolated {
+        }
+        if def.right.total {
+            if let Some(o) = lk.unlinked_right().next() {
+                return Err(StorageError::TotalParticipationViolated {
                     rel,
                     class: def.right.class,
-                    object,
-                    links: lk.from_right(object).len(),
+                    object: o,
                 });
             }
+        }
+    }
+    if options.enforce_multiplicity {
+        // `left.multiplicity == One` means each left object links to
+        // at most one right object.
+        if def.left.multiplicity == Multiplicity::One && lk.max_left_fanout() > 1 {
+            let object = (0..lk.left_cardinality() as u32)
+                .map(ObjectId)
+                .find(|o| lk.from_left(*o).len() > 1)
+                .expect("fanout > 1 implies a witness");
+            return Err(StorageError::MultiplicityViolated {
+                rel,
+                class: def.left.class,
+                object,
+                links: lk.from_left(object).len(),
+            });
+        }
+        if def.right.multiplicity == Multiplicity::One && lk.max_right_fanout() > 1 {
+            let object = (0..lk.right_cardinality() as u32)
+                .map(ObjectId)
+                .find(|o| lk.from_right(*o).len() > 1)
+                .expect("fanout > 1 implies a witness");
+            return Err(StorageError::MultiplicityViolated {
+                rel,
+                class: def.right.class,
+                object,
+                links: lk.from_right(object).len(),
+            });
         }
     }
     Ok(())
 }
 
-fn compute_stats(
+/// One class's statistics from one extent scan — the unit both the
+/// from-scratch [`build_statistics`] and the per-class folding of
+/// [`Database::with_writes`] are built from, so the two can never drift.
+fn class_statistics(cdef: &ClassDef, extent: &Extent) -> ClassStats {
+    let attrs = (0..cdef.attributes.len())
+        .map(|ai| {
+            let mut counts: HashMap<&Value, u64> = HashMap::new();
+            let mut min: Option<&Value> = None;
+            let mut max: Option<&Value> = None;
+            for tuple in extent {
+                let v = &tuple[ai];
+                *counts.entry(v).or_insert(0) += 1;
+                min = Some(match min {
+                    None => v,
+                    Some(m) => {
+                        if v.compare(m) == Some(std::cmp::Ordering::Less) {
+                            v
+                        } else {
+                            m
+                        }
+                    }
+                });
+                max = Some(match max {
+                    None => v,
+                    Some(m) => {
+                        if v.compare(m) == Some(std::cmp::Ordering::Greater) {
+                            v
+                        } else {
+                            m
+                        }
+                    }
+                });
+            }
+            // Top-3 most common values, ties broken by rendering for
+            // determinism.
+            let mut mcvs: Vec<(Value, u64)> =
+                counts.iter().map(|(v, c)| ((*v).clone(), *c)).collect();
+            mcvs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string())));
+            mcvs.truncate(3);
+            AttrStats {
+                rows: extent.len() as u64,
+                distinct: counts.len() as u64,
+                min: min.cloned(),
+                max: max.cloned(),
+                mcvs,
+                histogram: Vec::new(),
+            }
+        })
+        .collect();
+    ClassStats { cardinality: extent.len() as u64, attrs }
+}
+
+/// One relationship's statistics — O(1) off the link table's counters.
+fn rel_statistics(lk: &RelLinks) -> RelStats {
+    RelStats {
+        links: lk.link_count(),
+        avg_left_fanout: if lk.left_cardinality() == 0 {
+            0.0
+        } else {
+            lk.link_count() as f64 / lk.left_cardinality() as f64
+        },
+        avg_right_fanout: if lk.right_cardinality() == 0 {
+            0.0
+        } else {
+            lk.link_count() as f64 / lk.right_cardinality() as f64
+        },
+    }
+}
+
+/// The from-scratch statistics build: every class, every relationship. The
+/// initial load uses it; incremental writes fold per-class deltas instead
+/// and fall back to it only through [`Database::rebuild_statistics`].
+fn build_statistics(
     catalog: &Catalog,
-    extents: &[Vec<Vec<Value>>],
-    links: &[RelLinks],
+    extents: &[Arc<Extent>],
+    links: &[Arc<RelLinks>],
 ) -> StatsSnapshot {
     let classes = catalog
         .classes()
-        .map(|(cid, cdef)| {
-            let extent = &extents[cid.index()];
-            let attrs = (0..cdef.attributes.len())
-                .map(|ai| {
-                    let mut counts: HashMap<&Value, u64> = HashMap::new();
-                    let mut min: Option<&Value> = None;
-                    let mut max: Option<&Value> = None;
-                    for tuple in extent {
-                        let v = &tuple[ai];
-                        *counts.entry(v).or_insert(0) += 1;
-                        min = Some(match min {
-                            None => v,
-                            Some(m) => {
-                                if v.compare(m) == Some(std::cmp::Ordering::Less) {
-                                    v
-                                } else {
-                                    m
-                                }
-                            }
-                        });
-                        max = Some(match max {
-                            None => v,
-                            Some(m) => {
-                                if v.compare(m) == Some(std::cmp::Ordering::Greater) {
-                                    v
-                                } else {
-                                    m
-                                }
-                            }
-                        });
-                    }
-                    // Top-3 most common values, ties broken by rendering for
-                    // determinism.
-                    let mut mcvs: Vec<(Value, u64)> =
-                        counts.iter().map(|(v, c)| ((*v).clone(), *c)).collect();
-                    mcvs.sort_by(|a, b| {
-                        b.1.cmp(&a.1).then_with(|| a.0.to_string().cmp(&b.0.to_string()))
-                    });
-                    mcvs.truncate(3);
-                    AttrStats {
-                        rows: extent.len() as u64,
-                        distinct: counts.len() as u64,
-                        min: min.cloned(),
-                        max: max.cloned(),
-                        mcvs,
-                        histogram: Vec::new(),
-                    }
-                })
-                .collect();
-            ClassStats { cardinality: extent.len() as u64, attrs }
-        })
+        .map(|(cid, cdef)| class_statistics(cdef, &extents[cid.index()]))
         .collect();
-    let relationships = links
-        .iter()
-        .map(|lk| RelStats {
-            links: lk.link_count(),
-            avg_left_fanout: if lk.left_cardinality() == 0 {
-                0.0
-            } else {
-                lk.link_count() as f64 / lk.left_cardinality() as f64
-            },
-            avg_right_fanout: if lk.right_cardinality() == 0 {
-                0.0
-            } else {
-                lk.link_count() as f64 / lk.right_cardinality() as f64
-            },
-        })
-        .collect();
+    let relationships = links.iter().map(|lk| rel_statistics(lk)).collect();
     StatsSnapshot { classes, relationships }
 }
 
@@ -823,7 +1256,7 @@ mod tests {
         let supplies = catalog.rel_id("supplies").unwrap();
         let collects = catalog.rel_id("collects").unwrap();
         // A third cargo: frozen food from SFI on the reefer (mirrors row 0).
-        let (next, inserted) = db
+        let (next, receipt) = db
             .with_writes(
                 &[DataWrite::Insert {
                     class: cargo,
@@ -833,7 +1266,9 @@ mod tests {
                 None,
             )
             .unwrap();
-        assert_eq!(inserted, vec![ObjectId(2)]);
+        assert_eq!(receipt.inserted, vec![ObjectId(2)]);
+        assert!(receipt.moves.is_empty());
+        assert_eq!(receipt.touched_classes, vec![cargo]);
         assert_eq!(next.data_version(), 1);
         assert_eq!(next.cardinality(cargo), 3);
         assert_eq!(db.cardinality(cargo), 2, "source snapshot untouched");
@@ -844,7 +1279,7 @@ mod tests {
             next.traverse(supplies, supplier, ObjectId(0)).unwrap(),
             &[ObjectId(0), ObjectId(2)]
         );
-        // Indexes rebuilt over the new extent.
+        // Indexes patched over the new extent.
         let cno = catalog.attr_ref("cargo", "code").unwrap();
         let ix = next.index(cno).expect("cargo.code is indexed");
         assert_eq!(ix.probe_eq(&Value::Int(102)), &[ObjectId(2)]);
@@ -854,16 +1289,49 @@ mod tests {
     }
 
     #[test]
+    fn untouched_shards_are_shared_by_pointer() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplier = catalog.class_id("supplier").unwrap();
+        let vehicle = catalog.class_id("vehicle").unwrap();
+        let belongs_to = catalog.rel_id("belongs_to").unwrap();
+        let (next, _) = db
+            .with_writes(
+                &[DataWrite::Insert {
+                    class: cargo,
+                    tuple: vec![Value::Int(102), Value::str("frozen food"), Value::Int(40)],
+                    links: vec![],
+                }],
+                None,
+            )
+            .unwrap();
+        // The touched class got its own extent/index shards…
+        assert!(!next.shares_extent_with(&db, cargo));
+        assert!(!Arc::ptr_eq(&next.indexes[cargo.index()], &db.indexes[cargo.index()]));
+        // …every other class is shared by pointer…
+        for c in [supplier, vehicle] {
+            assert!(next.shares_extent_with(&db, c), "{}", catalog.class_name(c));
+            assert!(Arc::ptr_eq(&next.indexes[c.index()], &db.indexes[c.index()]));
+        }
+        // …and relationships not incident to cargo keep their link tables.
+        assert!(Arc::ptr_eq(&next.links[belongs_to.index()], &db.links[belongs_to.index()]));
+        for rel in [catalog.rel_id("supplies").unwrap(), catalog.rel_id("collects").unwrap()] {
+            assert!(!Arc::ptr_eq(&next.links[rel.index()], &db.links[rel.index()]));
+        }
+    }
+
+    #[test]
     fn write_delete_renumbers_the_last_object() {
         let (catalog, db) = mini_db();
         let cargo = catalog.class_id("cargo").unwrap();
         let supplies = catalog.rel_id("supplies").unwrap();
         let desc = catalog.attr_ref("cargo", "desc").unwrap();
         // Delete cargo 0 (frozen food): cargo 1 (fresh fruit) takes id 0.
-        let (next, _) = db
+        let (next, receipt) = db
             .with_writes(&[DataWrite::Delete { class: cargo, object: ObjectId(0) }], None)
             .unwrap();
         assert_eq!(next.cardinality(cargo), 1);
+        assert_eq!(receipt.moves, vec![(cargo, ObjectId(1), ObjectId(0))]);
         assert_eq!(next.value(desc, ObjectId(0)).unwrap(), &Value::str("fresh fruit"));
         // The renumbered object's links followed it: fresh fruit ← NTUC (1).
         assert_eq!(next.traverse(supplies, cargo, ObjectId(0)).unwrap(), &[ObjectId(1)]);
@@ -876,6 +1344,76 @@ mod tests {
             assert!(ix.probe_eq(&Value::Int(100)).is_empty());
             assert_eq!(ix.probe_eq(&Value::Int(101)), &[ObjectId(0)]);
         }
+    }
+
+    #[test]
+    fn write_update_patches_tuple_index_and_stats_in_place() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let code = catalog.attr_ref("cargo", "code").unwrap();
+        let (next, receipt) = db
+            .with_writes(
+                &[DataWrite::Update {
+                    class: cargo,
+                    object: ObjectId(0),
+                    attr: code.attr,
+                    value: Value::Int(900),
+                }],
+                // Updates never touch links, so full integrity enforcement
+                // is safe even on this partially-linked mini instance.
+                Some(IntegrityOptions::default()),
+            )
+            .unwrap();
+        assert_eq!(receipt.touched_classes, vec![cargo]);
+        assert!(receipt.inserted.is_empty() && receipt.moves.is_empty());
+        assert_eq!(next.value(code, ObjectId(0)).unwrap(), &Value::Int(900));
+        assert_eq!(db.value(code, ObjectId(0)).unwrap(), &Value::Int(100), "source untouched");
+        // The object kept its id and links.
+        assert_eq!(next.traverse(supplies, cargo, ObjectId(0)).unwrap(), &[ObjectId(0)]);
+        // The index moved the entry…
+        let ix = next.index(code).expect("cargo.code is indexed");
+        assert!(ix.probe_eq(&Value::Int(100)).is_empty());
+        assert_eq!(ix.probe_eq(&Value::Int(900)), &[ObjectId(0)]);
+        // …and the class statistics see the new value distribution.
+        assert_eq!(next.stats().attr(code).unwrap().max, Some(Value::Int(900)));
+        // Validation: unknown attribute, wrong type, unknown object.
+        assert!(matches!(
+            db.with_writes(
+                &[DataWrite::Update {
+                    class: cargo,
+                    object: ObjectId(0),
+                    attr: AttrId(9),
+                    value: Value::Int(1),
+                }],
+                None,
+            ),
+            Err(StorageError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            db.with_writes(
+                &[DataWrite::Update {
+                    class: cargo,
+                    object: ObjectId(0),
+                    attr: code.attr,
+                    value: Value::str("nope"),
+                }],
+                None,
+            ),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.with_writes(
+                &[DataWrite::Update {
+                    class: cargo,
+                    object: ObjectId(7),
+                    attr: code.attr,
+                    value: Value::Int(1),
+                }],
+                None,
+            ),
+            Err(StorageError::UnknownObject { .. })
+        ));
     }
 
     #[test]
@@ -918,8 +1456,8 @@ mod tests {
         let supplies = catalog.rel_id("supplies").unwrap();
         let collects = catalog.rel_id("collects").unwrap();
         // Insert a third cargo (id 2), then delete cargo 0: the insert is
-        // swap-renumbered to id 0, and the returned vector must say so.
-        let (next, inserted) = db
+        // swap-renumbered to id 0, and the receipt must say so.
+        let (next, receipt) = db
             .with_writes(
                 &[
                     DataWrite::Insert {
@@ -932,9 +1470,10 @@ mod tests {
                 None,
             )
             .unwrap();
-        assert_eq!(inserted, vec![ObjectId(0)], "the insert's id followed the swap-remove");
+        assert_eq!(receipt.inserted, vec![ObjectId(0)], "the insert's id followed the swap-remove");
+        assert_eq!(receipt.moves, vec![(cargo, ObjectId(2), ObjectId(0))]);
         let desc = catalog.attr_ref("cargo", "desc").unwrap();
-        assert_eq!(next.value(desc, inserted[0]).unwrap(), &Value::str("canned soup"));
+        assert_eq!(next.value(desc, receipt.inserted[0]).unwrap(), &Value::str("canned soup"));
         assert_eq!(next.cardinality(cargo), 2);
     }
 
@@ -967,6 +1506,31 @@ mod tests {
             None,
         );
         assert!(matches!(err, Err(StorageError::UnknownObject { .. })));
+    }
+
+    #[test]
+    fn insert_link_target_colliding_with_the_fresh_oid_is_validated_against_the_right_class() {
+        // Regression: inserting on the *right* side of a relationship with a
+        // link target whose id numerically equals the fresh oid used to be
+        // validated against the wrong class (and then crashed link
+        // assembly). It must be a clean UnknownObject on the opposite class.
+        let (catalog, db) = mini_db();
+        let supplier = catalog.class_id("supplier").unwrap();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        // New supplier gets oid 2; cargo 2 does not exist.
+        let err = db.with_writes(
+            &[DataWrite::Insert {
+                class: supplier,
+                tuple: vec![Value::str("X"), Value::str("addr")],
+                links: vec![(supplies, ObjectId(2))],
+            }],
+            None,
+        );
+        assert_eq!(
+            err.err(),
+            Some(StorageError::UnknownObject { class: cargo, object: ObjectId(2) })
+        );
     }
 
     #[test]
@@ -1020,6 +1584,92 @@ mod tests {
             db.with_writes(&[DataWrite::Insert { class: cargo, tuple, links }], None).unwrap();
         for c in figure22(&catalog).unwrap() {
             assert!(next.check_constraint(&c).is_empty(), "{} violated after dup", c.name);
+        }
+    }
+
+    #[test]
+    fn incremental_write_matches_the_full_rebuild_oracle() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let vehicle = catalog.class_id("vehicle").unwrap();
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        let code = catalog.attr_ref("cargo", "code").unwrap();
+        // A batch exercising every write kind at once.
+        let batch = vec![
+            DataWrite::Insert {
+                class: cargo,
+                tuple: vec![Value::Int(102), Value::str("frozen food"), Value::Int(40)],
+                links: vec![(supplies, ObjectId(0)), (collects, ObjectId(0))],
+            },
+            DataWrite::Update {
+                class: cargo,
+                object: ObjectId(1),
+                attr: code.attr,
+                value: Value::Int(555),
+            },
+            DataWrite::Link { rel: collects, left: ObjectId(1), right: ObjectId(0) },
+            DataWrite::Delete { class: cargo, object: ObjectId(0) },
+            DataWrite::Unlink { rel: collects, left: ObjectId(1), right: ObjectId(0) },
+        ];
+        let (inc, r1) = db.with_writes(&batch, None).unwrap();
+        let (full, r2) = db.with_writes_full(&batch, None).unwrap();
+        assert_eq!(r1, r2, "receipts agree");
+        assert_eq!(inc.data_version(), full.data_version());
+        for (cid, _) in catalog.classes() {
+            assert_eq!(inc.cardinality(cid), full.cardinality(cid));
+            for o in 0..inc.cardinality(cid) as u32 {
+                assert_eq!(
+                    inc.tuple(cid, ObjectId(o)).unwrap(),
+                    full.tuple(cid, ObjectId(o)).unwrap()
+                );
+            }
+        }
+        for (rel, def) in catalog.relationships() {
+            for o in 0..inc.cardinality(def.left.class) as u32 {
+                assert_eq!(
+                    inc.traverse(rel, def.left.class, ObjectId(o)).unwrap(),
+                    full.traverse(rel, def.left.class, ObjectId(o)).unwrap(),
+                    "{} left {o}",
+                    catalog.rel_name(rel)
+                );
+            }
+        }
+        let ix_inc = inc.index(code).unwrap();
+        let ix_full = full.index(code).unwrap();
+        for v in [100, 101, 102, 555] {
+            assert_eq!(ix_inc.probe_eq(&Value::Int(v)), ix_full.probe_eq(&Value::Int(v)));
+        }
+        assert_eq!(inc.stats(), full.stats());
+        // Vehicle was never touched: its shard is shared with the source.
+        assert!(inc.shares_extent_with(&db, vehicle));
+    }
+
+    #[test]
+    fn folded_statistics_match_the_from_scratch_rebuild() {
+        let (catalog, db) = mini_db();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let mut current = db;
+        // A chain of writes; after each, the folded stats must equal a full
+        // rescan of the successor.
+        let batches = vec![
+            vec![DataWrite::Insert {
+                class: cargo,
+                tuple: vec![Value::Int(300), Value::str("frozen food"), Value::Int(12)],
+                links: vec![],
+            }],
+            vec![DataWrite::Update {
+                class: cargo,
+                object: ObjectId(0),
+                attr: catalog.attr_ref("cargo", "quantity").unwrap().attr,
+                value: Value::Int(99),
+            }],
+            vec![DataWrite::Delete { class: cargo, object: ObjectId(0) }],
+        ];
+        for batch in batches {
+            let (next, _) = current.with_writes(&batch, None).unwrap();
+            assert_eq!(next.stats(), &next.rebuild_statistics());
+            current = next;
         }
     }
 

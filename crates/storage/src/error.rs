@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use sqo_catalog::{CatalogError, ClassId, RelId};
+use sqo_catalog::{AttrId, CatalogError, ClassId, RelId};
 
 use crate::object::ObjectId;
 
@@ -25,6 +25,11 @@ pub enum StorageError {
     UnknownObject {
         class: ClassId,
         object: ObjectId,
+    },
+    /// An update targeted an attribute the class does not declare.
+    UnknownAttribute {
+        class: ClassId,
+        attr: AttrId,
     },
     /// A link references a class that is not an endpoint of the relationship.
     LinkClassMismatch {
@@ -63,6 +68,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::UnknownObject { class, object } => {
                 write!(f, "{class} has no object {object}")
+            }
+            StorageError::UnknownAttribute { class, attr } => {
+                write!(f, "{class} declares no attribute {attr}")
             }
             StorageError::LinkClassMismatch { rel } => {
                 write!(f, "link endpoints do not match {rel}")

@@ -72,6 +72,46 @@ impl AttrIndex {
         }
     }
 
+    /// Inserts `oid` into `value`'s posting at its sorted position, so
+    /// incrementally patched indexes keep the ascending-oid posting order a
+    /// from-scratch extent scan produces. (Plain [`AttrIndex::insert`] is the
+    /// bulk-load path: oids arrive ascending and append.)
+    pub fn insert_sorted(&mut self, value: Value, oid: ObjectId) {
+        let posting = match self {
+            AttrIndex::Hash(m) => m.entry(value).or_default(),
+            AttrIndex::BTree(m) => m.entry(OrdValue(value)).or_default(),
+        };
+        let at = posting.partition_point(|o| o.index() < oid.index());
+        posting.insert(at, oid);
+    }
+
+    /// Removes `oid` from `value`'s posting; empty postings drop their key
+    /// (so range probes of a patched index touch exactly the entries a
+    /// rebuilt index would). Returns `false` when the entry was absent.
+    pub fn remove(&mut self, value: &Value, oid: ObjectId) -> bool {
+        match self {
+            AttrIndex::Hash(m) => {
+                let Some(posting) = m.get_mut(value) else { return false };
+                let Some(at) = posting.iter().position(|&o| o == oid) else { return false };
+                posting.remove(at);
+                if posting.is_empty() {
+                    m.remove(value);
+                }
+                true
+            }
+            AttrIndex::BTree(m) => {
+                let key = OrdValue(value.clone());
+                let Some(posting) = m.get_mut(&key) else { return false };
+                let Some(at) = posting.iter().position(|&o| o == oid) else { return false };
+                posting.remove(at);
+                if posting.is_empty() {
+                    m.remove(&key);
+                }
+                true
+            }
+        }
+    }
+
     /// Equality probe; both index kinds support it.
     pub fn probe_eq(&self, value: &Value) -> &[ObjectId] {
         match self {
@@ -234,6 +274,26 @@ mod tests {
         };
         let res = ix.probe(&inverted).unwrap();
         assert!(res.oids.is_empty());
+    }
+
+    #[test]
+    fn patched_postings_match_a_rebuild() {
+        for kind in [IndexKind::Hash, IndexKind::BTree] {
+            let mut ix = loaded(kind); // values [5, 3, 7, 5, 9] at oids 0..5
+            assert!(ix.remove(&Value::Int(5), ObjectId(0)));
+            ix.insert_sorted(Value::Int(5), ObjectId(1));
+            assert_eq!(ix.probe_eq(&Value::Int(5)), &[ObjectId(1), ObjectId(3)]);
+            // Removing the last entry drops the key entirely.
+            assert!(ix.remove(&Value::Int(3), ObjectId(1)));
+            assert!(ix.probe_eq(&Value::Int(3)).is_empty());
+            assert!(!ix.remove(&Value::Int(3), ObjectId(1)), "already gone");
+            assert!(!ix.remove(&Value::Int(42), ObjectId(0)), "unknown value");
+            if kind == IndexKind::BTree {
+                // The dropped key must not be touched by range probes.
+                let res = ix.probe(&ValueSet::at_least(Value::Int(0))).unwrap();
+                assert_eq!(res.oids.len(), 4);
+            }
+        }
     }
 
     #[test]

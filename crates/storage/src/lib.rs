@@ -13,10 +13,21 @@
 //! * **cost accounting**: raw operation counters, a page-I/O model and
 //!   scalar work units, so "execution cost" is deterministic and
 //!   machine-independent;
-//! * a **write path** ([`VersionedDatabase`]): copy-on-write snapshot
-//!   mutation behind a versioned handle with a monotone **data epoch**,
-//!   distinct from the constraint epoch, so serving layers can keep plans
-//!   across data writes while re-gating memoized results;
+//! * an **incremental write path** ([`VersionedDatabase`]): copy-on-write
+//!   snapshot mutation behind a versioned handle with a monotone **data
+//!   epoch**, distinct from the constraint epoch, so serving layers can
+//!   keep plans across data writes while re-gating memoized results.
+//!   Snapshot state is `Arc`-sharded per class and per relationship; a
+//!   write batch clones and patches only the shards it touches (extents,
+//!   index banks, link tables) and folds per-class statistics deltas into
+//!   the previous snapshot, so a batch costs O(touched classes + their
+//!   incident links) instead of O(database). [`Database::with_writes_full`]
+//!   keeps the rebuild-everything algorithm as the equivalence oracle, and
+//!   [`DataWrite::Update`] mutates attributes in place without paying
+//!   delete + re-insert renumbering. Every batch returns a
+//!   [`WriteReceipt`] naming inserted ids and swap-remove renumberings.
+//!   See `db.rs`'s module docs for the sharing/patching model and its
+//!   aliasing guarantees;
 //! * **semantic-constraint checking** against the data, used by generators
 //!   and property tests to certify that instances satisfy the constraint set
 //!   the optimizer will trust.
@@ -33,7 +44,7 @@ mod object;
 mod versioned;
 
 pub use cost::{CostCounters, CostWeights, PageModel};
-pub use db::{DataWrite, Database, DatabaseBuilder, IntegrityOptions, Violation};
+pub use db::{DataWrite, Database, DatabaseBuilder, IntegrityOptions, Violation, WriteReceipt};
 pub use error::StorageError;
 pub use index::{AttrIndex, IndexScanResult, OrdValue};
 pub use links::{RelLinks, Side, Traversal};

@@ -3,6 +3,24 @@
 //! The paper's OODB implements relationships as pointer attributes; we store
 //! them as bidirectional adjacency lists per relationship, which gives the
 //! executor O(1) pointer-chasing in either direction.
+//!
+//! # Canonical adjacency order
+//!
+//! Every snapshot assembled by `sqo-storage` keeps its adjacency lists in
+//! **canonical order**, a pure function of the logical edge population (never
+//! of the write history that produced it):
+//!
+//! * `left → right` lists keep per-left *insertion order* (edge age);
+//! * `right → left` lists are stably sorted by left id, duplicates adjacent
+//!   in per-left insertion order.
+//!
+//! [`RelLinks::canonicalize`] establishes the invariant after a bulk build;
+//! the incremental patch operations ([`RelLinks::add_sorted`],
+//! [`RelLinks::remove_edge`], [`RelLinks::delete_left`],
+//! [`RelLinks::delete_right`]) maintain it edge by edge. Because the order is
+//! canonical, a copy-on-write successor patched in place is **bit-for-bit
+//! identical** to a from-scratch rebuild of the same logical state — the
+//! property `crates/storage/tests/prop_incremental.rs` enforces.
 
 use sqo_catalog::RelId;
 
@@ -81,13 +99,134 @@ impl RelLinks {
         self.right_to_left.iter().map(|v| v.len()).max().unwrap_or(0)
     }
 
-    /// Every `(left, right)` pair, grouped by left object. The write path
-    /// reconstructs a mutated link population from this flat form.
+    /// Every `(left, right)` pair, grouped by left object. The from-scratch
+    /// write path ([`crate::Database::with_writes_full`]) reconstructs a
+    /// mutated link population from this flat form.
     pub fn pairs(&self) -> impl Iterator<Item = (ObjectId, ObjectId)> + '_ {
         self.left_to_right
             .iter()
             .enumerate()
             .flat_map(|(l, rs)| rs.iter().map(move |&r| (ObjectId(l as u32), r)))
+    }
+
+    /// Establishes the canonical adjacency order (see module docs) after a
+    /// bulk [`RelLinks::add`] build: right lists stably sorted by left id.
+    pub(crate) fn canonicalize(&mut self) {
+        for list in &mut self.right_to_left {
+            list.sort_by_key(|o| o.index()); // stable: per-left order survives
+        }
+    }
+
+    /// Extends the left side by one (unlinked) object slot.
+    pub(crate) fn grow_left(&mut self) {
+        self.left_to_right.push(Vec::new());
+    }
+
+    /// Extends the right side by one (unlinked) object slot.
+    pub(crate) fn grow_right(&mut self) {
+        self.right_to_left.push(Vec::new());
+    }
+
+    /// Adds one edge maintaining the canonical order: the right list gets a
+    /// per-left append, the left entry lands at its sorted position (stably
+    /// after existing duplicates).
+    pub(crate) fn add_sorted(&mut self, left: ObjectId, right: ObjectId) {
+        self.left_to_right[left.index()].push(right);
+        let list = &mut self.right_to_left[right.index()];
+        let at = list.partition_point(|o| o.index() <= left.index());
+        list.insert(at, left);
+        self.links += 1;
+    }
+
+    /// Removes one `(left, right)` edge — the oldest in per-left order when
+    /// the edge is duplicated. Returns `false` (and changes nothing) when no
+    /// such edge exists.
+    pub(crate) fn remove_edge(&mut self, left: ObjectId, right: ObjectId) -> bool {
+        if left.index() >= self.left_to_right.len() || right.index() >= self.right_to_left.len() {
+            return false;
+        }
+        let Some(at) = self.left_to_right[left.index()].iter().position(|&o| o == right) else {
+            return false;
+        };
+        self.left_to_right[left.index()].remove(at);
+        let list = &mut self.right_to_left[right.index()];
+        let at = list.iter().position(|&o| o == left).expect("bidirectional invariant");
+        list.remove(at);
+        self.links -= 1;
+        true
+    }
+
+    /// Removes every edge of left object `object` and swap-renumbers the left
+    /// side's last object onto its id, preserving the canonical order: the
+    /// moved object's right-list keeps its per-left order wholesale, and its
+    /// entries in the (sorted) right→left lists are re-keyed from the old id
+    /// to `object`'s. `object` must be in range; not for self-relationships
+    /// (left and right sides would fall out of step — delete those via a
+    /// per-relationship rebuild instead).
+    pub(crate) fn delete_left(&mut self, object: ObjectId) {
+        let gone = std::mem::take(&mut self.left_to_right[object.index()]);
+        for &r in &gone {
+            let list = &mut self.right_to_left[r.index()];
+            let at = list.iter().position(|&o| o == object).expect("bidirectional invariant");
+            list.remove(at);
+            self.links -= 1;
+        }
+        let last = ObjectId((self.left_to_right.len() - 1) as u32);
+        self.left_to_right.swap_remove(object.index());
+        if object == last {
+            return;
+        }
+        let moved = self.left_to_right[object.index()].clone();
+        let mut seen: Vec<ObjectId> = Vec::new();
+        for r in moved {
+            if seen.contains(&r) {
+                continue; // duplicated edges: re-key the whole run once
+            }
+            seen.push(r);
+            let list = &mut self.right_to_left[r.index()];
+            let start = list.partition_point(|o| o.index() < last.index());
+            let mut end = start;
+            while end < list.len() && list[end] == last {
+                end += 1;
+            }
+            let count = end - start;
+            debug_assert!(count > 0, "moved object's edges must be present");
+            list.drain(start..end);
+            let at = list.partition_point(|o| o.index() <= object.index());
+            for k in 0..count {
+                list.insert(at + k, object);
+            }
+        }
+    }
+
+    /// Mirror of [`RelLinks::delete_left`] for the right side. Left lists are
+    /// per-left ordered, so the moved object's entries are re-keyed in place.
+    pub(crate) fn delete_right(&mut self, object: ObjectId) {
+        let gone = std::mem::take(&mut self.right_to_left[object.index()]);
+        for &l in &gone {
+            let list = &mut self.left_to_right[l.index()];
+            let at = list.iter().position(|&o| o == object).expect("bidirectional invariant");
+            list.remove(at);
+            self.links -= 1;
+        }
+        let last = ObjectId((self.right_to_left.len() - 1) as u32);
+        self.right_to_left.swap_remove(object.index());
+        if object == last {
+            return;
+        }
+        let moved = self.right_to_left[object.index()].clone();
+        let mut seen: Vec<ObjectId> = Vec::new();
+        for l in moved {
+            if seen.contains(&l) {
+                continue;
+            }
+            seen.push(l);
+            for o in self.left_to_right[l.index()].iter_mut() {
+                if *o == last {
+                    *o = object;
+                }
+            }
+        }
     }
 }
 
@@ -153,5 +292,73 @@ mod tests {
     fn side_opposite() {
         assert_eq!(Side::Left.opposite(), Side::Right);
         assert_eq!(Side::Right.opposite(), Side::Left);
+    }
+
+    #[test]
+    fn canonicalize_sorts_right_lists_stably() {
+        let mut l = RelLinks::new(3, 1);
+        l.add(ObjectId(2), ObjectId(0));
+        l.add(ObjectId(0), ObjectId(0));
+        l.add(ObjectId(2), ObjectId(0)); // duplicate edge
+        l.canonicalize();
+        assert_eq!(l.from_right(ObjectId(0)), &[ObjectId(0), ObjectId(2), ObjectId(2)]);
+        // Left lists keep insertion order.
+        assert_eq!(l.from_left(ObjectId(2)), &[ObjectId(0), ObjectId(0)]);
+    }
+
+    #[test]
+    fn add_sorted_maintains_the_canonical_order() {
+        let mut l = RelLinks::new(3, 1);
+        l.add(ObjectId(0), ObjectId(0));
+        l.add(ObjectId(2), ObjectId(0));
+        l.canonicalize();
+        l.add_sorted(ObjectId(1), ObjectId(0));
+        assert_eq!(l.from_right(ObjectId(0)), &[ObjectId(0), ObjectId(1), ObjectId(2)]);
+        assert_eq!(l.link_count(), 3);
+    }
+
+    #[test]
+    fn remove_edge_takes_the_oldest_duplicate_and_reports_missing() {
+        let mut l = RelLinks::new(2, 2);
+        l.add_sorted(ObjectId(0), ObjectId(1));
+        l.add_sorted(ObjectId(0), ObjectId(1));
+        assert!(l.remove_edge(ObjectId(0), ObjectId(1)));
+        assert_eq!(l.from_left(ObjectId(0)), &[ObjectId(1)]);
+        assert_eq!(l.link_count(), 1);
+        assert!(!l.remove_edge(ObjectId(1), ObjectId(0)));
+        assert!(!l.remove_edge(ObjectId(7), ObjectId(0)), "out of range is not-found, not a panic");
+    }
+
+    #[test]
+    fn delete_left_renumbers_and_keeps_sorted_right_lists() {
+        let mut l = RelLinks::new(3, 2);
+        l.add(ObjectId(0), ObjectId(0));
+        l.add(ObjectId(1), ObjectId(0));
+        l.add(ObjectId(2), ObjectId(0));
+        l.add(ObjectId(2), ObjectId(1));
+        l.canonicalize();
+        // Delete left object 0: object 2 takes its id, edges follow.
+        l.delete_left(ObjectId(0));
+        assert_eq!(l.left_cardinality(), 2);
+        assert_eq!(l.from_left(ObjectId(0)), &[ObjectId(0), ObjectId(1)]);
+        assert_eq!(l.from_right(ObjectId(0)), &[ObjectId(0), ObjectId(1)]);
+        assert_eq!(l.from_right(ObjectId(1)), &[ObjectId(0)]);
+        assert_eq!(l.link_count(), 3);
+    }
+
+    #[test]
+    fn delete_right_renumbers_left_lists_in_place() {
+        let mut l = RelLinks::new(2, 3);
+        l.add(ObjectId(0), ObjectId(0));
+        l.add(ObjectId(0), ObjectId(2));
+        l.add(ObjectId(1), ObjectId(1));
+        l.canonicalize();
+        // Delete right object 0: right object 2 takes its id.
+        l.delete_right(ObjectId(0));
+        assert_eq!(l.right_cardinality(), 2);
+        assert_eq!(l.from_left(ObjectId(0)), &[ObjectId(0)]);
+        assert_eq!(l.from_right(ObjectId(0)), &[ObjectId(0)]);
+        assert_eq!(l.from_right(ObjectId(1)), &[ObjectId(1)]);
+        assert_eq!(l.link_count(), 2);
     }
 }

@@ -20,9 +20,8 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use crate::db::{DataWrite, Database, IntegrityOptions};
+use crate::db::{DataWrite, Database, IntegrityOptions, WriteReceipt};
 use crate::error::StorageError;
-use crate::object::ObjectId;
 
 /// What one committed write batch produced.
 #[derive(Debug, Clone)]
@@ -32,8 +31,9 @@ pub struct WriteOutcome {
     /// The snapshot materializing that epoch (readers arriving later may
     /// already observe a newer one).
     pub snapshot: Arc<Database>,
-    /// [`ObjectId`]s assigned to the batch's `Insert` writes, in order.
-    pub inserted: Vec<ObjectId>,
+    /// Inserted ids, swap-remove renumberings and touched classes of the
+    /// batch (see [`WriteReceipt`]).
+    pub receipt: WriteReceipt,
 }
 
 /// A mutable database: immutable snapshots behind a versioned swap.
@@ -94,18 +94,19 @@ impl VersionedDatabase {
     pub fn write(&self, writes: &[DataWrite]) -> Result<WriteOutcome, StorageError> {
         let _writing = self.writer.lock();
         let base = self.snapshot();
-        let (db, inserted) = base.with_writes(writes, self.integrity)?;
+        let (db, receipt) = base.with_writes(writes, self.integrity)?;
         let epoch = db.data_version();
         let snapshot = Arc::new(db);
         *self.current.write() = Arc::clone(&snapshot);
         self.data_epoch.store(epoch, Ordering::Release);
-        Ok(WriteOutcome { epoch, snapshot, inserted })
+        Ok(WriteOutcome { epoch, snapshot, receipt })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::object::ObjectId;
     use sqo_catalog::{example::figure21, Value};
 
     fn handle() -> (Arc<sqo_catalog::Catalog>, VersionedDatabase) {
@@ -136,7 +137,7 @@ mod tests {
             }])
             .unwrap();
         assert_eq!(out.epoch, 1);
-        assert_eq!(out.inserted, vec![ObjectId(1)]);
+        assert_eq!(out.receipt.inserted, vec![ObjectId(1)]);
         assert_eq!(handle.data_epoch(), 1);
         assert_eq!(handle.snapshot().data_version(), 1);
         assert_eq!(handle.snapshot().cardinality(supplier), 2);

@@ -1,0 +1,275 @@
+//! Incremental rebuild ≡ full rebuild: for arbitrary write batches over
+//! arbitrary mini-databases, the `Arc`-sharded clone-and-patch successor of
+//! [`Database::with_writes`] must be indistinguishable from the from-scratch
+//! [`Database::with_writes_full`] oracle on **every** read API — extents,
+//! link traversals in both directions (exact order, thanks to the canonical
+//! adjacency invariant), index probes (hash and B-tree, including probe
+//! counts), statistics, receipts, the data epoch — and both paths must
+//! accept/reject identically, error for error. Covered write shapes:
+//! inserts (with possibly-dangling links), deletes (with swap-remove
+//! renumbering, including on a self-relationship), links/unlinks and
+//! in-place attribute updates, chained across multiple batches so patched
+//! snapshots are themselves patched again.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use sqo_catalog::{
+    AttrId, AttributeDef, Catalog, ClassId, DataType, IndexKind, Multiplicity, RelId,
+    RelationshipEnd, Value,
+};
+use sqo_query::{Bound, ValueSet};
+use sqo_storage::{DataWrite, Database, IntegrityOptions, ObjectId, StorageError};
+
+const CLASSES: usize = 3;
+const ATTRS: usize = 3;
+const RELS: usize = 3;
+
+/// Three int-attribute classes (one hash-indexed, one B-tree-indexed, one
+/// plain attribute each), a many-many relationship, a to-one relationship
+/// and a self-relationship — every structural case the write path handles.
+fn catalog() -> Arc<Catalog> {
+    let mut b = Catalog::builder();
+    let mut ids = Vec::new();
+    for c in 0..CLASSES {
+        ids.push(
+            b.class(
+                format!("c{c}"),
+                vec![
+                    AttributeDef::indexed("a0", DataType::Int, IndexKind::Hash),
+                    AttributeDef::indexed("a1", DataType::Int, IndexKind::BTree),
+                    AttributeDef::new("a2", DataType::Int),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    b.relationship(
+        "r0",
+        RelationshipEnd::new(ids[0], Multiplicity::Many, false),
+        RelationshipEnd::new(ids[1], Multiplicity::Many, false),
+    )
+    .unwrap();
+    b.relationship(
+        "r1",
+        RelationshipEnd::new(ids[1], Multiplicity::One, false),
+        RelationshipEnd::new(ids[2], Multiplicity::Many, false),
+    )
+    .unwrap();
+    b.relationship(
+        "r2",
+        RelationshipEnd::new(ids[2], Multiplicity::Many, false),
+        RelationshipEnd::new(ids[2], Multiplicity::Many, false),
+    )
+    .unwrap();
+    Arc::new(b.build().unwrap())
+}
+
+#[derive(Debug, Clone)]
+enum RawWrite {
+    Insert { class: usize, vals: (i64, i64, i64), links: Vec<(usize, u32)> },
+    Delete { class: usize, oid: u32 },
+    Update { class: usize, oid: u32, attr: u32, val: i64 },
+    Link { rel: usize, l: u32, r: u32 },
+    Unlink { rel: usize, l: u32, r: u32 },
+}
+
+fn raw_write() -> impl Strategy<Value = RawWrite> {
+    let val = -2i64..4;
+    prop_oneof![
+        (
+            0..CLASSES,
+            (val.clone(), val.clone(), val.clone()),
+            prop::collection::vec((0..RELS, 0u32..10), 0..3)
+        )
+            .prop_map(|(class, vals, links)| RawWrite::Insert { class, vals, links }),
+        (0..CLASSES, 0u32..12).prop_map(|(class, oid)| RawWrite::Delete { class, oid }),
+        (0..CLASSES, 0u32..12, 0u32..4, val.clone())
+            .prop_map(|(class, oid, attr, val)| RawWrite::Update { class, oid, attr, val }),
+        (0..RELS, 0u32..12, 0u32..12).prop_map(|(rel, l, r)| RawWrite::Link { rel, l, r }),
+        (0..RELS, 0u32..12, 0u32..12).prop_map(|(rel, l, r)| RawWrite::Unlink { rel, l, r }),
+    ]
+}
+
+/// Builds the base instance: arbitrary tuples per class, arbitrary (valid)
+/// links. Integrity is off — any link shape is a legal starting state.
+fn build_base(
+    catalog: &Arc<Catalog>,
+    tuples: &[Vec<(i64, i64, i64)>],
+    links: &[(usize, u32, u32)],
+) -> Database {
+    let mut b = Database::builder(Arc::clone(catalog));
+    for (c, rows) in tuples.iter().enumerate() {
+        for &(a0, a1, a2) in rows {
+            b.insert(ClassId(c as u32), vec![Value::Int(a0), Value::Int(a1), Value::Int(a2)])
+                .unwrap();
+        }
+    }
+    for &(rel, l, r) in links {
+        let rel = RelId((rel % RELS) as u32);
+        let def = catalog.relationship(rel).unwrap();
+        let lcard = tuples[def.left.class.index()].len();
+        let rcard = tuples[def.right.class.index()].len();
+        if lcard == 0 || rcard == 0 {
+            continue;
+        }
+        b.link(rel, ObjectId(l % lcard as u32), ObjectId(r % rcard as u32)).unwrap();
+    }
+    b.finalize(IntegrityOptions { enforce_total_participation: false, enforce_multiplicity: false })
+        .unwrap()
+}
+
+fn materialize(raw: &RawWrite) -> DataWrite {
+    match raw {
+        RawWrite::Insert { class, vals, links } => DataWrite::Insert {
+            class: ClassId(*class as u32),
+            tuple: vec![Value::Int(vals.0), Value::Int(vals.1), Value::Int(vals.2)],
+            links: links.iter().map(|&(rel, o)| (RelId(rel as u32), ObjectId(o))).collect(),
+        },
+        RawWrite::Delete { class, oid } => {
+            DataWrite::Delete { class: ClassId(*class as u32), object: ObjectId(*oid) }
+        }
+        RawWrite::Update { class, oid, attr, val } => DataWrite::Update {
+            class: ClassId(*class as u32),
+            object: ObjectId(*oid),
+            attr: AttrId(*attr),
+            value: Value::Int(*val),
+        },
+        RawWrite::Link { rel, l, r } => {
+            DataWrite::Link { rel: RelId(*rel as u32), left: ObjectId(*l), right: ObjectId(*r) }
+        }
+        RawWrite::Unlink { rel, l, r } => {
+            DataWrite::Unlink { rel: RelId(*rel as u32), left: ObjectId(*l), right: ObjectId(*r) }
+        }
+    }
+}
+
+/// Every read API must agree, exactly.
+fn assert_equivalent(catalog: &Catalog, inc: &Database, full: &Database) {
+    assert_eq!(inc.data_version(), full.data_version());
+    for (cid, cdef) in catalog.classes() {
+        assert_eq!(inc.cardinality(cid), full.cardinality(cid), "{}", cdef.name);
+        for o in 0..inc.cardinality(cid) as u32 {
+            assert_eq!(
+                inc.tuple(cid, ObjectId(o)).unwrap(),
+                full.tuple(cid, ObjectId(o)).unwrap(),
+                "{} object {o}",
+                cdef.name
+            );
+        }
+        for ai in 0..ATTRS as u32 {
+            let attr = sqo_catalog::AttrRef::new(cid, AttrId(ai));
+            let (Some(ix_inc), Some(ix_full)) = (inc.index(attr), full.index(attr)) else {
+                assert_eq!(inc.index(attr).is_some(), full.index(attr).is_some());
+                continue;
+            };
+            assert_eq!(ix_inc.len(), ix_full.len());
+            for v in -3i64..6 {
+                assert_eq!(
+                    ix_inc.probe_eq(&Value::Int(v)),
+                    ix_full.probe_eq(&Value::Int(v)),
+                    "{}.a{ai} = {v}",
+                    cdef.name
+                );
+            }
+            // Range probes must touch identical entries (oids *and* probe
+            // counts — a patched B-tree may not keep empty posting keys).
+            for lo in [-3i64, 0, 2] {
+                let set =
+                    ValueSet::Range { lo: Bound::Included(Value::Int(lo)), hi: Bound::Unbounded };
+                match (ix_inc.probe(&set), ix_full.probe(&set)) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.oids, b.oids, "{}.a{ai} >= {lo}", cdef.name);
+                        assert_eq!(a.probes, b.probes, "{}.a{ai} >= {lo}", cdef.name);
+                    }
+                    (a, b) => assert_eq!(a.is_some(), b.is_some()),
+                }
+            }
+        }
+    }
+    for (rel, def) in catalog.relationships() {
+        assert_eq!(inc.links(rel).link_count(), full.links(rel).link_count());
+        for o in 0..inc.cardinality(def.left.class) as u32 {
+            assert_eq!(
+                inc.traverse(rel, def.left.class, ObjectId(o)).unwrap(),
+                full.traverse(rel, def.left.class, ObjectId(o)).unwrap(),
+                "{} from left {o}",
+                def.name
+            );
+        }
+        // `traverse` resolves self-relationships to the left side; compare
+        // the right side through the link table directly.
+        for o in 0..inc.cardinality(def.right.class) as u32 {
+            assert_eq!(
+                inc.links(rel).from_right(ObjectId(o)),
+                full.links(rel).from_right(ObjectId(o)),
+                "{} from right {o}",
+                def.name
+            );
+        }
+    }
+    assert_eq!(inc.stats(), full.stats(), "statistics snapshots diverged");
+    assert_eq!(inc.stats(), &inc.rebuild_statistics(), "folded stats != from-scratch rescan");
+}
+
+proptest! {
+    #[test]
+    fn incremental_equals_full_rebuild(
+        tuples in prop::collection::vec(
+            prop::collection::vec((-2i64..4, -2i64..4, -2i64..4), 0..7), CLASSES..(CLASSES + 1)),
+        base_links in prop::collection::vec((0..RELS, 0u32..16, 0u32..16), 0..12),
+        batches in prop::collection::vec(prop::collection::vec(raw_write(), 0..6), 1..4),
+        enforce in 0u32..2,
+    ) {
+        let catalog = catalog();
+        let base = build_base(&catalog, &tuples, &base_links);
+        let integrity = (enforce == 1).then_some(IntegrityOptions {
+            enforce_total_participation: false, // never declared by the schema
+            enforce_multiplicity: true,         // r1's to-one end can trip
+        });
+        let mut inc = base;
+        // An independently evolved full-rebuild twin: identical logical
+        // state, produced only by `with_writes_full`.
+        let mut full = build_base(&catalog, &tuples, &base_links);
+        for batch in &batches {
+            let writes: Vec<DataWrite> = batch.iter().map(materialize).collect();
+            let a = inc.with_writes(&writes, integrity);
+            let b = full.with_writes_full(&writes, integrity);
+            match (a, b) {
+                (Ok((ndb, ra)), Ok((fdb, rb))) => {
+                    assert_eq!(ra, rb, "receipts diverged for {writes:?}");
+                    assert_equivalent(&catalog, &ndb, &fdb);
+                    inc = ndb;
+                    full = fdb;
+                }
+                (Err(ea), Err(eb)) => {
+                    assert_eq!(ea, eb, "error values diverged for {writes:?}");
+                    // Atomicity: both bases must be untouched and still agree.
+                    assert_equivalent(&catalog, &inc, &full);
+                }
+                (a, b) => panic!(
+                    "accept/reject diverged for {writes:?}: incremental {a:?} vs full {b:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// Both write paths must reject an undeclared-integrity violation the same
+/// way: a second `r1` edge for one `c1` object trips the to-one end.
+#[test]
+fn scoped_integrity_rejects_identically() {
+    let catalog = catalog();
+    let base =
+        build_base(&catalog, &[vec![], vec![(0, 0, 0)], vec![(1, 1, 1), (2, 2, 2)]], &[(1, 0, 0)]);
+    let batch = vec![DataWrite::Link { rel: RelId(1), left: ObjectId(0), right: ObjectId(1) }];
+    let options =
+        IntegrityOptions { enforce_total_participation: false, enforce_multiplicity: true };
+    let a = base.with_writes(&batch, Some(options));
+    let b = base.with_writes_full(&batch, Some(options));
+    assert!(matches!(a, Err(StorageError::MultiplicityViolated { .. })), "{a:?}");
+    match (a, b) {
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+        other => panic!("paths diverged: {other:?}"),
+    }
+}

@@ -40,8 +40,8 @@ pub use constraint_gen::{
 pub use data_gen::{generate_database, table41_configs, DataGenConfig};
 pub use figure21_data::{logistics_database, LogisticsConfig};
 pub use mixed::{
-    copyable_rels, dup_safe_classes, mixed_workload, MixedApplier, MixedOp, MixedWorkload,
-    MixedWorkloadConfig, WriteKind,
+    copyable_rels, dup_insert, dup_safe_classes, mixed_workload, MixedApplier, MixedOp,
+    MixedWorkload, MixedWorkloadConfig, WriteKind,
 };
 pub use path_enum::{enumerate_directed_paths, enumerate_paths, SchemaPath};
 pub use query_gen::{generate_query, paper_query_set, QueryGenConfig};

@@ -15,20 +15,25 @@
 //!   duplicate lacks are vacuous), so constraints that held keep holding;
 //!   copying exactly the `Many`-opposite edges also preserves the to-one
 //!   and total-participation declarations (see [`dup_safe_classes`]).
-//! * **Delete-newest** — remove the most recently inserted duplicate of a
-//!   class (LIFO). Duplicates only ever *added* edges, so removing one
-//!   restores a previously valid state; LIFO deletion always removes the
-//!   extent's last object, so no live [`ObjectId`] is ever renumbered.
+//! * **Delete-duplicate** — remove *any* live duplicate of a class (the
+//!   stream picks one pseudo-randomly). Duplicates only ever *added* edges,
+//!   so removing one restores a previously valid state. Deleting a
+//!   non-newest duplicate swap-renumbers the extent's last object — always
+//!   itself a duplicate while any duplicate is live, so the base rows that
+//!   `source_rank` indexes are never renumbered — and the applier re-maps
+//!   its tracked ids from the batch's
+//!   [`WriteReceipt`](sqo_storage::WriteReceipt) instead of relying on a
+//!   LIFO-only convention.
 //!
 //! The [`MixedApplier`] resolves these logical writes into concrete
-//! [`DataWrite`] batches against the current snapshot and tracks the
-//! inserted-duplicate stacks.
+//! [`DataWrite`] batches against the current snapshot and tracks the live
+//! duplicates per class.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqo_catalog::{Catalog, ClassId, Multiplicity, RelId};
 use sqo_query::Query;
-use sqo_storage::{DataWrite, Database, ObjectId};
+use sqo_storage::{DataWrite, Database, ObjectId, WriteReceipt};
 
 use crate::service_workload::{respell, service_workload, ServiceWorkloadConfig, Zipf};
 
@@ -38,11 +43,12 @@ use crate::service_workload::{respell, service_workload, ServiceWorkloadConfig, 
 pub enum WriteKind {
     /// Duplicate (tuple + safe links) the instance of `class` at
     /// `source_rank % original cardinality`. Ranks index the *original*
-    /// population, which LIFO deletion never renumbers.
+    /// population, which duplicate-only deletion never renumbers.
     InsertDup { class: ClassId, source_rank: u32 },
-    /// Delete the most recently inserted duplicate of `class`; falls back
-    /// to an insert when none is live.
-    DeleteNewest { class: ClassId },
+    /// Delete the live duplicate of `class` at position `pick % live
+    /// count` — any duplicate, not just the newest; falls back to an insert
+    /// when none is live.
+    DeleteDup { class: ClassId, pick: u32 },
 }
 
 /// One request of a mixed read/write stream.
@@ -153,6 +159,27 @@ pub fn copyable_rels(catalog: &Catalog, class: ClassId) -> Vec<RelId> {
         .collect()
 }
 
+/// The constraint- and integrity-preserving duplicate insert: clones the
+/// tuple of `class`'s instance at `source_rank % cardinality` together with
+/// exactly the edges of `rels` — normally [`copyable_rels`]`(catalog,
+/// class)`, the shape [`dup_safe_classes`] proves safe. Single source of
+/// truth for every driver that fabricates safe writes ([`MixedApplier`],
+/// the E12 experiment, `benches/writepath.rs`).
+pub fn dup_insert(db: &Database, class: ClassId, source_rank: u32, rels: &[RelId]) -> DataWrite {
+    let source = ObjectId(source_rank % db.cardinality(class).max(1) as u32);
+    let tuple = db.tuple(class, source).expect("source rank in range").to_vec();
+    let links: Vec<(RelId, ObjectId)> = rels
+        .iter()
+        .flat_map(|&rel| {
+            db.traverse(rel, class, source)
+                .expect("copyable rel touches class")
+                .iter()
+                .map(move |&other| (rel, other))
+        })
+        .collect();
+    DataWrite::Insert { class, tuple, links }
+}
+
 /// Builds a mixed stream: reads follow the same Zipf-over-distinct-queries
 /// law as [`service_workload`]; a `write_ratio` fraction of slots become
 /// writes over the catalog's [`dup_safe_classes`], themselves Zipf-skewed
@@ -186,7 +213,7 @@ pub fn mixed_workload(
         if is_write {
             let class = writable[class_zipf.sample(&mut rng)];
             let kind = if rng.gen_range(0.0..1.0) < config.delete_fraction {
-                WriteKind::DeleteNewest { class }
+                WriteKind::DeleteDup { class, pick: rng.gen_range(0..u32::MAX) }
             } else {
                 WriteKind::InsertDup { class, source_rank: rng.gen_range(0..u32::MAX) }
             };
@@ -203,18 +230,25 @@ pub fn mixed_workload(
 }
 
 /// Resolves [`WriteKind`]s into concrete [`DataWrite`] batches and tracks
-/// the per-class stacks of inserted duplicates.
+/// the live duplicates per class.
+///
+/// Deletion is **not** restricted to the newest duplicate: the applier
+/// consumes each committed batch's [`WriteReceipt`] and re-maps every
+/// tracked id through the reported swap-remove moves, so any live duplicate
+/// may be deleted at any time.
 ///
 /// Concurrent drivers must serialize `resolve` + submit + `confirm` (e.g.
 /// behind one mutex): resolution reads the snapshot the batch will apply
-/// to, and the stacks must observe commits in order.
+/// to, and the live sets must observe commits in order.
 #[derive(Debug)]
 pub struct MixedApplier {
     /// Original per-class cardinalities; ranks index into these rows, which
-    /// LIFO deletion never renumbers.
+    /// duplicate-only deletion never renumbers (the renumbered last object
+    /// is always itself a duplicate while any duplicate is live).
     base_cards: Vec<usize>,
     copy_rels: Vec<Vec<RelId>>,
-    inserted: Vec<Vec<ObjectId>>,
+    /// Live duplicate ids per class, in insertion order.
+    live: Vec<Vec<ObjectId>>,
 }
 
 impl MixedApplier {
@@ -224,54 +258,73 @@ impl MixedApplier {
         Self {
             base_cards: (0..classes).map(|c| db.cardinality(ClassId(c as u32))).collect(),
             copy_rels: (0..classes).map(|c| copyable_rels(catalog, ClassId(c as u32))).collect(),
-            inserted: vec![Vec::new(); classes],
+            live: vec![Vec::new(); classes],
         }
     }
 
     /// Number of live (not yet deleted) duplicates of `class`.
     pub fn live_dups(&self, class: ClassId) -> usize {
-        self.inserted[class.index()].len()
+        self.live[class.index()].len()
     }
 
     /// Resolves `kind` against the current snapshot into the batch to
-    /// submit. Returns `(class, is_insert, batch)`; pass the committed
-    /// outcome's inserted ids to [`MixedApplier::confirm`].
-    pub fn resolve(&self, db: &Database, kind: &WriteKind) -> (ClassId, bool, Vec<DataWrite>) {
+    /// submit. Returns `(class, victim, batch)` where `victim` names the
+    /// duplicate a delete will remove (`None` for inserts); pass the
+    /// committed outcome's receipt to [`MixedApplier::confirm`].
+    pub fn resolve(
+        &self,
+        db: &Database,
+        kind: &WriteKind,
+    ) -> (ClassId, Option<ObjectId>, Vec<DataWrite>) {
         match *kind {
-            WriteKind::DeleteNewest { class } => {
-                if let Some(&newest) = self.inserted[class.index()].last() {
-                    return (class, false, vec![DataWrite::Delete { class, object: newest }]);
+            WriteKind::DeleteDup { class, pick } => {
+                let live = &self.live[class.index()];
+                if !live.is_empty() {
+                    let victim = live[pick as usize % live.len()];
+                    return (
+                        class,
+                        Some(victim),
+                        vec![DataWrite::Delete { class, object: victim }],
+                    );
                 }
                 // Nothing to delete yet: degrade to an insert so the write
                 // ratio holds.
-                self.resolve(db, &WriteKind::InsertDup { class, source_rank: 0 })
+                self.resolve(db, &WriteKind::InsertDup { class, source_rank: pick })
             }
             WriteKind::InsertDup { class, source_rank } => {
+                // Ranks index the original population (never renumbered), so
+                // wrap by the *base* cardinality, not the live one.
                 let base = self.base_cards[class.index()].max(1);
-                let source = ObjectId(source_rank % base as u32);
-                let tuple = db.tuple(class, source).expect("source rank in range").to_vec();
-                let links: Vec<(RelId, ObjectId)> = self.copy_rels[class.index()]
-                    .iter()
-                    .flat_map(|&rel| {
-                        db.traverse(rel, class, source)
-                            .expect("copyable rel touches class")
-                            .iter()
-                            .map(move |&other| (rel, other))
-                    })
-                    .collect();
-                (class, true, vec![DataWrite::Insert { class, tuple, links }])
+                let write = dup_insert(
+                    db,
+                    class,
+                    source_rank % base as u32,
+                    &self.copy_rels[class.index()],
+                );
+                (class, None, vec![write])
             }
         }
     }
 
-    /// Records a committed batch: pushes the inserted duplicate or pops the
-    /// deleted one.
-    pub fn confirm(&mut self, class: ClassId, is_insert: bool, inserted: &[ObjectId]) {
-        if is_insert {
-            self.inserted[class.index()]
-                .push(*inserted.first().expect("insert batches insert exactly one object"));
-        } else {
-            self.inserted[class.index()].pop().expect("confirmed delete had a live duplicate");
+    /// Records a committed batch: registers the inserted duplicate or
+    /// retires the deleted one, then re-maps every tracked id through the
+    /// receipt's swap-remove moves (in order).
+    pub fn confirm(&mut self, class: ClassId, victim: Option<ObjectId>, receipt: &WriteReceipt) {
+        match victim {
+            None => self.live[class.index()]
+                .push(*receipt.inserted.first().expect("insert batches insert exactly one object")),
+            Some(v) => {
+                let live = &mut self.live[class.index()];
+                let at = live.iter().position(|&o| o == v).expect("victim was a live duplicate");
+                live.remove(at);
+            }
+        }
+        for &(mclass, from, to) in &receipt.moves {
+            for id in self.live[mclass.index()].iter_mut() {
+                if *id == from {
+                    *id = to;
+                }
+            }
         }
     }
 }
@@ -341,6 +394,48 @@ mod tests {
     }
 
     #[test]
+    fn non_lifo_deletes_remap_tracked_ids_from_the_receipt() {
+        let s = paper_scenario(DbSize::Db1, 42);
+        let catalog = Arc::clone(&s.catalog);
+        let handle = VersionedDatabase::with_integrity(Arc::new(s.db), IntegrityOptions::default());
+        let cargo = catalog.class_id("cargo").unwrap();
+        let base = handle.snapshot().cardinality(cargo);
+        let mut applier = MixedApplier::new(&handle.snapshot());
+        // Three duplicates, then delete the *oldest* (pick 0 of 3): the
+        // newest duplicate is swap-renumbered onto the victim's id and the
+        // applier must keep tracking it through the receipt.
+        for rank in 0..3 {
+            let (class, victim, batch) = applier.resolve(
+                &handle.snapshot(),
+                &WriteKind::InsertDup { class: cargo, source_rank: rank },
+            );
+            let outcome = handle.write(&batch).unwrap();
+            applier.confirm(class, victim, &outcome.receipt);
+        }
+        assert_eq!(applier.live_dups(cargo), 3);
+        let (class, victim, batch) =
+            applier.resolve(&handle.snapshot(), &WriteKind::DeleteDup { class: cargo, pick: 0 });
+        assert_eq!(victim, Some(ObjectId(base as u32)), "oldest duplicate chosen");
+        let outcome = handle.write(&batch).unwrap();
+        assert_eq!(
+            outcome.receipt.moves,
+            vec![(cargo, ObjectId(base as u32 + 2), ObjectId(base as u32))],
+            "the newest duplicate moved onto the victim's id"
+        );
+        applier.confirm(class, victim, &outcome.receipt);
+        assert_eq!(applier.live_dups(cargo), 2);
+        // Both remaining tracked ids are live and deletable in any order.
+        for pick in [1u32, 0] {
+            let (class, victim, batch) =
+                applier.resolve(&handle.snapshot(), &WriteKind::DeleteDup { class: cargo, pick });
+            let outcome = handle.write(&batch).unwrap();
+            applier.confirm(class, victim, &outcome.receipt);
+        }
+        assert_eq!(applier.live_dups(cargo), 0);
+        assert_eq!(handle.snapshot().cardinality(cargo), base, "all duplicates retired");
+    }
+
+    #[test]
     fn applying_a_whole_write_stream_preserves_constraints_and_integrity() {
         let s = paper_scenario(DbSize::Db1, 42);
         let catalog = Arc::clone(&s.catalog);
@@ -356,11 +451,11 @@ mod tests {
         for op in &wl.ops {
             let MixedOp::Write(kind) = op else { continue };
             let snapshot = handle.snapshot();
-            let (class, is_insert, batch) = applier.resolve(&snapshot, kind);
+            let (class, victim, batch) = applier.resolve(&snapshot, kind);
             // Integrity is enforced on every batch by the handle itself.
             let outcome = handle.write(&batch).expect("safe write rejected");
-            applier.confirm(class, is_insert, &outcome.inserted);
-            if is_insert {
+            applier.confirm(class, victim, &outcome.receipt);
+            if victim.is_none() {
                 inserts += 1;
             } else {
                 deletes += 1;
