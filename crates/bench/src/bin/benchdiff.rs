@@ -10,7 +10,7 @@
 //! Tolerances are deliberately generous — CI machines are noisy and the
 //! baseline may come from different hardware:
 //!
-//! * **timing metrics** (`*qps*`, `*_us`, `*p50*`, `*p99*`, `*speedup*`)
+//! * **timing metrics** (`*qps*`, `*_us`, `*_ms`, `*p50*`, `*p99*`, `*speedup*`)
 //!   may regress up to `--timing-factor` (default 8×) before failing;
 //! * **everything else** (cost ratios, waste percentages, counts — all
 //!   machine-independent) may regress up to `--ratio-slack` (default +50%
@@ -41,7 +41,7 @@ struct Tolerances {
 }
 
 fn is_timing(metric: &str) -> bool {
-    ["qps", "_us", "p50", "p99", "speedup"].iter().any(|k| metric.contains(k))
+    ["qps", "_us", "_ms", "p50", "p99", "speedup"].iter().any(|k| metric.contains(k))
 }
 
 fn higher_is_better(metric: &str) -> bool {

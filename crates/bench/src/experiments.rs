@@ -1114,6 +1114,188 @@ pub fn write_path_scaling(seed: u64, smoke: bool) -> (Vec<Headline>, String) {
     (headlines, out)
 }
 
+// ---------------------------------------------------------------------------
+// E13 — warm start: validated snapshot load vs cold boot.
+// ---------------------------------------------------------------------------
+
+/// E13: what the persistent `.sqos` snapshot (docs/FORMAT.md) buys at boot.
+///
+/// Both paths are timed to the *same serving state*: database assembled,
+/// constraint store compiled, and the plan cache holding the first 16
+/// distinct paper queries. The **cold** path pays for all of it — populate
+/// the database (the stand-in for loading from the source of record),
+/// assemble extents/links/indexes, fold statistics, materialize the
+/// constraint closure, compile the store, then push the 16 queries through
+/// the full optimize+plan pipeline. The **warm** path reads the snapshot
+/// the cold service saved and validates it at Standard — the persisted
+/// plan seeds restore the warmed cache directly, so it is ready the moment
+/// the load returns. Every warm answer is asserted to be a plan-cache hit
+/// and cross-checked against the cold service's answer.
+///
+/// Wall times are medians over repeated boots (the cold generator and the
+/// warm loader both re-run from scratch each round). The Strict and Audit
+/// load times quantify the validation ladder of docs/VALIDATION.md on the
+/// same fixture.
+pub fn warm_start_boot(seed: u64, smoke: bool) -> (Vec<Headline>, String) {
+    use sqo_snapshot::ValidationLevel;
+
+    fn med(mut v: Vec<f64>) -> f64 {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    }
+
+    // Smoke keeps both sizes (the committed baseline's metric set must be a
+    // subset of every smoke run's, or benchdiff reports removals) and trims
+    // rounds instead.
+    let sizes: &[DbSize] = &[DbSize::Db1, DbSize::Db4];
+    let rounds = if smoke { 2 } else { 7 };
+    let first_n = 16usize;
+    let mut headlines = Vec::new();
+    let mut t = TextTable::new(vec![
+        "",
+        "cold to ready ms",
+        "warm boot ms",
+        "boot x",
+        "cold 1st-16 p50 µs",
+        "warm 1st-16 p50 µs",
+        "strict ms",
+        "audit ms",
+        "snapshot KiB",
+    ]);
+    for &size in sizes {
+        let name = size.name().to_lowercase();
+        let path = std::env::temp_dir().join(format!("sqo_e13_{name}_{seed}.sqos"));
+
+        // One untimed round on each side first: the very first boot of
+        // either kind pays one-off process costs (lazy allocator growth,
+        // page faults, branch training) that are not the cold/warm
+        // difference under measurement.
+        let warmup = {
+            let s = paper_scenario(size, seed);
+            let cold = QueryService::new(Arc::new(s.store), Arc::new(s.db));
+            for q in s.queries.iter().take(first_n) {
+                cold.run(q).expect("cold request answers");
+            }
+            cold.save_snapshot(&path).expect("snapshot writes");
+            QueryService::warm_start(&path, ValidationLevel::Standard, ServiceConfig::default())
+                .expect("warm start succeeds")
+        };
+        std::hint::black_box(&warmup);
+        drop(warmup);
+
+        // Cold boots: generate + assemble + closure + compile + wire up,
+        // then warm the plan cache the hard way (16 optimize+plan runs).
+        let mut cold_ready = Vec::with_capacity(rounds);
+        let mut cold_lat: Vec<Duration> = Vec::with_capacity(rounds * first_n);
+        let mut queries: Vec<Query> = Vec::new();
+        let mut cold_answers = Vec::new();
+        let mut bytes = Vec::new();
+        for round in 0..rounds {
+            let t0 = Instant::now();
+            let s = paper_scenario(size, seed);
+            let cold = QueryService::new(Arc::new(s.store), Arc::new(s.db));
+            let mut lat = Vec::with_capacity(first_n);
+            let mut answers = Vec::with_capacity(first_n);
+            for q in s.queries.iter().take(first_n) {
+                let tq = Instant::now();
+                let r = cold.run(q).expect("cold request answers");
+                lat.push(tq.elapsed());
+                answers.push(r.results);
+            }
+            cold_ready.push(t0.elapsed().as_secs_f64() * 1e3);
+            cold_lat.extend(&lat);
+            if round == 0 {
+                cold.save_snapshot(&path).expect("snapshot writes");
+                bytes = std::fs::read(&path).expect("snapshot reads back");
+                queries = s.queries.iter().take(first_n).cloned().collect();
+                cold_answers = answers;
+            }
+        }
+
+        // Warm boots: read + parse + Standard validation + store rebuild +
+        // cache seed — the serving state arrives with the load.
+        let mut warm_boot = Vec::with_capacity(rounds);
+        let mut warm_lat: Vec<Duration> = Vec::with_capacity(rounds * first_n);
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let warm = QueryService::warm_start(
+                &path,
+                ValidationLevel::Standard,
+                ServiceConfig::default(),
+            )
+            .expect("warm start succeeds");
+            warm_boot.push(t0.elapsed().as_secs_f64() * 1e3);
+            for (q, want) in queries.iter().zip(&cold_answers) {
+                let tq = Instant::now();
+                let r = warm.run(q).expect("warm request answers");
+                warm_lat.push(tq.elapsed());
+                assert!(r.cache_hit, "warm start must seed the plan cache");
+                assert!(r.results.same_multiset(want), "warm answer matches cold");
+            }
+            assert_eq!(warm.stats().optimizations, 0, "no re-optimization after warm start");
+        }
+
+        let load_ms = |level: ValidationLevel| {
+            let samples = (0..rounds)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let svc =
+                        QueryService::from_snapshot_bytes(&bytes, level, ServiceConfig::default())
+                            .expect("validated load succeeds");
+                    std::hint::black_box(&svc);
+                    t0.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            med(samples)
+        };
+        let strict_ms = load_ms(ValidationLevel::Strict);
+        let audit_ms = load_ms(ValidationLevel::Audit);
+        let _ = std::fs::remove_file(&path);
+
+        cold_lat.sort_unstable();
+        warm_lat.sort_unstable();
+        let cold_p50 = percentile_us(&cold_lat, 0.50);
+        let warm_p50 = percentile_us(&warm_lat, 0.50);
+        let cold_ready_ms = med(cold_ready);
+        let warm_boot_ms = med(warm_boot);
+        let speedup = cold_ready_ms / warm_boot_ms.max(1e-9);
+        let kib = bytes.len() as f64 / 1024.0;
+        t.row(vec![
+            size.name().to_string(),
+            format!("{cold_ready_ms:.2}"),
+            format!("{warm_boot_ms:.2}"),
+            format!("{speedup:.1}x"),
+            format!("{cold_p50:.1}"),
+            format!("{warm_p50:.1}"),
+            format!("{strict_ms:.2}"),
+            format!("{audit_ms:.2}"),
+            format!("{kib:.1}"),
+        ]);
+        headlines.push(Headline::new("e13", format!("cold_boot_ms_{name}"), cold_ready_ms));
+        headlines.push(Headline::new("e13", format!("warm_boot_ms_{name}"), warm_boot_ms));
+        headlines.push(Headline::new("e13", format!("boot_speedup_{name}"), speedup));
+        headlines.push(Headline::new("e13", format!("cold_first_p50_us_{name}"), cold_p50));
+        headlines.push(Headline::new("e13", format!("warm_first_p50_us_{name}"), warm_p50));
+        headlines.push(Headline::new("e13", format!("load_strict_ms_{name}"), strict_ms));
+        headlines.push(Headline::new("e13", format!("load_audit_ms_{name}"), audit_ms));
+        headlines.push(Headline::new("e13", format!("snapshot_kib_{name}"), kib));
+    }
+    let out = format!(
+        "E13: Warm start — cold boot vs validated `.sqos` snapshot load\n\
+         (both sides timed to the same serving state: database + compiled store + the\n\
+         first 16 distinct paper queries resident in the plan cache; cold pays the\n\
+         generator, assembly, closure and 16 optimize+plan runs, warm pays one\n\
+         Standard-validated load; medians over repeated boots; the strict/audit\n\
+         columns price the deeper levels of docs/VALIDATION.md on the same file)\n\n{}\n\
+         reading: the warm path skips data generation, index/link assembly, statistics\n\
+         folding and closure materialization, and arrives with the plan cache already\n\
+         seeded — its first queries never touch the optimizer (asserted, and every\n\
+         answer is cross-checked against the cold service's).\n",
+        t.render()
+    );
+    (headlines, out)
+}
+
 /// Headline numbers of E11.
 pub fn e11_headlines(rows: &[E11Row]) -> Vec<Headline> {
     let mut out = Vec::new();

@@ -17,6 +17,7 @@
 //! | E10 | cold-path optimize+plan latency (p50/p99) | [`experiments::cold_path_latency`] |
 //! | E11 | mutable-data serving (mixed read/write) | [`experiments::mutable_serving`] |
 //! | E12 | write-batch latency (O(touched) claim) | [`experiments::write_path_scaling`] |
+//! | E13 | warm start (snapshot load vs cold boot) | [`experiments::warm_start_boot`] |
 //!
 //! The `report` binary prints any subset (and emits machine-readable
 //! headline numbers with `--json <path>`); the Criterion benches under
@@ -35,6 +36,6 @@ pub use experiments::{
     baseline_comparison, budget_sweep, calibrate_units_per_second, closure_ablation,
     cold_path_latency, e10_headlines, e11_headlines, e9_headlines, fig41_headlines, figure41,
     grouping, mutable_serving, service_throughput, table41, table42, table42_headlines,
-    write_path_scaling, E10Row, E11Row, E9Row, Fig41Point, Table42Row,
+    warm_start_boot, write_path_scaling, E10Row, E11Row, E9Row, Fig41Point, Table42Row,
 };
 pub use json::{parse_headlines, render_json, Headline};

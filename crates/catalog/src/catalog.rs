@@ -30,6 +30,48 @@ impl Catalog {
         CatalogBuilder::default()
     }
 
+    /// Rebuilds a catalog from its raw definition lists — the snapshot-load
+    /// path. Re-runs every check [`CatalogBuilder`] performs (duplicate
+    /// class/attribute/relationship names, relationship ends in class range,
+    /// inheritance acyclicity), so an untrusted definition list can never
+    /// produce a catalog the builder would have rejected.
+    ///
+    /// # Errors
+    /// The same [`CatalogError`] variants the staged builder returns.
+    pub fn from_parts(
+        classes: Vec<ClassDef>,
+        relationships: Vec<RelationshipDef>,
+    ) -> Result<Catalog, CatalogError> {
+        let mut builder = CatalogBuilder::default();
+        for c in &classes {
+            if builder.class_by_name.contains_key(&c.name) {
+                return Err(CatalogError::DuplicateClass(c.name.clone()));
+            }
+            if let Some(p) = c.parent {
+                if p.index() >= classes.len() {
+                    return Err(CatalogError::UnknownParent { class: c.name.clone(), parent: p });
+                }
+            }
+            for (i, a) in c.attributes.iter().enumerate() {
+                if c.attributes[..i].iter().any(|x| x.name == a.name) {
+                    return Err(CatalogError::DuplicateAttribute {
+                        class: c.name.clone(),
+                        attr: a.name.clone(),
+                    });
+                }
+            }
+            let id = ClassId(builder.classes.len() as u32);
+            builder.class_by_name.insert(c.name.clone(), id);
+            builder.classes.push(c.clone());
+        }
+        for r in relationships {
+            // Reuses the builder's end-class range check and duplicate-name
+            // check.
+            builder.relationship(r.name, r.left, r.right)?;
+        }
+        builder.build() // runs the inheritance-cycle check
+    }
+
     // ---- class lookups -------------------------------------------------
 
     pub fn class_count(&self) -> usize {

@@ -140,6 +140,9 @@ pub struct ConstraintStore {
     /// scheme above stays as the paper's measured baseline.
     index: ConstraintIndex,
     policy: AssignmentPolicy,
+    /// Closure limits this store was built under — persisted by snapshots
+    /// so an Audit-level load can reproduce the derivation.
+    closure: ClosureOptions,
     access: AccessTracker,
     metrics: RetrievalMetrics,
     /// Monotone semantic version: bumped whenever the constraint population
@@ -198,6 +201,7 @@ impl ConstraintStore {
             pool,
             index,
             policy: options.policy,
+            closure: options.closure,
             access,
             metrics: RetrievalMetrics::default(),
             epoch: AtomicU64::new(0),
@@ -352,6 +356,7 @@ impl ConstraintStore {
             pool: self.pool.clone(),
             index: self.index.clone(),
             policy: self.policy,
+            closure: self.closure,
             access,
             metrics: RetrievalMetrics::default(),
             epoch: AtomicU64::new(self.epoch() + 1),
@@ -487,6 +492,18 @@ impl ConstraintStore {
 
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// The group-assignment policy this store was built with (persisted by
+    /// snapshots so a warm-started store groups the same way).
+    pub fn policy(&self) -> AssignmentPolicy {
+        self.policy
+    }
+
+    /// The closure limits this store was built under (persisted by
+    /// snapshots so an Audit-level load reproduces the same derivation).
+    pub fn closure_options(&self) -> ClosureOptions {
+        self.closure
     }
 
     pub fn len(&self) -> usize {

@@ -16,6 +16,7 @@ mod cost;
 mod error;
 mod executor;
 mod oracle;
+mod persist;
 mod plan;
 mod planner;
 mod result;
@@ -24,6 +25,7 @@ pub use cost::{point_of, CostModel};
 pub use error::ExecError;
 pub use executor::{execute, execute_with, ExecScratch};
 pub use oracle::CostBasedOracle;
+pub use persist::{read_plan, write_plan};
 pub use plan::{AccessPath, ClassAccess, JoinStep, PhysicalPlan, PlanDisplay};
 pub use planner::{plan_query, plan_query_shared};
 pub use result::ResultSet;

@@ -280,6 +280,19 @@ impl ShardedCache {
         }
     }
 
+    /// A point-in-time dump of every live entry with the version it is
+    /// valid under, ordered by fingerprint for determinism — the snapshot
+    /// save path (plan-cache seeds).
+    pub fn entries(&self) -> Vec<(QueryFingerprint, StoreVersion, Arc<CacheEntry>)> {
+        let mut out: Vec<(QueryFingerprint, StoreVersion, Arc<CacheEntry>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            out.extend(shard.iter().map(|(fp, slot)| (*fp, slot.version, Arc::clone(&slot.entry))));
+        }
+        out.sort_by_key(|(fp, _, _)| fp.0);
+        out
+    }
+
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()
     }

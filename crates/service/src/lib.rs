@@ -36,9 +36,14 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod persist;
 mod service;
 
 pub use cache::{CacheEntry, CacheStats, ShardedCache};
+pub use persist::{
+    audit_constraints, decode_constraints, decode_plan_seeds, encode_constraints,
+    encode_plan_seeds, rebuild_store, ConstraintSeed, PlanSeed,
+};
 pub use service::{
     PreparedQuery, QueryService, ServiceConfig, ServiceError, ServiceResponse, ServiceStats,
 };

@@ -14,9 +14,13 @@ use sqo_exec::{
     PhysicalPlan, ResultSet,
 };
 use sqo_query::{Query, QueryError};
+use sqo_snapshot::{
+    LoadError, SnapshotBuilder, SnapshotFile, ValidationLevel, SEC_CONSTRAINTS, SEC_PLANSEEDS,
+};
 use sqo_storage::{DataWrite, Database, StorageError, VersionedDatabase, WriteOutcome};
 
 use crate::cache::{CacheEntry, CacheStats, ShardedCache};
+use crate::persist;
 
 thread_local! {
     /// Per-worker reusable optimizer + executor buffers: the cold path of
@@ -482,6 +486,96 @@ impl QueryService {
             }
         });
         out.into_iter().map(|r| r.expect("every request answered exactly once")).collect()
+    }
+
+    /// Serializes the full service state into a `.sqos` snapshot: the
+    /// current database image (catalog, extents, links, indexes,
+    /// statistics), the compiled constraint store, and every live
+    /// plan-cache entry as a warm seed. The byte layout is specified in
+    /// `docs/FORMAT.md`.
+    ///
+    /// The snapshot is a point-in-time cut: the database image and the
+    /// constraint store are each internally consistent snapshots, and only
+    /// cache entries valid at the captured store version are persisted.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let db = self.db.snapshot();
+        let store = self.store();
+        let mut builder = SnapshotBuilder::new();
+        for (id, payload) in sqo_storage::database_sections(&db) {
+            builder.section(id, payload);
+        }
+        builder.section(SEC_CONSTRAINTS, persist::encode_constraints(&store));
+        builder.section(
+            SEC_PLANSEEDS,
+            persist::encode_plan_seeds(&self.cache.entries(), store.version()),
+        );
+        builder.finish()
+    }
+
+    /// Writes [`QueryService::snapshot_bytes`] to `path`.
+    ///
+    /// # Errors
+    /// [`LoadError::Io`] if the file cannot be written.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), LoadError> {
+        std::fs::write(path, self.snapshot_bytes()).map_err(LoadError::from)
+    }
+
+    /// Reconstructs a service from snapshot bytes, validating at `level`
+    /// (see `docs/VALIDATION.md` for what each level buys and costs).
+    ///
+    /// The rebuilt constraint store keeps the saved semantic epoch (raised
+    /// monotonically) but gets a **fresh generation** — generations are
+    /// process-local, so persisted cache seeds are re-stamped to the new
+    /// store's version as they are inserted. Plan seeds are skipped
+    /// entirely when `config.bypass_cache` is set.
+    ///
+    /// # Errors
+    /// Any [`LoadError`]: container damage at Standard, id-space or
+    /// ordering violations at Strict, re-derivation mismatches at Audit.
+    pub fn from_snapshot_bytes(
+        bytes: &[u8],
+        level: ValidationLevel,
+        config: ServiceConfig,
+    ) -> Result<Self, LoadError> {
+        let file = SnapshotFile::parse(bytes)?;
+        let db = sqo_storage::decode_database_from(&file, level)?;
+        let catalog = Arc::clone(db.catalog());
+        let constraints =
+            file.section(SEC_CONSTRAINTS).ok_or(LoadError::MissingSection("CONSTRAINTS"))?;
+        let seed = persist::decode_constraints(constraints, &catalog, level)?;
+        if level.is_audit() {
+            persist::audit_constraints(&seed, &catalog)?;
+        }
+        let plan_seeds = match file.section(SEC_PLANSEEDS) {
+            Some(payload) => persist::decode_plan_seeds(payload, &catalog, level)?,
+            None => Vec::new(),
+        };
+        let store = persist::rebuild_store(Arc::clone(&catalog), seed)?;
+        let service = Self::with_config(Arc::new(store), Arc::new(db), config);
+        if !service.config.bypass_cache {
+            let version = service.store_version();
+            for s in plan_seeds {
+                service.cache.insert(s.fingerprint, version, Arc::new(s.entry));
+            }
+        }
+        Ok(service)
+    }
+
+    /// Boots a service from a `.sqos` file written by
+    /// [`QueryService::save_snapshot`] — the warm-start path: no closure
+    /// fixpoint, no index builds, no statistics folding, and the plan cache
+    /// starts hot.
+    ///
+    /// # Errors
+    /// [`LoadError::Io`] if the file cannot be read, otherwise as
+    /// [`QueryService::from_snapshot_bytes`].
+    pub fn warm_start(
+        path: impl AsRef<std::path::Path>,
+        level: ValidationLevel,
+        config: ServiceConfig,
+    ) -> Result<Self, LoadError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_snapshot_bytes(&bytes, level, config)
     }
 
     /// Counter snapshot for monitoring and the bench harness.

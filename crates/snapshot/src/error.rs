@@ -1,0 +1,155 @@
+//! Validation levels and the load-failure taxonomy.
+
+use std::fmt;
+
+/// How deeply a snapshot is verified before the engine trusts it.
+///
+/// Levels are ordered: each level implies everything the previous one
+/// checks. `docs/VALIDATION.md` specifies the exact invariant set and the
+/// threat model each level addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ValidationLevel {
+    /// Container integrity: magic, version, section-table bounds,
+    /// per-section checksums, and the structural shape checks decoding
+    /// needs to be panic-free (counts, arities, cardinalities).
+    #[default]
+    Standard,
+    /// Everything in [`ValidationLevel::Standard`], plus semantic
+    /// invariants: value types match the catalog, index postings are
+    /// ascending, adjacency is in canonical order, and every id (class,
+    /// relationship, attribute, object) resolves — no dangling references.
+    Strict,
+    /// Everything in [`ValidationLevel::Strict`], plus full re-derivation
+    /// cross-checks: indexes, right-to-left adjacency, statistics and the
+    /// constraint closure are rebuilt from primary data and compared to the
+    /// persisted copies. Suitable as a test oracle.
+    Audit,
+}
+
+impl ValidationLevel {
+    /// Whether this level includes Strict's semantic invariant checks.
+    pub fn at_least_strict(self) -> bool {
+        self >= ValidationLevel::Strict
+    }
+
+    /// Whether this level includes Audit's re-derivation cross-checks.
+    pub fn is_audit(self) -> bool {
+        self == ValidationLevel::Audit
+    }
+}
+
+impl fmt::Display for ValidationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationLevel::Standard => write!(f, "standard"),
+            ValidationLevel::Strict => write!(f, "strict"),
+            ValidationLevel::Audit => write!(f, "audit"),
+        }
+    }
+}
+
+/// Why a snapshot failed to load. Each variant names the validation level
+/// that detects it (documented per-variant); `docs/VALIDATION.md` has the
+/// full mapping table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The file is shorter than the fixed 12-byte header (Standard).
+    TruncatedHeader,
+    /// The first four bytes are not `b"SQOS"` (Standard).
+    BadMagic,
+    /// The header's format version is newer than this build understands
+    /// (Standard).
+    UnsupportedVersion(u16),
+    /// A section-table entry points outside the file, or the section table
+    /// itself does not fit (Standard).
+    SectionOutOfBounds {
+        /// The offending section id (0 when the table itself is truncated).
+        section: u32,
+    },
+    /// The same section id appears twice in the table (Standard).
+    DuplicateSection(u32),
+    /// A section this loader requires is absent (Standard).
+    MissingSection(&'static str),
+    /// A section payload does not hash to its table checksum (Standard).
+    ChecksumMismatch {
+        /// Human-readable section name (see [`crate::section_name`]).
+        section: &'static str,
+        /// The checksum recorded in the section table.
+        expected: u64,
+        /// The FNV-1a 64 hash of the payload as read.
+        actual: u64,
+    },
+    /// A section payload is structurally malformed: short reads, bad tags,
+    /// counts that contradict the catalog (Standard).
+    Malformed {
+        /// Human-readable section name.
+        section: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// An index posting or B-tree key sequence is out of canonical order
+    /// (Strict).
+    UnsortedPosting {
+        /// Human-readable section name.
+        section: &'static str,
+        /// Which posting, and how it is out of order.
+        detail: String,
+    },
+    /// An id (class, relationship, attribute, object, constraint) does not
+    /// resolve against the decoded catalog or extents (Strict).
+    DanglingReference {
+        /// Human-readable section name.
+        section: &'static str,
+        /// The unresolved reference.
+        detail: String,
+    },
+    /// A re-derivation cross-check failed: rebuilt indexes, adjacency,
+    /// statistics or constraint closure differ from the persisted copies
+    /// (Audit).
+    AuditMismatch {
+        /// Which re-derivation disagreed.
+        detail: String,
+    },
+    /// An underlying I/O failure while reading or writing the file.
+    Io(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::TruncatedHeader => write!(f, "file shorter than the 12-byte header"),
+            LoadError::BadMagic => write!(f, "bad magic (expected \"SQOS\")"),
+            LoadError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            LoadError::SectionOutOfBounds { section } => {
+                write!(f, "section {section} extends past the end of the file")
+            }
+            LoadError::DuplicateSection(id) => write!(f, "section id {id} appears twice"),
+            LoadError::MissingSection(name) => write!(f, "required section {name} is missing"),
+            LoadError::ChecksumMismatch { section, expected, actual } => write!(
+                f,
+                "section {section} checksum mismatch (expected {expected:#018x}, got {actual:#018x})"
+            ),
+            LoadError::Malformed { section, detail } => {
+                write!(f, "section {section} is malformed: {detail}")
+            }
+            LoadError::UnsortedPosting { section, detail } => {
+                write!(f, "section {section} has an unsorted posting: {detail}")
+            }
+            LoadError::DanglingReference { section, detail } => {
+                write!(f, "section {section} has a dangling reference: {detail}")
+            }
+            LoadError::AuditMismatch { detail } => {
+                write!(f, "audit re-derivation mismatch: {detail}")
+            }
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e.to_string())
+    }
+}

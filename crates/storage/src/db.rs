@@ -61,7 +61,7 @@ use crate::links::RelLinks;
 use crate::object::ObjectId;
 
 /// One class's tuples, in object-id order.
-type Extent = Vec<Vec<Value>>;
+pub(crate) type Extent = Vec<Vec<Value>>;
 
 /// Which integrity declarations to enforce at load time.
 #[derive(Debug, Clone, Copy)]
@@ -230,6 +230,37 @@ impl Database {
     /// *db.stats()` holds for every reachable snapshot.
     pub fn rebuild_statistics(&self) -> StatsSnapshot {
         build_statistics(&self.catalog, &self.extents, &self.links)
+    }
+
+    // ---- persistence hooks (crate-private; see persist.rs) --------------
+
+    /// The per-class extent shards, for snapshot encoding.
+    pub(crate) fn extent_shards(&self) -> &[Arc<Extent>] {
+        &self.extents
+    }
+
+    /// The per-class index banks, for snapshot encoding.
+    pub(crate) fn index_shards(&self) -> &[Arc<Vec<Option<AttrIndex>>>] {
+        &self.indexes
+    }
+
+    /// The per-relationship link tables, for snapshot encoding.
+    pub(crate) fn link_shards(&self) -> &[Arc<RelLinks>] {
+        &self.links
+    }
+
+    /// Reassembles a snapshot from decoded parts — the snapshot-load path.
+    /// The caller (`persist::decode_database`) owns all validation; this
+    /// constructor only wires the shards together.
+    pub(crate) fn from_loaded_parts(
+        catalog: Arc<Catalog>,
+        extents: Vec<Arc<Extent>>,
+        indexes: Vec<Arc<Vec<Option<AttrIndex>>>>,
+        links: Vec<Arc<RelLinks>>,
+        stats: StatsSnapshot,
+        data_version: u64,
+    ) -> Self {
+        Self { catalog, extents, indexes, links, stats, data_version }
     }
 
     /// Whether `self` and `other` share class `class`'s extent shard by
@@ -912,7 +943,10 @@ fn build_links(
 }
 
 /// Builds every class's declared indexes from its extent.
-fn build_indexes(catalog: &Catalog, extents: &[Arc<Extent>]) -> Vec<Arc<Vec<Option<AttrIndex>>>> {
+pub(crate) fn build_indexes(
+    catalog: &Catalog,
+    extents: &[Arc<Extent>],
+) -> Vec<Arc<Vec<Option<AttrIndex>>>> {
     let mut indexes = Vec::with_capacity(catalog.class_count());
     for (cid, cdef) in catalog.classes() {
         let mut per_attr: Vec<Option<AttrIndex>> = Vec::with_capacity(cdef.attributes.len());
@@ -1084,7 +1118,7 @@ fn rel_statistics(lk: &RelLinks) -> RelStats {
 /// The from-scratch statistics build: every class, every relationship. The
 /// initial load uses it; incremental writes fold per-class deltas instead
 /// and fall back to it only through [`Database::rebuild_statistics`].
-fn build_statistics(
+pub(crate) fn build_statistics(
     catalog: &Catalog,
     extents: &[Arc<Extent>],
     links: &[Arc<RelLinks>],

@@ -44,7 +44,7 @@ impl Ord for OrdValue {
 }
 
 /// A secondary index over one attribute of one class.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrIndex {
     Hash(HashMap<Value, Vec<ObjectId>>),
     BTree(BTreeMap<OrdValue, Vec<ObjectId>>),

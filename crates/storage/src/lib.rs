@@ -41,6 +41,7 @@ mod error;
 mod index;
 mod links;
 mod object;
+mod persist;
 mod versioned;
 
 pub use cost::{CostCounters, CostWeights, PageModel};
@@ -49,4 +50,8 @@ pub use error::StorageError;
 pub use index::{AttrIndex, IndexScanResult, OrdValue};
 pub use links::{RelLinks, Side, Traversal};
 pub use object::ObjectId;
+pub use persist::{
+    database_sections, decode_database, decode_database_from, encode_database, load_database,
+    save_database,
+};
 pub use versioned::{VersionedDatabase, WriteOutcome};

@@ -27,7 +27,7 @@ use sqo_catalog::RelId;
 use crate::object::ObjectId;
 
 /// Links of one relationship: adjacency in both directions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RelLinks {
     /// left object -> linked right objects.
     left_to_right: Vec<Vec<ObjectId>>,
@@ -107,6 +107,19 @@ impl RelLinks {
             .iter()
             .enumerate()
             .flat_map(|(l, rs)| rs.iter().map(move |&r| (ObjectId(l as u32), r)))
+    }
+
+    /// Reassembles a link table from decoded adjacency lists — the
+    /// snapshot-load path. The caller is responsible for validating the
+    /// canonical order and the bidirectional invariant (the Strict/Audit
+    /// levels of `sqo-storage::persist` do); `links` is recomputed from the
+    /// left lists, never trusted from the file.
+    pub(crate) fn from_adjacency(
+        left_to_right: Vec<Vec<ObjectId>>,
+        right_to_left: Vec<Vec<ObjectId>>,
+    ) -> Self {
+        let links = left_to_right.iter().map(|v| v.len() as u64).sum();
+        Self { left_to_right, right_to_left, links }
     }
 
     /// Establishes the canonical adjacency order (see module docs) after a

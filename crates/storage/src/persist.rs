@@ -1,0 +1,700 @@
+//! Database snapshot persistence: encoding a [`Database`] into `.sqos`
+//! sections and loading one back through the tiered validation API.
+//!
+//! Five sections carry the database state (`docs/FORMAT.md` §3):
+//! CATALOG (schema definitions), EXTENTS (tuples + data epoch), LINKS
+//! (canonical-order adjacency), INDEXES (ascending-oid postings) and STATS
+//! (the folded statistics snapshot). Loading runs the level the caller
+//! picked — [`ValidationLevel::Standard`] container/shape checks,
+//! [`ValidationLevel::Strict`] semantic invariants, or
+//! [`ValidationLevel::Audit`] full re-derivation cross-checks
+//! (`docs/VALIDATION.md` specifies the exact split) — and fails with a
+//! clean [`LoadError`] rather than ever constructing a corrupt snapshot.
+
+#![deny(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+use sqo_catalog::{Catalog, ClassId, DataType, Finite, IndexKind, StatsSnapshot, Value};
+use sqo_snapshot::{
+    read_catalog, read_stats, read_value_pooled, section_name, write_catalog, write_stats,
+    write_value, write_value_raw, ByteReader, ByteWriter, LoadError, SnapshotBuilder, SnapshotFile,
+    StrPool, ValidationLevel, SEC_CATALOG, SEC_EXTENTS, SEC_INDEXES, SEC_LINKS, SEC_STATS,
+};
+
+use crate::db::{self, Database, Extent};
+use crate::index::{AttrIndex, OrdValue};
+use crate::links::RelLinks;
+use crate::object::ObjectId;
+
+// ---- encoding -------------------------------------------------------------
+
+/// Encodes the EXTENTS payload: the data epoch and every class cardinality
+/// up front (the *preamble*), then the string dictionary, then each
+/// class's tuples in object-id order. The preamble exists so a loader can
+/// learn every cardinality — which the LINKS, INDEXES and STATS decoders
+/// validate against — without parsing a single tuple, unlocking
+/// section-parallel decoding.
+///
+/// Tuple values are written *untagged*: arity and per-attribute type are
+/// both implied by the catalog, so each value is payload bytes only.
+/// String values are a `u32` index into the dictionary (first-appearance
+/// order), so each distinct string is stored — and, on load, allocated —
+/// exactly once no matter how often the extents repeat it.
+fn encode_extents(db: &Database) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(db.data_version());
+    w.u32(db.extent_shards().len() as u32);
+    for extent in db.extent_shards() {
+        w.u32(extent.len() as u32);
+    }
+    let mut dict: HashMap<&str, u32> = HashMap::new();
+    let mut dict_order: Vec<&str> = Vec::new();
+    for extent in db.extent_shards() {
+        for tuple in extent.iter() {
+            for v in tuple {
+                if let Value::Str(s) = v {
+                    dict.entry(s.as_ref()).or_insert_with(|| {
+                        dict_order.push(s.as_ref());
+                        dict_order.len() as u32 - 1
+                    });
+                }
+            }
+        }
+    }
+    w.u32(dict_order.len() as u32);
+    for s in &dict_order {
+        w.str(s);
+    }
+    for ((_, cdef), extent) in db.catalog().classes().zip(db.extent_shards()) {
+        for tuple in extent.iter() {
+            for (v, adef) in tuple.iter().zip(&cdef.attributes) {
+                debug_assert_eq!(v.data_type(), adef.ty, "extent value drifted from its schema");
+                match v {
+                    Value::Str(s) => w.u32(dict[s.as_ref()]),
+                    other => write_value_raw(&mut w, other),
+                }
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Encodes the LINKS payload: per relationship, both adjacency directions
+/// in canonical order.
+fn encode_links(db: &Database) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(db.link_shards().len() as u32);
+    for lk in db.link_shards() {
+        w.u32(lk.left_cardinality() as u32);
+        w.u32(lk.right_cardinality() as u32);
+        for side in [true, false] {
+            let cardinality = if side { lk.left_cardinality() } else { lk.right_cardinality() };
+            for o in 0..cardinality as u32 {
+                let list =
+                    if side { lk.from_left(ObjectId(o)) } else { lk.from_right(ObjectId(o)) };
+                w.u32(list.len() as u32);
+                for n in list {
+                    w.u32(n.0);
+                }
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Encodes the INDEXES payload. Hash-index entries are sorted by
+/// [`OrdValue`] so the encoding is a pure function of the logical index
+/// content (B-tree entries already iterate in key order).
+fn encode_indexes(db: &Database) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(db.index_shards().len() as u32);
+    for bank in db.index_shards() {
+        w.u32(bank.len() as u32);
+        for slot in bank.iter() {
+            match slot {
+                None => w.u8(0),
+                Some(ix) => {
+                    w.u8(match ix.kind() {
+                        IndexKind::Hash => 1,
+                        IndexKind::BTree => 2,
+                    });
+                    let entries: Vec<(&sqo_catalog::Value, &Vec<ObjectId>)> = match ix {
+                        AttrIndex::Hash(m) => {
+                            let mut e: Vec<_> = m.iter().collect();
+                            e.sort_by_key(|(v, _)| OrdValue((*v).clone()));
+                            e
+                        }
+                        AttrIndex::BTree(m) => m.iter().map(|(k, v)| (&k.0, v)).collect(),
+                    };
+                    w.u32(entries.len() as u32);
+                    for (value, posting) in entries {
+                        write_value(&mut w, value);
+                        w.u32(posting.len() as u32);
+                        for o in posting {
+                            w.u32(o.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    w.finish()
+}
+
+/// The five database sections, ready for a [`SnapshotBuilder`]. Callers
+/// that persist more than the database (e.g. the serving layer) append
+/// their own sections before finishing the container.
+pub fn database_sections(db: &Database) -> Vec<(u32, Vec<u8>)> {
+    let mut catalog = ByteWriter::new();
+    write_catalog(&mut catalog, db.catalog());
+    let mut stats = ByteWriter::new();
+    write_stats(&mut stats, db.stats());
+    vec![
+        (SEC_CATALOG, catalog.finish()),
+        (SEC_EXTENTS, encode_extents(db)),
+        (SEC_LINKS, encode_links(db)),
+        (SEC_INDEXES, encode_indexes(db)),
+        (SEC_STATS, stats.finish()),
+    ]
+}
+
+/// Encodes `db` into a complete `.sqos` byte image (database sections
+/// only).
+pub fn encode_database(db: &Database) -> Vec<u8> {
+    let mut b = SnapshotBuilder::new();
+    for (id, payload) in database_sections(db) {
+        b.section(id, payload);
+    }
+    b.finish()
+}
+
+/// Writes `db` to `path` as a `.sqos` file.
+///
+/// # Errors
+/// [`LoadError::Io`] when the file cannot be written.
+pub fn save_database(db: &Database, path: impl AsRef<Path>) -> Result<(), LoadError> {
+    std::fs::write(path, encode_database(db))?;
+    Ok(())
+}
+
+// ---- decoding -------------------------------------------------------------
+
+fn malformed(section: u32, detail: impl Into<String>) -> LoadError {
+    LoadError::Malformed { section: section_name(section), detail: detail.into() }
+}
+
+fn decode_catalog(file: &SnapshotFile<'_>) -> Result<Arc<Catalog>, LoadError> {
+    let mut r = file.require(SEC_CATALOG)?;
+    let (classes, relationships) = read_catalog(&mut r)?;
+    r.expect_exhausted()?;
+    let catalog = Catalog::from_parts(classes, relationships)
+        .map_err(|e| malformed(SEC_CATALOG, format!("catalog rejected: {e:?}")))?;
+    Ok(Arc::new(catalog))
+}
+
+/// Reads the EXTENTS preamble — data epoch and per-class cardinalities —
+/// leaving `r` positioned at the first tuple. The cardinalities are what
+/// every other database section validates against, so reading them first
+/// lets LINKS/INDEXES/STATS decode in parallel with the tuples.
+fn read_extent_preamble(
+    r: &mut ByteReader<'_>,
+    catalog: &Catalog,
+) -> Result<(u64, Vec<usize>), LoadError> {
+    let data_version = r.u64()?;
+    let class_count = r.count()?;
+    if class_count != catalog.class_count() {
+        return Err(malformed(
+            SEC_EXTENTS,
+            format!("{class_count} extents for {} classes", catalog.class_count()),
+        ));
+    }
+    let mut cards = Vec::with_capacity(class_count);
+    for _ in 0..class_count {
+        cards.push(r.u32()? as usize);
+    }
+    Ok((data_version, cards))
+}
+
+/// Decodes the string dictionary and tuples that follow the EXTENTS
+/// preamble. Values are untagged — each is read as the type the catalog
+/// declares for its attribute, so extent tuples type-check by construction
+/// at every level — and string values are dictionary indexes, so repeats
+/// cost one `Arc` clone rather than an allocation.
+fn decode_extent_tuples(
+    r: &mut ByteReader<'_>,
+    catalog: &Catalog,
+    cards: &[usize],
+) -> Result<Vec<Arc<Extent>>, LoadError> {
+    let dict_count = r.count()?;
+    // Pre-allocations bounded by the bytes actually present: a hostile
+    // count cannot drive a huge reservation.
+    let mut dict: Vec<Arc<str>> = Vec::with_capacity(dict_count.min(r.remaining()));
+    for _ in 0..dict_count {
+        dict.push(Arc::from(r.str_ref()?));
+    }
+    let mut extents = Vec::with_capacity(cards.len());
+    for (cid, cdef) in catalog.classes() {
+        let cardinality = cards[cid.index()];
+        let mut extent: Extent = Vec::with_capacity(cardinality.min(r.remaining()));
+        for _ in 0..cardinality {
+            let mut tuple = Vec::with_capacity(cdef.attributes.len());
+            for adef in &cdef.attributes {
+                let v = match adef.ty {
+                    DataType::Int => Value::Int(r.i64()?),
+                    DataType::Float => {
+                        let f = r.f64()?;
+                        Finite::new(f)
+                            .map(Value::Float)
+                            .ok_or_else(|| r.malformed("NaN float value"))?
+                    }
+                    DataType::Str => {
+                        let ix = r.u32()? as usize;
+                        let s = dict.get(ix).ok_or_else(|| {
+                            malformed(
+                                SEC_EXTENTS,
+                                format!(
+                                    "string index {ix} beyond the {}-entry dictionary",
+                                    dict.len()
+                                ),
+                            )
+                        })?;
+                        Value::Str(Arc::clone(s))
+                    }
+                    DataType::Bool => match r.u8()? {
+                        0 => Value::Bool(false),
+                        1 => Value::Bool(true),
+                        b => return Err(r.malformed(format!("bool byte {b} is neither 0 nor 1"))),
+                    },
+                };
+                tuple.push(v);
+            }
+            extent.push(tuple);
+        }
+        extents.push(Arc::new(extent));
+    }
+    r.expect_exhausted()?;
+    Ok(extents)
+}
+
+/// Decodes one adjacency direction: `cardinality` lists of object ids.
+fn decode_adjacency(
+    r: &mut ByteReader<'_>,
+    cardinality: usize,
+) -> Result<Vec<Vec<ObjectId>>, LoadError> {
+    let mut lists = Vec::with_capacity(cardinality);
+    for _ in 0..cardinality {
+        let n = r.count()?;
+        let mut list = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            list.push(ObjectId(r.u32()?));
+        }
+        lists.push(list);
+    }
+    Ok(lists)
+}
+
+fn decode_links(
+    file: &SnapshotFile<'_>,
+    catalog: &Catalog,
+    cards: &[usize],
+    level: ValidationLevel,
+) -> Result<Vec<Arc<RelLinks>>, LoadError> {
+    let mut r = file.require(SEC_LINKS)?;
+    let rel_count = r.count()?;
+    if rel_count != catalog.relationship_count() {
+        return Err(malformed(
+            SEC_LINKS,
+            format!("{rel_count} link tables for {} relationships", catalog.relationship_count()),
+        ));
+    }
+    let mut links = Vec::with_capacity(rel_count);
+    for (_, def) in catalog.relationships() {
+        let left_card = r.u32()? as usize;
+        let right_card = r.u32()? as usize;
+        let expect_left = cards[def.left.class.index()];
+        let expect_right = cards[def.right.class.index()];
+        if left_card != expect_left || right_card != expect_right {
+            return Err(malformed(
+                SEC_LINKS,
+                format!(
+                    "relationship {}: cardinalities {left_card}/{right_card} but extents have \
+                     {expect_left}/{expect_right}",
+                    def.name
+                ),
+            ));
+        }
+        let left = decode_adjacency(&mut r, left_card)?;
+        let right = decode_adjacency(&mut r, right_card)?;
+        if level.at_least_strict() {
+            strict_check_links(def, &left, &right, left_card, right_card)?;
+        }
+        if level.is_audit() {
+            // Rebuild the canonical table from the left lists alone and
+            // require bit-identity — catches any inconsistent or
+            // non-canonical right side that passed the order checks.
+            let mut rebuilt = RelLinks::new(left_card, right_card);
+            for (l, rs) in left.iter().enumerate() {
+                for &o in rs {
+                    rebuilt.add(ObjectId(l as u32), o);
+                }
+            }
+            rebuilt.canonicalize();
+            let decoded = RelLinks::from_adjacency(left.clone(), right.clone());
+            if rebuilt != decoded {
+                return Err(LoadError::AuditMismatch {
+                    detail: format!(
+                        "relationship {}: right adjacency differs from canonical rebuild",
+                        def.name
+                    ),
+                });
+            }
+        }
+        links.push(Arc::new(RelLinks::from_adjacency(left, right)));
+    }
+    r.expect_exhausted()?;
+    Ok(links)
+}
+
+/// Strict-level link invariants: every oid in range, right lists in
+/// canonical (non-decreasing left-id) order, edge counts bidirectionally
+/// consistent.
+fn strict_check_links(
+    def: &sqo_catalog::RelationshipDef,
+    left: &[Vec<ObjectId>],
+    right: &[Vec<ObjectId>],
+    left_card: usize,
+    right_card: usize,
+) -> Result<(), LoadError> {
+    for (l, list) in left.iter().enumerate() {
+        for o in list {
+            if o.index() >= right_card {
+                return Err(LoadError::DanglingReference {
+                    section: section_name(SEC_LINKS),
+                    detail: format!(
+                        "relationship {}: left object {l} links right object {} of {right_card}",
+                        def.name, o.0
+                    ),
+                });
+            }
+        }
+    }
+    for (ro, list) in right.iter().enumerate() {
+        let mut prev: Option<u32> = None;
+        for o in list {
+            if o.index() >= left_card {
+                return Err(LoadError::DanglingReference {
+                    section: section_name(SEC_LINKS),
+                    detail: format!(
+                        "relationship {}: right object {ro} links left object {} of {left_card}",
+                        def.name, o.0
+                    ),
+                });
+            }
+            if let Some(p) = prev {
+                if o.0 < p {
+                    return Err(LoadError::UnsortedPosting {
+                        section: section_name(SEC_LINKS),
+                        detail: format!(
+                            "relationship {}: right object {ro}'s list goes {p} then {}",
+                            def.name, o.0
+                        ),
+                    });
+                }
+            }
+            prev = Some(o.0);
+        }
+    }
+    let left_edges: usize = left.iter().map(|l| l.len()).sum();
+    let right_edges: usize = right.iter().map(|l| l.len()).sum();
+    if left_edges != right_edges {
+        return Err(LoadError::Malformed {
+            section: section_name(SEC_LINKS),
+            detail: format!(
+                "relationship {}: {left_edges} left edges but {right_edges} right edges",
+                def.name
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn decode_indexes(
+    file: &SnapshotFile<'_>,
+    catalog: &Catalog,
+    cards: &[usize],
+    level: ValidationLevel,
+) -> Result<Vec<Arc<Vec<Option<AttrIndex>>>>, LoadError> {
+    let mut r = file.require(SEC_INDEXES)?;
+    let class_count = r.count()?;
+    if class_count != catalog.class_count() {
+        return Err(malformed(
+            SEC_INDEXES,
+            format!("{class_count} index banks for {} classes", catalog.class_count()),
+        ));
+    }
+    let mut banks = Vec::with_capacity(class_count);
+    let mut pool = StrPool::new();
+    for (cid, cdef) in catalog.classes() {
+        let attr_count = r.count()?;
+        if attr_count != cdef.attributes.len() {
+            return Err(malformed(
+                SEC_INDEXES,
+                format!(
+                    "class {}: {attr_count} index slots for {} attributes",
+                    cdef.name,
+                    cdef.attributes.len()
+                ),
+            ));
+        }
+        let cardinality = cards[cid.index()];
+        let mut bank: Vec<Option<AttrIndex>> = Vec::with_capacity(attr_count);
+        for adef in &cdef.attributes {
+            let tag = r.u8()?;
+            let kind = match tag {
+                0 => None,
+                1 => Some(IndexKind::Hash),
+                2 => Some(IndexKind::BTree),
+                t => return Err(malformed(SEC_INDEXES, format!("unknown index tag {t}"))),
+            };
+            if kind != adef.index {
+                return Err(malformed(
+                    SEC_INDEXES,
+                    format!(
+                        "class {} attr {}: stored index {kind:?} but catalog declares {:?}",
+                        cdef.name, adef.name, adef.index
+                    ),
+                ));
+            }
+            let Some(kind) = kind else {
+                bank.push(None);
+                continue;
+            };
+            let entry_count = r.count()?;
+            let mut index = match kind {
+                IndexKind::Hash => AttrIndex::Hash(HashMap::with_capacity(entry_count.min(1024))),
+                IndexKind::BTree => AttrIndex::BTree(BTreeMap::new()),
+            };
+            let mut prev_key: Option<OrdValue> = None;
+            for _ in 0..entry_count {
+                let value = read_value_pooled(&mut r, &mut pool)?;
+                let posting_count = r.count()?;
+                let mut posting = Vec::with_capacity(posting_count.min(1024));
+                let mut prev: Option<u32> = None;
+                for _ in 0..posting_count {
+                    let o = r.u32()?;
+                    if level.at_least_strict() {
+                        if o as usize >= cardinality {
+                            return Err(LoadError::DanglingReference {
+                                section: section_name(SEC_INDEXES),
+                                detail: format!(
+                                    "class {} attr {}: posting names object {o} of {cardinality}",
+                                    cdef.name, adef.name
+                                ),
+                            });
+                        }
+                        if let Some(p) = prev {
+                            if o <= p {
+                                return Err(LoadError::UnsortedPosting {
+                                    section: section_name(SEC_INDEXES),
+                                    detail: format!(
+                                        "class {} attr {}: posting goes {p} then {o}",
+                                        cdef.name, adef.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    prev = Some(o);
+                    posting.push(ObjectId(o));
+                }
+                if level.at_least_strict() {
+                    if value.data_type() != adef.ty {
+                        return Err(malformed(
+                            SEC_INDEXES,
+                            format!(
+                                "class {} attr {}: {:?} key for a {:?} attribute",
+                                cdef.name,
+                                adef.name,
+                                value.data_type(),
+                                adef.ty
+                            ),
+                        ));
+                    }
+                    if posting.is_empty() {
+                        return Err(malformed(
+                            SEC_INDEXES,
+                            format!(
+                                "class {} attr {}: empty posting (keys drop with their last \
+                                 entry)",
+                                cdef.name, adef.name
+                            ),
+                        ));
+                    }
+                    let key = OrdValue(value.clone());
+                    if let Some(p) = &prev_key {
+                        if key <= *p {
+                            return Err(LoadError::UnsortedPosting {
+                                section: section_name(SEC_INDEXES),
+                                detail: format!(
+                                    "class {} attr {}: index keys out of ascending order",
+                                    cdef.name, adef.name
+                                ),
+                            });
+                        }
+                    }
+                    prev_key = Some(key);
+                }
+                match &mut index {
+                    AttrIndex::Hash(m) => {
+                        m.insert(value, posting);
+                    }
+                    AttrIndex::BTree(m) => {
+                        m.insert(OrdValue(value), posting);
+                    }
+                }
+            }
+            bank.push(Some(index));
+        }
+        banks.push(Arc::new(bank));
+    }
+    r.expect_exhausted()?;
+    Ok(banks)
+}
+
+fn decode_stats(
+    file: &SnapshotFile<'_>,
+    catalog: &Catalog,
+    cards: &[usize],
+    level: ValidationLevel,
+) -> Result<StatsSnapshot, LoadError> {
+    let mut r = file.require(SEC_STATS)?;
+    let stats = read_stats(&mut r)?;
+    r.expect_exhausted()?;
+    if stats.classes.len() != catalog.class_count()
+        || stats.relationships.len() != catalog.relationship_count()
+    {
+        return Err(malformed(
+            SEC_STATS,
+            format!(
+                "{} class / {} relationship stats for a {}-class, {}-relationship catalog",
+                stats.classes.len(),
+                stats.relationships.len(),
+                catalog.class_count(),
+                catalog.relationship_count()
+            ),
+        ));
+    }
+    if level.at_least_strict() {
+        for (c, cs) in stats.classes.iter().enumerate() {
+            let actual = cards[c] as u64;
+            if cs.cardinality != actual {
+                return Err(malformed(
+                    SEC_STATS,
+                    format!(
+                        "class {c}: stats cardinality {} but extent holds {actual}",
+                        cs.cardinality
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Payload volume above which [`decode_database_from`] decodes the
+/// independent sections on scoped worker threads. Below it the thread
+/// spawns cost more than the decode; above it the three big sections
+/// (EXTENTS tuples, LINKS, INDEXES) overlap instead of queueing.
+const PARALLEL_DECODE_BYTES: usize = 64 * 1024;
+
+/// Decodes a database from an already-parsed snapshot container, running
+/// `level`'s checks. Exposed so callers that bundle additional sections in
+/// the same file (the serving layer) parse the container once.
+///
+/// The EXTENTS preamble (data epoch + per-class cardinalities) is read
+/// first; every other database section validates only against the catalog
+/// and those cardinalities, so on large snapshots the tuple, link and
+/// index decoders run on parallel scoped threads.
+///
+/// # Errors
+/// Any [`LoadError`]; see `docs/VALIDATION.md` for which level raises what.
+pub fn decode_database_from(
+    file: &SnapshotFile<'_>,
+    level: ValidationLevel,
+) -> Result<Database, LoadError> {
+    let catalog = decode_catalog(file)?;
+    let mut er = file.require(SEC_EXTENTS)?;
+    let (data_version, cards) = read_extent_preamble(&mut er, &catalog)?;
+    let payload_bytes: usize = [SEC_EXTENTS, SEC_LINKS, SEC_INDEXES]
+        .iter()
+        .filter_map(|&id| file.section(id))
+        .map(<[u8]>::len)
+        .sum();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (extents, links, indexes, stats) = if cores > 1 && payload_bytes >= PARALLEL_DECODE_BYTES {
+        let (catalog, cards) = (&catalog, &cards);
+        std::thread::scope(|s| {
+            let links = s.spawn(move || decode_links(file, catalog, cards, level));
+            let indexes = s.spawn(move || decode_indexes(file, catalog, cards, level));
+            let stats = s.spawn(move || decode_stats(file, catalog, cards, level));
+            let extents = decode_extent_tuples(&mut er, catalog, cards);
+            let links = links.join().expect("link decoder thread panicked");
+            let indexes = indexes.join().expect("index decoder thread panicked");
+            let stats = stats.join().expect("stats decoder thread panicked");
+            Result::<_, LoadError>::Ok((extents?, links?, indexes?, stats?))
+        })?
+    } else {
+        (
+            decode_extent_tuples(&mut er, &catalog, &cards)?,
+            decode_links(file, &catalog, &cards, level)?,
+            decode_indexes(file, &catalog, &cards, level)?,
+            decode_stats(file, &catalog, &cards, level)?,
+        )
+    };
+    if level.is_audit() {
+        let rebuilt = db::build_indexes(&catalog, &extents);
+        for (c, (got, want)) in indexes.iter().zip(rebuilt.iter()).enumerate() {
+            if **got != **want {
+                return Err(LoadError::AuditMismatch {
+                    detail: format!(
+                        "class {}: persisted indexes differ from an extent-scan rebuild",
+                        catalog.class_name(ClassId(c as u32))
+                    ),
+                });
+            }
+        }
+        let restats = db::build_statistics(&catalog, &extents, &links);
+        if restats != stats {
+            return Err(LoadError::AuditMismatch {
+                detail: "persisted statistics differ from a from-scratch rebuild".to_string(),
+            });
+        }
+    }
+    Ok(Database::from_loaded_parts(catalog, extents, indexes, links, stats, data_version))
+}
+
+/// Parses `bytes` as a `.sqos` container and decodes the database at
+/// `level`.
+///
+/// # Errors
+/// Any [`LoadError`].
+pub fn decode_database(bytes: &[u8], level: ValidationLevel) -> Result<Database, LoadError> {
+    let file = SnapshotFile::parse(bytes)?;
+    decode_database_from(&file, level)
+}
+
+/// Reads and decodes a `.sqos` file at `level`.
+///
+/// # Errors
+/// [`LoadError::Io`] on filesystem failures, any other [`LoadError`] on a
+/// bad file.
+pub fn load_database(
+    path: impl AsRef<Path>,
+    level: ValidationLevel,
+) -> Result<Database, LoadError> {
+    let bytes = std::fs::read(path)?;
+    decode_database(&bytes, level)
+}
