@@ -1296,6 +1296,237 @@ pub fn warm_start_boot(seed: u64, smoke: bool) -> (Vec<Headline>, String) {
     (headlines, out)
 }
 
+// ---------------------------------------------------------------------------
+// E14: open-loop frontend — singleflight dedup, admission, load shedding.
+// ---------------------------------------------------------------------------
+
+/// E14: offered concurrency in the thousands through the `sqo-frontend`
+/// reactor.
+///
+/// **Part A — cold-burst dedup.** A Zipf-skewed open-loop burst of
+/// thousands of logical clients hits a *cold* service at once: every
+/// distinct query's first arrivals all miss together, and singleflight
+/// must collapse each stampede onto one optimization. Reported as
+/// `dedup_hit_rate` = 1 − optimizations/completed (> 0.9 means the burst
+/// shared optimizations instead of paying one each).
+///
+/// **Part B — overload shedding.** The same traffic shape against a small
+/// admission queue, offered well beyond it: the frontend must shed the
+/// marginal arrivals with a typed `Overload` and keep the accepted tail
+/// bounded (work-in-queue is capped by the depth) instead of collapsing
+/// every client together.
+///
+/// Every accepted response in both parts is cross-checked against an
+/// uncached (`bypass_cache`) reference service sharing the same store and
+/// database, at the epochs the response recorded.
+pub fn frontend_open_loop(seed: u64, smoke: bool) -> (Vec<Headline>, String) {
+    use sqo_frontend::{Frontend, FrontendConfig, Overload};
+    use sqo_workload::{open_loop_schedule, OpenLoopConfig};
+
+    let workers = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
+    let distinct = 16usize;
+    let mut headlines = Vec::new();
+
+    // Shared cross-check harness: replay each accepted response against an
+    // uncached reference at the epochs it recorded (no writes in E14, so
+    // one reference answer per distinct query covers every response).
+    let cross_check = |service: &Arc<QueryService>,
+                       schedule: &sqo_workload::OpenLoopSchedule,
+                       accepted: &[(usize, sqo_service::ServiceResponse)]| {
+        let reference = QueryService::with_versioned_db(
+            service.store(),
+            Arc::clone(service.versioned_db()),
+            ServiceConfig { bypass_cache: true, ..ServiceConfig::default() },
+        );
+        let wanted: Vec<_> = schedule
+            .distinct
+            .iter()
+            .map(|q| reference.run(q).expect("reference answers"))
+            .collect();
+        for (index, response) in accepted {
+            let want = &wanted[*index];
+            assert_eq!(response.epoch, want.epoch, "responses recorded the serving epoch");
+            assert_eq!(response.data_epoch, want.data_epoch, "and the serving data epoch");
+            assert!(
+                response.results.same_multiset(&want.results),
+                "accepted answer must match the uncached reference at its epochs"
+            );
+        }
+    };
+
+    // -- Part A: cold burst, queue sized to admit everything. --
+    // Same sweep points in smoke and full mode: the committed baseline is
+    // a full run and benchdiff treats baseline metrics absent from the
+    // smoke run as removals, so the metric name sets must coincide (the
+    // warm-start experiment documents the same constraint).
+    let offered_list: &[usize] = &[1024, 4096];
+    let mut ta = TextTable::new(vec![
+        "offered",
+        "goodput qps",
+        "p50 µs",
+        "p99 µs",
+        "optimizations",
+        "dedup hit rate",
+        "sf leaders",
+        "sf followers",
+    ]);
+    for &offered in offered_list {
+        let s = paper_scenario(DbSize::Db1, seed);
+        let pool = s.queries.clone();
+        let service = Arc::new(QueryService::new(Arc::new(s.store), Arc::new(s.db)));
+        let frontend = Frontend::new(
+            Arc::clone(&service),
+            FrontendConfig { workers, queue_depth: offered, p99_bound_us: None },
+        );
+        let schedule = open_loop_schedule(
+            &pool,
+            &OpenLoopConfig {
+                seed,
+                arrivals: offered,
+                distinct,
+                zipf_s: 1.2,
+                ..OpenLoopConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let handles: Vec<_> = schedule
+            .arrivals
+            .iter()
+            .map(|a| (a.distinct_index, frontend.submit(&a.query).expect("queue admits the burst")))
+            .collect();
+        let mut latencies: Vec<Duration> = Vec::with_capacity(handles.len());
+        let mut accepted = Vec::with_capacity(handles.len());
+        for (index, handle) in handles {
+            let done = handle.wait();
+            latencies.push(Duration::from_micros(done.latency_us));
+            accepted.push((index, done.result.expect("burst requests answer")));
+        }
+        let wall = t0.elapsed().as_secs_f64().max(1e-9);
+        frontend.shutdown();
+        cross_check(&service, &schedule, &accepted);
+
+        let svc = service.stats();
+        let completed = accepted.len() as f64;
+        let goodput = completed / wall;
+        let dedup = 1.0 - svc.optimizations as f64 / completed;
+        latencies.sort_unstable();
+        let p50 = percentile_us(&latencies, 0.50);
+        let p99 = percentile_us(&latencies, 0.99);
+        ta.row(vec![
+            offered.to_string(),
+            format!("{goodput:.0}"),
+            format!("{p50:.1}"),
+            format!("{p99:.1}"),
+            svc.optimizations.to_string(),
+            format!("{dedup:.4}"),
+            svc.singleflight_leaders.to_string(),
+            svc.singleflight_followers.to_string(),
+        ]);
+        headlines.push(Headline::new("e14", format!("dedup_hit_rate_o{offered}"), dedup));
+        headlines.push(Headline::new("e14", format!("goodput_qps_o{offered}"), goodput));
+        headlines.push(Headline::new("e14", format!("burst_p50_us_o{offered}"), p50));
+        headlines.push(Headline::new("e14", format!("burst_p99_us_o{offered}"), p99));
+        assert!(
+            dedup > 0.9,
+            "a {offered}-client cold burst over {distinct} distinct queries must share \
+             optimizations (got {dedup:.4} from {} optimizations)",
+            svc.optimizations
+        );
+    }
+
+    // -- Part B: offered load far beyond a small admission queue. --
+    let depth = if smoke { 64 } else { 256 };
+    let offered = depth * 4;
+    let s = paper_scenario(DbSize::Db1, seed);
+    let pool = s.queries.clone();
+    let service = Arc::new(QueryService::new(Arc::new(s.store), Arc::new(s.db)));
+    let schedule = open_loop_schedule(
+        &pool,
+        &OpenLoopConfig {
+            seed: seed ^ 0x5eed,
+            arrivals: offered,
+            distinct,
+            zipf_s: 1.2,
+            ..OpenLoopConfig::default()
+        },
+    );
+    // Warm the distinct set first: Part B measures steady-state admission
+    // behavior, not cold-miss cost.
+    for q in &schedule.distinct {
+        service.run(q).expect("warmup answers");
+    }
+    let frontend = Frontend::new(
+        Arc::clone(&service),
+        FrontendConfig { workers, queue_depth: depth, p99_bound_us: None },
+    );
+    let t0 = Instant::now();
+    let mut shed = 0u64;
+    let mut handles = Vec::new();
+    for a in &schedule.arrivals {
+        match frontend.submit(&a.query) {
+            Ok(handle) => handles.push((a.distinct_index, handle)),
+            Err(Overload::QueueFull) => shed += 1,
+            Err(other) => panic!("unexpected shed reason {other:?}"),
+        }
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(handles.len());
+    let mut accepted = Vec::with_capacity(handles.len());
+    for (index, handle) in handles {
+        let done = handle.wait();
+        latencies.push(Duration::from_micros(done.latency_us));
+        accepted.push((index, done.result.expect("admitted requests answer")));
+    }
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let stats = frontend.shutdown();
+    cross_check(&service, &schedule, &accepted);
+    assert_eq!(stats.completed, stats.admitted, "admitted requests are never abandoned");
+
+    let shed_rate = shed as f64 / offered as f64;
+    let goodput = accepted.len() as f64 / wall;
+    latencies.sort_unstable();
+    let p50 = percentile_us(&latencies, 0.50);
+    let p99 = percentile_us(&latencies, 0.99);
+    let mut tb = TextTable::new(vec![
+        "offered",
+        "queue depth",
+        "accepted",
+        "shed",
+        "shed rate",
+        "goodput qps",
+        "accepted p50 µs",
+        "accepted p99 µs",
+    ]);
+    tb.row(vec![
+        offered.to_string(),
+        depth.to_string(),
+        accepted.len().to_string(),
+        shed.to_string(),
+        format!("{shed_rate:.3}"),
+        format!("{goodput:.0}"),
+        format!("{p50:.1}"),
+        format!("{p99:.1}"),
+    ]);
+    headlines.push(Headline::new("e14", "overload_shed_rate", shed_rate));
+    headlines.push(Headline::new("e14", "overload_goodput_qps", goodput));
+    headlines.push(Headline::new("e14", "overload_p99_us", p99));
+
+    let out = format!(
+        "E14: Open-loop frontend — singleflight dedup, admission control, load shedding\n\
+         ({workers} reactor workers; Zipf(s=1.2) traffic over {distinct} distinct queries,\n\
+         shuffled spellings; every accepted response cross-checked against an uncached\n\
+         reference at its recorded epochs)\n\n\
+         Part A — cold burst, everything admitted (dedup hit rate = 1 − optimizations/completed;\n\
+         how the dedup splits between singleflight flights and post-publication cache hits\n\
+         is scheduling-dependent, the shared-optimization count is not):\n{}\n\
+         Part B — offered load {offered} against an admission queue of {depth} (reject-newest;\n\
+         accepted work is bounded by the queue depth, so the accepted tail stays bounded\n\
+         while the marginal arrivals shed with a typed Overload):\n{}",
+        ta.render(),
+        tb.render()
+    );
+    (headlines, out)
+}
+
 /// Headline numbers of E11.
 pub fn e11_headlines(rows: &[E11Row]) -> Vec<Headline> {
     let mut out = Vec::new();
@@ -1441,5 +1672,28 @@ mod tests {
         let headlines = e11_headlines(&rows);
         assert_eq!(headlines.len(), 12 * 2 + 3);
         assert!(headlines.iter().any(|h| h.metric == "plan_hit_rate_w20"));
+    }
+
+    #[test]
+    fn e14_smoke_dedups_and_sheds() {
+        // The driver itself asserts dedup > 0.9 and cross-checks every
+        // accepted response against an uncached reference; here we pin
+        // the headline shape and the shedding claims.
+        let (headlines, rendered) = frontend_open_loop(42, true);
+        let dedup = headlines
+            .iter()
+            .find(|h| h.experiment == "e14" && h.metric == "dedup_hit_rate_o1024")
+            .unwrap_or_else(|| panic!("missing dedup headline\n{rendered}"));
+        assert!(dedup.value > 0.9, "cold burst must share optimizations\n{rendered}");
+        let shed = headlines
+            .iter()
+            .find(|h| h.metric == "overload_shed_rate")
+            .unwrap_or_else(|| panic!("missing shed headline\n{rendered}"));
+        assert!(
+            shed.value > 0.0 && shed.value < 1.0,
+            "offered load 4x the queue depth must shed some but not all\n{rendered}"
+        );
+        assert!(headlines.iter().any(|h| h.metric == "overload_p99_us"));
+        assert!(headlines.iter().any(|h| h.metric == "overload_goodput_qps"));
     }
 }

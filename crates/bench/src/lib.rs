@@ -35,7 +35,8 @@ pub mod json;
 pub use experiments::{
     baseline_comparison, budget_sweep, calibrate_units_per_second, closure_ablation,
     cold_path_latency, e10_headlines, e11_headlines, e9_headlines, fig41_headlines, figure41,
-    grouping, mutable_serving, service_throughput, table41, table42, table42_headlines,
-    warm_start_boot, write_path_scaling, E10Row, E11Row, E9Row, Fig41Point, Table42Row,
+    frontend_open_loop, grouping, mutable_serving, service_throughput, table41, table42,
+    table42_headlines, warm_start_boot, write_path_scaling, E10Row, E11Row, E9Row, Fig41Point,
+    Table42Row,
 };
 pub use json::{parse_headlines, render_json, Headline};

@@ -1,0 +1,373 @@
+//! A minimal hand-rolled reactor: a fixed pool of worker threads polling
+//! `Pin<Box<dyn Future>>` tasks out of a ready queue, with wakers built on
+//! the safe [`std::task::Wake`] trait (no `unsafe`, no RawWaker vtables).
+//!
+//! Tasks live in a slab arena with a free list; each carries a one-byte
+//! scheduling state machine that makes wake-ups race-free:
+//!
+//! ```text
+//!        spawn            pop              Ready/panic
+//!   ──► QUEUED ────────► RUNNING ─────────► COMPLETE
+//!          ▲             │     │
+//!          │ wake        │     │ wake while running
+//!          │             ▼     ▼
+//!          └─────────── IDLE  NOTIFIED ──► re-queued after the poll
+//! ```
+//!
+//! * `wake` on an IDLE task CASes it to QUEUED and pushes it — exactly one
+//!   push per wake-up burst, never a lost one.
+//! * `wake` during a poll records NOTIFIED; the polling worker re-queues
+//!   the task itself, so a wake racing the `Poll::Pending` return is never
+//!   dropped.
+//! * A panicking poll completes the task (the panic is contained by
+//!   `catch_unwind`) instead of taking the worker thread down.
+//!
+//! The queue is a `Mutex<VecDeque>` + `Condvar`: idle workers park in the
+//! OS, a pool of `min(cores, N)` threads multiplexes any number of logical
+//! tasks.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const COMPLETE: u8 = 4;
+
+/// One spawned logical client. The task *is* its own waker (`Arc<Task>`
+/// via [`Wake`]), so a waker outliving the task's arena slot can never
+/// wake a stranger that reused the slot — it CASes on this task's own
+/// state and finds COMPLETE.
+struct Task {
+    index: usize,
+    state: AtomicU8,
+    /// The future, present exactly while the task is alive and not being
+    /// polled (the polling worker takes it out, so a panicking poll can
+    /// never poison this lock).
+    future: Mutex<Option<BoxFuture>>,
+    exec: Weak<ExecInner>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        let mut state = self.state.load(Ordering::Acquire);
+        loop {
+            let target = match state {
+                IDLE => QUEUED,
+                RUNNING => NOTIFIED,
+                // Already queued/notified (the pending wake covers this
+                // one) or complete (nothing left to run).
+                _ => return,
+            };
+            match self.state.compare_exchange_weak(
+                state,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // Exactly the IDLE→QUEUED winner pushes — one queue
+                    // entry per transition, so a task is never popped by
+                    // two workers at once. A NOTIFIED park is pushed by
+                    // the polling worker instead.
+                    if target == QUEUED {
+                        if let Some(exec) = self.exec.upgrade() {
+                            exec.push_ready(self.index);
+                        }
+                    }
+                    return;
+                }
+                Err(actual) => state = actual,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("index", &self.index)
+            .field("state", &self.state.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Arena {
+    slots: Vec<Option<Arc<Task>>>,
+    free: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct ExecInner {
+    ready: Mutex<VecDeque<usize>>,
+    /// Signalled on new ready work, on drain, and when the live count
+    /// hits zero (both workers and `join` waiters listen here).
+    wakeup: Condvar,
+    arena: Mutex<Arena>,
+    live: AtomicUsize,
+    draining: Mutex<bool>,
+}
+
+impl ExecInner {
+    fn push_ready(&self, index: usize) {
+        self.ready.lock().expect("ready queue never poisoned").push_back(index);
+        self.wakeup.notify_one();
+    }
+
+    /// The next ready task, or `None` once draining and nothing is live.
+    fn next_ready(&self) -> Option<Arc<Task>> {
+        let mut ready = self.ready.lock().expect("ready queue never poisoned");
+        loop {
+            if let Some(index) = ready.pop_front() {
+                let arena = self.arena.lock().expect("arena never poisoned");
+                if let Some(task) = arena.slots.get(index).and_then(|s| s.clone()) {
+                    return Some(task);
+                }
+                // Slot already retired; keep looking.
+                continue;
+            }
+            let draining = *self.draining.lock().expect("drain flag never poisoned");
+            if draining && self.live.load(Ordering::Acquire) == 0 {
+                // Pass the shutdown baton to the next parked worker.
+                self.wakeup.notify_one();
+                return None;
+            }
+            ready = self.wakeup.wait(ready).expect("ready queue never poisoned");
+        }
+    }
+
+    fn complete(&self, task: &Arc<Task>) {
+        task.state.store(COMPLETE, Ordering::Release);
+        {
+            let mut arena = self.arena.lock().expect("arena never poisoned");
+            arena.slots[task.index] = None;
+            arena.free.push(task.index);
+        }
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last live task gone: wake drain waiters and parked workers.
+            drop(self.ready.lock().expect("ready queue never poisoned"));
+            self.wakeup.notify_all();
+        }
+    }
+
+    fn worker_loop(&self) {
+        while let Some(task) = self.next_ready() {
+            task.state.store(RUNNING, Ordering::Release);
+            let Some(mut future) = task.future.lock().expect("future slot never poisoned").take()
+            else {
+                self.complete(&task);
+                continue;
+            };
+            let waker = Waker::from(Arc::clone(&task));
+            let mut cx = Context::from_waker(&waker);
+            match catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx))) {
+                Ok(Poll::Pending) => {
+                    // Future back first, *then* resolve the state: a waker
+                    // firing in between parks the wake as NOTIFIED and the
+                    // CAS below re-queues — never a lost wake-up.
+                    *task.future.lock().expect("future slot never poisoned") = Some(future);
+                    if task
+                        .state
+                        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        // A wake landed during the poll (NOTIFIED): the
+                        // waker deferred the push to us.
+                        task.state.store(QUEUED, Ordering::Release);
+                        self.push_ready(task.index);
+                    }
+                }
+                Ok(Poll::Ready(())) => self.complete(&task),
+                Err(_panic) => {
+                    // A panicking poll retires the task; the pool keeps
+                    // running. The half-unwound future's destructor might
+                    // panic too, so contain that as well.
+                    let _ = catch_unwind(AssertUnwindSafe(move || drop(future)));
+                    self.complete(&task);
+                }
+            }
+        }
+    }
+}
+
+/// The reactor: spawn futures, a fixed worker pool drives them to
+/// completion.
+#[derive(Debug)]
+pub(crate) struct Executor {
+    inner: Arc<ExecInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    pub(crate) fn new(workers: usize) -> Self {
+        let inner = Arc::new(ExecInner {
+            ready: Mutex::new(VecDeque::new()),
+            wakeup: Condvar::new(),
+            arena: Mutex::new(Arena::default()),
+            live: AtomicUsize::new(0),
+            draining: Mutex::new(false),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sqo-frontend-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn frontend worker")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Queues `future` as a new task; it starts running as soon as a
+    /// worker is free.
+    pub(crate) fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
+        let index = {
+            let mut arena = self.inner.arena.lock().expect("arena never poisoned");
+            let index = arena.free.pop().unwrap_or_else(|| {
+                arena.slots.push(None);
+                arena.slots.len() - 1
+            });
+            let task = Arc::new(Task {
+                index,
+                state: AtomicU8::new(QUEUED),
+                future: Mutex::new(Some(Box::pin(future))),
+                exec: Arc::downgrade(&self.inner),
+            });
+            arena.slots[index] = Some(task);
+            index
+        };
+        self.inner.live.fetch_add(1, Ordering::AcqRel);
+        self.inner.push_ready(index);
+    }
+
+    /// Drains and joins: every already-spawned task runs to completion,
+    /// then the workers exit.
+    pub(crate) fn join(mut self) {
+        *self.inner.draining.lock().expect("drain flag never poisoned") = true;
+        {
+            // Lock/unlock pairs the flag write with the workers' wait.
+            drop(self.inner.ready.lock().expect("ready queue never poisoned"));
+        }
+        self.inner.wakeup.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pending once, waking itself inline — exercises the NOTIFIED path
+    /// (wake during RUNNING) and the re-queue after the poll.
+    struct YieldOnce {
+        yielded: bool,
+    }
+
+    impl Future for YieldOnce {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn yielding_tasks_all_run_to_completion() {
+        let exec = Executor::new(3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            exec.spawn(async move {
+                YieldOnce { yielded: false }.await;
+                YieldOnce { yielded: false }.await;
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        exec.join();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn a_panicking_task_does_not_take_the_pool_down() {
+        let exec = Executor::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        exec.spawn(async {
+            panic!("poisoned task");
+        });
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            exec.spawn(async move {
+                YieldOnce { yielded: false }.await;
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        exec.join();
+        assert_eq!(done.load(Ordering::SeqCst), 10, "pool survives the panicking task");
+    }
+
+    #[test]
+    fn cross_thread_wakes_are_never_lost() {
+        // A future woken from an external thread after returning Pending:
+        // the wake must land whether it races the IDLE transition or not.
+        struct External {
+            fired: Arc<Mutex<Option<Waker>>>,
+            done: Arc<AtomicUsize>,
+        }
+        impl Future for External {
+            type Output = ();
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.done.load(Ordering::SeqCst) == 1 {
+                    return Poll::Ready(());
+                }
+                *self.fired.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let exec = Executor::new(2);
+        let fired = Arc::new(Mutex::new(None));
+        let done = Arc::new(AtomicUsize::new(0));
+        let finished = Arc::new(AtomicUsize::new(0));
+        {
+            let (fired, done, finished) =
+                (Arc::clone(&fired), Arc::clone(&done), Arc::clone(&finished));
+            exec.spawn(async move {
+                External { fired, done }.await;
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Wait for the task to park, then resolve + wake from outside.
+        let waker = loop {
+            if let Some(w) = fired.lock().unwrap().take() {
+                break w;
+            }
+            std::thread::yield_now();
+        };
+        done.store(1, Ordering::SeqCst);
+        waker.wake();
+        exec.join();
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+    }
+}

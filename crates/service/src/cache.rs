@@ -44,6 +44,8 @@ use sqo_constraints::StoreVersion;
 use sqo_exec::{PhysicalPlan, ResultSet};
 use sqo_query::{Query, QueryFingerprint};
 
+use crate::singleflight::FlightTable;
+
 /// One cached optimization: everything needed to answer the query again
 /// without re-running the transformation fixpoint or the planner.
 #[derive(Debug)]
@@ -114,8 +116,19 @@ struct Slot {
 type Shard = HashMap<QueryFingerprint, Slot>;
 
 /// Point-in-time cache counters (monotone except `entries`/`shard_sizes`).
+///
+/// Snapshots are **self-consistent**: `hits + misses == lookups` holds in
+/// every snapshot, even one taken mid-flight while other threads are
+/// looking up. The cache maintains only two atomics (`lookups`, bumped
+/// *before* the outcome is decided, and `hits`, bumped after) and derives
+/// `misses = lookups - hits`; [`ShardedCache::stats`] reads `hits` before
+/// `lookups`, so the read pair can never observe `hits > lookups`. With
+/// three independent counters a snapshot could tear — a hit bumped but not
+/// yet its lookup — and `hits + misses` would disagree with `lookups`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Completed lookups (`hits + misses`, exactly, in every snapshot).
+    pub lookups: u64,
     pub hits: u64,
     pub misses: u64,
     pub insertions: u64,
@@ -145,10 +158,16 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct ShardedCache {
     shards: Vec<RwLock<Shard>>,
+    /// In-flight misses (singleflight): registered when a lookup misses,
+    /// retired when the leader publishes the entry it derived. Behind an
+    /// `Arc` so leader guards and follower waiters can outlive the borrow.
+    flights: Arc<FlightTable>,
     per_shard_capacity: usize,
     clock: AtomicU64,
+    /// Completed lookups. Incremented *before* `hits` on the hit path so
+    /// `hits <= lookups` at every instant (see [`CacheStats`]).
+    lookups: AtomicU64,
     hits: AtomicU64,
-    misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
@@ -163,10 +182,11 @@ impl ShardedCache {
         let per_shard_capacity = capacity.div_ceil(shards).max(1);
         Self {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            flights: Arc::new(FlightTable::default()),
             per_shard_capacity,
             clock: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
@@ -176,6 +196,11 @@ impl ShardedCache {
 
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The singleflight in-flight miss registry attached to this cache.
+    pub(crate) fn flights(&self) -> &Arc<FlightTable> {
+        &self.flights
     }
 
     pub fn capacity(&self) -> usize {
@@ -197,6 +222,9 @@ impl ShardedCache {
         canonical: &Query,
         version: StoreVersion,
     ) -> Option<Arc<CacheEntry>> {
+        // `lookups` first: `hits <= lookups` must hold at every instant so
+        // a concurrent stats() snapshot stays self-consistent.
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(fingerprint).read();
         match shard.get(&fingerprint) {
             Some(slot) if slot.version == version && slot.entry.canonical == *canonical => {
@@ -204,10 +232,7 @@ impl ShardedCache {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&slot.entry))
             }
-            _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            _ => None,
         }
     }
 
@@ -305,9 +330,15 @@ impl ShardedCache {
         // One read-lock pass: `entries` is derived from the same snapshot
         // as `shard_sizes`, so the two never disagree.
         let shard_sizes: Vec<usize> = self.shards.iter().map(|s| s.read().len()).collect();
+        // Read `hits` strictly before `lookups`: increments go the other
+        // way (`lookups` first), so `hits <= lookups` in this snapshot and
+        // the derived `misses` can never underflow (see [`CacheStats`]).
+        let hits = self.hits.load(Ordering::Relaxed);
+        let lookups = self.lookups.load(Ordering::Relaxed);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            lookups,
+            hits,
+            misses: lookups - hits,
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),

@@ -31,6 +31,13 @@
 //!   [`sqo_exec::PhysicalPlan`] without re-planning, and a fixed
 //!   worker-pool [`QueryService::run_batch`] drives closed-loop throughput
 //!   experiments (E9, and the mixed read/write E11).
+//! * **Singleflight miss deduplication** ([`QueryService::try_run`] +
+//!   [`QueryService::complete_miss`]): concurrent cold misses on the same
+//!   `(fingerprint, store version, data epoch)` coordinates share one
+//!   optimization — the first registrant leads, duplicates follow on a
+//!   [`MissWaiter`] (waker-based, no thread parked), and a leader that
+//!   dies mid-flight aborts cleanly instead of stranding its followers.
+//!   This is the non-blocking seam the `sqo-frontend` reactor drives.
 
 #![forbid(unsafe_code)]
 #![warn(missing_debug_implementations)]
@@ -38,6 +45,7 @@
 mod cache;
 mod persist;
 mod service;
+mod singleflight;
 
 pub use cache::{CacheEntry, CacheStats, ShardedCache};
 pub use persist::{
@@ -45,5 +53,6 @@ pub use persist::{
     encode_plan_seeds, rebuild_store, ConstraintSeed, PlanSeed,
 };
 pub use service::{
-    PreparedQuery, QueryService, ServiceConfig, ServiceError, ServiceResponse, ServiceStats,
+    PreparedQuery, QueryService, ServiceConfig, ServiceError, ServiceResponse, ServiceStats, TryRun,
 };
+pub use singleflight::{FlightError, FlightKey, FlightResult, MissGuard, MissWaiter};

@@ -21,6 +21,7 @@ use sqo_storage::{DataWrite, Database, StorageError, VersionedDatabase, WriteOut
 
 use crate::cache::{CacheEntry, CacheStats, ShardedCache};
 use crate::persist;
+use crate::singleflight::{FlightError, FlightKey, MissGuard, MissWaiter, Registered};
 
 thread_local! {
     /// Per-worker reusable optimizer + executor buffers: the cold path of
@@ -39,6 +40,11 @@ pub enum ServiceError {
     Exec(ExecError),
     /// A write batch failed validation or integrity enforcement.
     Storage(StorageError),
+    /// A [`QueryService::run_batch`] worker panicked before answering this
+    /// request. The batch still completes: every request the poisoned
+    /// worker had claimed surfaces as this error instead of aborting the
+    /// caller.
+    WorkerPanicked,
 }
 
 impl fmt::Display for ServiceError {
@@ -47,6 +53,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Query(e) => write!(f, "query error: {e}"),
             ServiceError::Exec(e) => write!(f, "execution error: {e}"),
             ServiceError::Storage(e) => write!(f, "write error: {e}"),
+            ServiceError::WorkerPanicked => write!(f, "batch worker panicked mid-request"),
         }
     }
 }
@@ -57,6 +64,7 @@ impl std::error::Error for ServiceError {
             ServiceError::Query(e) => Some(e),
             ServiceError::Exec(e) => Some(e),
             ServiceError::Storage(e) => Some(e),
+            ServiceError::WorkerPanicked => None,
         }
     }
 }
@@ -157,17 +165,50 @@ pub struct ServiceResponse {
     pub data_epoch: u64,
 }
 
+/// How a [`QueryService::try_run`] call landed — the non-blocking
+/// counterpart of [`QueryService::run`]'s `ServiceResponse`.
+#[derive(Debug)]
+pub enum TryRun {
+    /// Answered synchronously: a cache hit, the bypass path, or a
+    /// fingerprint-collision fallback.
+    Done(ServiceResponse),
+    /// First miss on these coordinates: the caller must run
+    /// [`QueryService::complete_miss`] with the guard (dropping it instead
+    /// aborts the flight and hands leadership to a retrying follower).
+    Leader(MissGuard),
+    /// Duplicate of an in-flight miss: poll or wait on the waiter for the
+    /// leader's published answer.
+    Follower(MissWaiter),
+}
+
 /// Point-in-time service counters for the bench harness.
+///
+/// Snapshots taken mid-flight are **self-consistent**: `accepted ==
+/// cache.hits + cache.misses` holds in every snapshot (the cache derives
+/// both sides from one pair of ordered atomics, see
+/// [`CacheStats`](crate::CacheStats)), and every counter is monotone
+/// across successive snapshots.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// `run`/`run_batch` requests accepted.
+    /// `run`/`run_batch`/`try_run` requests accepted.
     pub requests: u64,
+    /// Requests that completed a plan-cache lookup. Exactly
+    /// `cache.hits + cache.misses` in every snapshot; trails `requests`
+    /// only by the requests currently between admission and their lookup
+    /// (and by bypass-cache requests, which never look up).
+    pub accepted: u64,
     /// Full semantic-optimization passes actually executed (cache misses).
     pub optimizations: u64,
     /// Physical plan executions (not answered from a memoized result).
     pub executions: u64,
     /// Write batches committed through [`QueryService::write`].
     pub writes: u64,
+    /// Misses that registered as singleflight leaders (each ran one
+    /// optimization on behalf of every concurrent duplicate).
+    pub singleflight_leaders: u64,
+    /// Misses that joined an already-in-flight optimization instead of
+    /// running their own.
+    pub singleflight_followers: u64,
     /// Current constraint-store epoch.
     pub epoch: u64,
     /// Current data epoch of the backing database.
@@ -229,6 +270,8 @@ pub struct QueryService {
     optimizations: AtomicU64,
     executions: AtomicU64,
     writes: AtomicU64,
+    sf_leaders: AtomicU64,
+    sf_followers: AtomicU64,
 }
 
 impl QueryService {
@@ -263,6 +306,8 @@ impl QueryService {
             optimizations: AtomicU64::new(0),
             executions: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            sf_leaders: AtomicU64::new(0),
+            sf_followers: AtomicU64::new(0),
         }
     }
 
@@ -452,40 +497,163 @@ impl QueryService {
         })
     }
 
+    /// The **non-blocking** per-request entry point for reactor-style
+    /// callers (the `sqo-frontend` crate): like [`QueryService::run`], but
+    /// a cache miss never waits behind another request's optimization.
+    ///
+    /// * A plan-cache hit (and the bypass path) is answered synchronously
+    ///   as [`TryRun::Done`] — execution is the caller's CPU work either
+    ///   way.
+    /// * The **first** miss on a `(fingerprint, store version, data
+    ///   epoch)` coordinate becomes [`TryRun::Leader`]: the caller owes
+    ///   the service one [`QueryService::complete_miss`] call, which runs
+    ///   the full optimize+plan+execute pipeline and publishes the answer
+    ///   to every concurrent duplicate.
+    /// * Every further miss on the same coordinates becomes
+    ///   [`TryRun::Follower`] with a [`MissWaiter`]: poll it with a waker
+    ///   (no thread parked) or [`MissWaiter::wait`] for it. An
+    ///   [`FlightError::Aborted`](crate::FlightError::Aborted) outcome
+    ///   means the leader dropped its guard without completing — call
+    ///   `try_run` again; the retry re-checks the cache and may lead.
+    pub fn try_run(&self, query: &Query) -> Result<TryRun, ServiceError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let canonical = query.canonical();
+        let store = self.store();
+        let version = store.version();
+        if self.config.bypass_cache {
+            let entry = Arc::new(self.build_entry(canonical, &store)?);
+            let (results, data_epoch) = self.execute_entry(&entry)?;
+            return Ok(TryRun::Done(ServiceResponse {
+                results,
+                cache_hit: false,
+                epoch: version.epoch,
+                data_epoch,
+            }));
+        }
+        let fingerprint = canonical.fingerprint_canonical();
+        if let Some(entry) = self.cache.get(fingerprint, &canonical, version) {
+            let (results, data_epoch) = self.execute_entry(&entry)?;
+            return Ok(TryRun::Done(ServiceResponse {
+                results,
+                cache_hit: true,
+                epoch: version.epoch,
+                data_epoch,
+            }));
+        }
+        let key = FlightKey { fingerprint, version, data_epoch: self.db.data_epoch() };
+        match self.cache.flights().register(key, &canonical) {
+            Registered::Leader(flight) => {
+                self.sf_leaders.fetch_add(1, Ordering::Relaxed);
+                let table = Arc::clone(self.cache.flights());
+                Ok(TryRun::Leader(MissGuard::new(key, canonical, store, table, flight)))
+            }
+            Registered::Follower(flight) => {
+                self.sf_followers.fetch_add(1, Ordering::Relaxed);
+                Ok(TryRun::Follower(MissWaiter::new(flight)))
+            }
+            Registered::Collision => {
+                // A 64-bit fingerprint collision with the in-flight query:
+                // sharing would serve the wrong answer, so this request
+                // runs the undeduplicated miss path on its own.
+                let entry = Arc::new(self.build_entry(canonical, &store)?);
+                self.cache.insert(fingerprint, version, Arc::clone(&entry));
+                let (results, data_epoch) = self.execute_entry(&entry)?;
+                Ok(TryRun::Done(ServiceResponse {
+                    results,
+                    cache_hit: false,
+                    epoch: version.epoch,
+                    data_epoch,
+                }))
+            }
+        }
+    }
+
+    /// Runs the miss pipeline a [`TryRun::Leader`] owes: semantic
+    /// optimization and planning against the store version captured at
+    /// registration, cache publication **stamped with that same version**
+    /// (a store swapped mid-flight can never receive an entry derived
+    /// under its predecessor — lookups at the successor version miss and
+    /// re-derive), then execution. The response resolves the flight, so
+    /// every follower receives the identical `Arc`-shared answer.
+    ///
+    /// On failure the error is shared with the followers too (re-running
+    /// the same pipeline would fail the same way).
+    pub fn complete_miss(&self, guard: MissGuard) -> Result<ServiceResponse, ServiceError> {
+        let key = guard.key();
+        let built = self.build_entry(guard.canonical().clone(), guard.store());
+        let outcome = built.and_then(|entry| {
+            let entry = Arc::new(entry);
+            self.cache.insert(key.fingerprint, key.version, Arc::clone(&entry));
+            let (results, data_epoch) = self.execute_entry(&entry)?;
+            Ok(ServiceResponse { results, cache_hit: false, epoch: key.version.epoch, data_epoch })
+        });
+        match outcome {
+            Ok(response) => {
+                guard.finish(Ok(response.clone()));
+                Ok(response)
+            }
+            Err(e) => {
+                guard.finish(Err(FlightError::Failed(e.clone())));
+                Err(e)
+            }
+        }
+    }
+
     /// Answers `queries` on a fixed pool of `workers` threads (closed-loop:
     /// each worker pulls the next request as soon as it finishes one).
     /// Responses come back in request order.
+    ///
+    /// A worker panic poisons only the requests that worker had claimed:
+    /// each surfaces as [`ServiceError::WorkerPanicked`], every other
+    /// request completes normally, and the caller is never aborted.
     pub fn run_batch(
         &self,
         queries: &[Query],
         workers: usize,
     ) -> Vec<Result<ServiceResponse, ServiceError>> {
+        self.run_batch_with(queries, workers, |q| self.run(q))
+    }
+
+    /// [`QueryService::run_batch`] generic over the per-query closure, so
+    /// tests can inject a panicking request deterministically.
+    fn run_batch_with(
+        &self,
+        queries: &[Query],
+        workers: usize,
+        run: impl Fn(&Query) -> Result<ServiceResponse, ServiceError> + Sync,
+    ) -> Vec<Result<ServiceResponse, ServiceError>> {
         let workers = workers.clamp(1, queries.len().max(1));
         let next = AtomicUsize::new(0);
-        let mut out: Vec<Option<Result<ServiceResponse, ServiceError>>> =
-            (0..queries.len()).map(|_| None).collect();
+        let mut out: Vec<Result<ServiceResponse, ServiceError>> =
+            (0..queries.len()).map(|_| Err(ServiceError::WorkerPanicked)).collect();
+        // Workers stream answers over a channel instead of returning them
+        // from the thread closure: answers a worker produced before
+        // panicking survive, and join() errors are tolerated — requests
+        // the poisoned worker claimed but never answered keep their
+        // `WorkerPanicked` placeholder.
+        let (tx, rx) = std::sync::mpsc::channel();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
-                    scope.spawn(move || {
-                        let mut answered = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(query) = queries.get(i) else { break };
-                            answered.push((i, self.run(query)));
-                        }
-                        answered
+                    let run = &run;
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(query) = queries.get(i) else { break };
+                        let _ = tx.send((i, run(query)));
                     })
                 })
                 .collect();
+            drop(tx);
+            for (i, response) in rx {
+                out[i] = response;
+            }
             for handle in handles {
-                for (i, response) in handle.join().expect("service worker panicked") {
-                    out[i] = Some(response);
-                }
+                let _ = handle.join();
             }
         });
-        out.into_iter().map(|r| r.expect("every request answered exactly once")).collect()
+        out
     }
 
     /// Serializes the full service state into a `.sqos` snapshot: the
@@ -578,16 +746,21 @@ impl QueryService {
         Self::from_snapshot_bytes(&bytes, level, config)
     }
 
-    /// Counter snapshot for monitoring and the bench harness.
+    /// Counter snapshot for monitoring and the bench harness. Safe to call
+    /// mid-flight: see [`ServiceStats`] for the consistency guarantees.
     pub fn stats(&self) -> ServiceStats {
+        let cache = self.cache.stats();
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
+            accepted: cache.lookups,
             optimizations: self.optimizations.load(Ordering::Relaxed),
             executions: self.executions.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            singleflight_leaders: self.sf_leaders.load(Ordering::Relaxed),
+            singleflight_followers: self.sf_followers.load(Ordering::Relaxed),
             epoch: self.epoch(),
             data_epoch: self.data_epoch(),
-            cache: self.cache.stats(),
+            cache,
         }
     }
 }
@@ -792,6 +965,69 @@ mod tests {
             let solo = service.run(q).unwrap();
             assert!(r.as_ref().unwrap().results.same_multiset(&solo.results));
         }
+    }
+
+    #[test]
+    fn run_batch_survives_a_panicking_worker() {
+        let (service, queries) = service();
+        let batch: Vec<Query> = queries.iter().cycle().take(12).cloned().collect();
+        let poisoned = &batch[5];
+        let out = service.run_batch_with(&batch, 3, |q| {
+            if std::ptr::eq(q, poisoned) {
+                panic!("injected worker panic");
+            }
+            service.run(q)
+        });
+        assert_eq!(out.len(), batch.len());
+        assert!(matches!(out[5], Err(ServiceError::WorkerPanicked)));
+        for (i, r) in out.iter().enumerate() {
+            if i != 5 {
+                assert!(r.is_ok(), "request {i} must survive the poisoned worker");
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_leads_hits_and_follows() {
+        let (service, queries) = service();
+        // Cold: the first try_run is a leader that owes a completion.
+        let TryRun::Leader(guard) = service.try_run(&queries[0]).unwrap() else {
+            panic!("cold try_run must lead")
+        };
+        // While the flight is open, a duplicate becomes a follower.
+        let TryRun::Follower(waiter) = service.try_run(&queries[0]).unwrap() else {
+            panic!("duplicate of an open flight must follow")
+        };
+        let led = service.complete_miss(guard).unwrap();
+        let followed = waiter.wait().unwrap();
+        assert!(led.results.same_multiset(&followed.results));
+        assert_eq!(followed.data_epoch, led.data_epoch);
+        // Published: the next try_run is a plain cache hit.
+        let TryRun::Done(hit) = service.try_run(&queries[0]).unwrap() else {
+            panic!("published entry must hit")
+        };
+        assert!(hit.cache_hit);
+        let stats = service.stats();
+        assert_eq!(stats.optimizations, 1, "one optimization serves leader + follower + hit");
+        assert_eq!(stats.singleflight_leaders, 1);
+        assert_eq!(stats.singleflight_followers, 1);
+        assert_eq!(stats.accepted, stats.cache.hits + stats.cache.misses);
+    }
+
+    #[test]
+    fn dropped_leader_aborts_and_a_retry_recovers() {
+        let (service, queries) = service();
+        let TryRun::Leader(guard) = service.try_run(&queries[0]).unwrap() else { panic!() };
+        let TryRun::Follower(waiter) = service.try_run(&queries[0]).unwrap() else { panic!() };
+        drop(guard);
+        assert!(matches!(waiter.wait(), Err(FlightError::Aborted)));
+        // The retry finds the key free and leads; completion publishes.
+        let TryRun::Leader(guard) = service.try_run(&queries[0]).unwrap() else {
+            panic!("retry after abort must lead")
+        };
+        let response = service.complete_miss(guard).unwrap();
+        assert!(!response.cache_hit);
+        assert!(matches!(service.try_run(&queries[0]).unwrap(), TryRun::Done(r) if r.cache_hit));
     }
 
     #[test]

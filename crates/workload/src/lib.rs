@@ -28,6 +28,7 @@ mod constraint_gen;
 mod data_gen;
 mod figure21_data;
 mod mixed;
+mod open_loop;
 mod path_enum;
 mod query_gen;
 mod scenarios;
@@ -43,6 +44,7 @@ pub use mixed::{
     copyable_rels, dup_insert, dup_safe_classes, mixed_workload, MixedApplier, MixedOp,
     MixedWorkload, MixedWorkloadConfig, WriteKind,
 };
+pub use open_loop::{open_loop_schedule, Arrival, OpenLoopConfig, OpenLoopSchedule};
 pub use path_enum::{enumerate_directed_paths, enumerate_paths, SchemaPath};
 pub use query_gen::{generate_query, paper_query_set, QueryGenConfig};
 pub use scenarios::{paper_scenario, paper_scenario_with, DbSize, PaperScenario};

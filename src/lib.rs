@@ -79,6 +79,12 @@ pub mod service {
     pub use sqo_service::*;
 }
 
+/// Non-blocking request frontend: reactor, singleflight, admission
+/// control and load shedding over the serving layer.
+pub mod frontend {
+    pub use sqo_frontend::*;
+}
+
 /// Experiment workload: schemas, generators, paper scenarios.
 pub mod workload {
     pub use sqo_workload::*;
