@@ -60,7 +60,7 @@ mod transform;
 mod verify;
 
 pub use config::{MatchPolicy, OptimizerConfig, QueueDiscipline, TagPolicy};
-pub use formulate::{formulate, FormulationResult};
+pub use formulate::{formulate, formulate_with, FormulationResult, FormulationScratch};
 pub use optimizer::{Optimized, SemanticOptimizer};
 pub use oracle::{DropAllOracle, ProfitOracle, StructuralOracle};
 pub use queue::{ActionKind, TransformationQueue};

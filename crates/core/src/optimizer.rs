@@ -14,7 +14,7 @@ use sqo_constraints::ConstraintStore;
 use sqo_query::{Query, QueryError};
 
 use crate::config::OptimizerConfig;
-use crate::formulate::formulate;
+use crate::formulate::formulate_with;
 use crate::oracle::ProfitOracle;
 use crate::report::{OptimizationReport, PhaseTimings};
 use crate::scratch::OptimizerScratch;
@@ -127,7 +127,8 @@ impl<'a> SemanticOptimizer<'a> {
         // Phase 0: constraint retrieval via the secondary index (exact, no
         // group waste; recall-equivalent to the grouped scheme).
         let t0 = Instant::now();
-        let OptimizerScratch { retrieval, relevant, table: table_buf, transform } = scratch;
+        let OptimizerScratch { retrieval, relevant, table: table_buf, transform, formulation } =
+            scratch;
         store.relevant_into(query, retrieval, relevant);
         let retrieval = t0.elapsed();
 
@@ -150,7 +151,8 @@ impl<'a> SemanticOptimizer<'a> {
 
         // Phase 4: query formulation (§3.4).
         let t3 = Instant::now();
-        let mut formulation_result = formulate(&catalog, query, &table, &self.config, oracle);
+        let mut formulation_result =
+            formulate_with(&catalog, query, &table, &self.config, oracle, formulation);
         let formulation = t3.elapsed();
 
         debug_assert!(

@@ -15,18 +15,20 @@
 
 use sqo_constraints::{ConstraintId, RetrievalScratch};
 
+use crate::formulate::FormulationScratch;
 use crate::table::TableBuffers;
 use crate::transform::TransformScratch;
 
 /// All reusable buffers of one optimization pipeline: indexed constraint
-/// retrieval, transformation-table construction, and the transformation
-/// fixpoint loop.
+/// retrieval, transformation-table construction, the transformation
+/// fixpoint loop, and formulation's candidate queries.
 #[derive(Debug, Default)]
 pub struct OptimizerScratch {
     pub(crate) retrieval: RetrievalScratch,
     pub(crate) relevant: Vec<ConstraintId>,
     pub(crate) table: TableBuffers,
     pub(crate) transform: TransformScratch,
+    pub(crate) formulation: FormulationScratch,
 }
 
 impl OptimizerScratch {

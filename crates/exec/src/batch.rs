@@ -1,0 +1,395 @@
+//! Batch execution tier: K probe bindings interleaved against one plan.
+//!
+//! [`execute_batch_with`] runs K independent probes of the same
+//! [`PhysicalPlan`] as K depth-first machines advanced round-robin, one
+//! traversal step per machine per round. Each machine executes *exactly*
+//! the algorithm of [`crate::execute_with`] — same visit order, same rows,
+//! same [`CostCounters`] — so the batched path is observationally
+//! equivalent to K sequential executions; what changes is the memory-access
+//! pattern. Interleaving keeps K index descents / link traversals in
+//! flight at once (independent work for the out-of-order core) and walks K
+//! candidate vectors that live side by side in one shared arena
+//! (struct-of-arrays: slot `d * K + k` holds probe `k`'s survivors at plan
+//! level `d`), which is where the single-thread throughput of the serving
+//! tier's fingerprint-grouped warm batches comes from.
+//!
+//! A probe is either the plan run [`ProbeBinding::AsPlanned`] — the shape
+//! the service's warm groups use, where every member shares one plan — or
+//! the plan with its root index probe re-keyed
+//! ([`ProbeBinding::RootSet`]), the parameterized-batch shape: one plan
+//! skeleton, K distinct keys.
+
+use sqo_catalog::{AttrRef, ClassId};
+use sqo_query::ValueSet;
+use sqo_storage::{CostCounters, Database, ObjectId};
+
+use crate::error::ExecError;
+use crate::executor::{emit, fill_step_level, produce, retain_residual};
+use crate::plan::{AccessPath, ClassAccess, PhysicalPlan};
+use crate::result::ResultSet;
+
+/// How one probe of a batch binds the shared plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbeBinding {
+    /// Run the plan exactly as planned. A fingerprint-grouped warm batch is
+    /// K copies of this: identical requests, one shared plan.
+    AsPlanned,
+    /// Run the plan with its root index probe re-keyed to this value set —
+    /// one plan skeleton serving K distinct keys. The plan's root must be
+    /// an [`AccessPath::Index`]; a sequential-scan root has no probe key to
+    /// override and fails with [`ExecError::RootOverrideNeedsIndex`].
+    RootSet(ValueSet),
+}
+
+impl ProbeBinding {
+    /// The equivalent stand-alone plan of this probe: `plan` itself for
+    /// [`ProbeBinding::AsPlanned`], or `plan` with the root probe set
+    /// substituted. This is the sequential-path counterpart the
+    /// equivalence tests (and the benchmark cross-checks) execute via
+    /// [`crate::execute_with`].
+    pub fn apply(&self, plan: &PhysicalPlan) -> Result<PhysicalPlan, ExecError> {
+        let mut plan = plan.clone();
+        if let ProbeBinding::RootSet(set) = self {
+            let AccessPath::Index { set: planned, .. } = &mut plan.root.path else {
+                return Err(ExecError::RootOverrideNeedsIndex(plan.root.class));
+            };
+            planned.clone_from(set);
+        }
+        Ok(plan)
+    }
+}
+
+/// Reusable state of [`execute_batch_with`]: one shared candidate arena in
+/// struct-of-arrays layout plus per-probe cursor, binding and progress
+/// state. Keep one per worker thread; any (plan depth, batch width)
+/// combination runs against any scratch — slots grow on demand and are
+/// cleared before use.
+#[derive(Debug, Default)]
+pub struct BatchExecScratch {
+    /// The shared candidate arena: `arena[d * width + k]` holds probe `k`'s
+    /// surviving candidates at plan level `d` (root = 0). Probes of one
+    /// level are adjacent, which is the cache-locality half of the batch
+    /// tier's win.
+    arena: Vec<Vec<ObjectId>>,
+    /// `cursors[d * width + k]` = next candidate of `arena[d * width + k]`.
+    cursors: Vec<usize>,
+    /// `bindings[k]` = probe `k`'s partial binding stack.
+    bindings: Vec<Vec<(ClassId, ObjectId)>>,
+    /// `depth[k]` = the level probe `k`'s machine is currently walking.
+    depth: Vec<usize>,
+    /// `done[k]` = probe `k` exhausted its root level.
+    done: Vec<bool>,
+}
+
+impl BatchExecScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, depths: usize, width: usize) {
+        let slots = depths * width;
+        if self.arena.len() < slots {
+            self.arena.resize_with(slots, Vec::new);
+        }
+        for level in &mut self.arena[..slots] {
+            level.clear();
+        }
+        self.cursors.clear();
+        self.cursors.resize(slots, 0);
+        if self.bindings.len() < width {
+            self.bindings.resize_with(width, Vec::new);
+        }
+        for binding in &mut self.bindings[..width] {
+            binding.clear();
+        }
+        self.depth.clear();
+        self.depth.resize(width, 0);
+        self.done.clear();
+        self.done.resize(width, false);
+    }
+}
+
+/// Executes `probes.len()` probes of `plan` against `db`, returning each
+/// probe's result set and operation counters in probe order. Allocates
+/// fresh state; hot callers should hold a [`BatchExecScratch`] and use
+/// [`execute_batch_with`].
+pub fn execute_batch(
+    db: &Database,
+    plan: &PhysicalPlan,
+    probes: &[ProbeBinding],
+) -> Result<Vec<(ResultSet, CostCounters)>, ExecError> {
+    execute_batch_with(db, plan, probes, &mut BatchExecScratch::new())
+}
+
+/// [`execute_batch`] against reusable state.
+///
+/// Per probe, the emitted rows (in emission order) and the counters are
+/// exactly those of [`crate::execute_with`] on that probe's equivalent
+/// stand-alone plan ([`ProbeBinding::apply`]) — the machines are
+/// independent; only their *interleaving* in time and their candidate
+/// vectors' placement in memory differ from K sequential runs. An error in
+/// any probe (all probe errors are plan-level, so under `AsPlanned` probes
+/// they are identical across the batch) fails the whole call.
+pub fn execute_batch_with(
+    db: &Database,
+    plan: &PhysicalPlan,
+    probes: &[ProbeBinding],
+    scratch: &mut BatchExecScratch,
+) -> Result<Vec<(ResultSet, CostCounters)>, ExecError> {
+    let width = probes.len();
+    if width == 0 {
+        return Ok(Vec::new());
+    }
+    let depths = plan.steps.len() + 1;
+    scratch.reset(depths, width);
+    let BatchExecScratch { arena, cursors, bindings, depth, done } = scratch;
+
+    let columns: Vec<AttrRef> = plan.projections.iter().map(|p| p.attr).collect();
+    let mut out: Vec<(ResultSet, CostCounters)> =
+        (0..width).map(|_| (ResultSet::new(columns.clone()), CostCounters::new())).collect();
+
+    // Root candidates, one batch-produce per probe: K index descents (or
+    // extent scans) issued back to back before any traversal begins.
+    for (k, probe) in probes.iter().enumerate() {
+        produce_probe(db, &plan.root, probe, &mut out[k].1, &mut arena[k])?;
+    }
+
+    // Round-robin over the K depth-first machines: each live machine takes
+    // one traversal step per round (bind the next candidate and either emit
+    // or fill its child level — or pop a level when the current one is
+    // exhausted). Per machine this is exactly `execute_with`'s loop body.
+    let mut live = width;
+    while live > 0 {
+        for k in 0..width {
+            if done[k] {
+                continue;
+            }
+            let d = depth[k];
+            let slot = d * width + k;
+            let Some(&oid) = arena[slot].get(cursors[slot]) else {
+                if d == 0 {
+                    done[k] = true;
+                    live -= 1;
+                } else {
+                    depth[k] = d - 1;
+                }
+                continue;
+            };
+            cursors[slot] += 1;
+            let class = if d == 0 { plan.root.class } else { plan.steps[d - 1].access.class };
+            let binding = &mut bindings[k];
+            binding.truncate(d);
+            binding.push((class, oid));
+
+            let (result, counters) = &mut out[k];
+            let Some(step) = plan.steps.get(d) else {
+                emit(db, plan, binding, counters, result)?;
+                continue;
+            };
+            let child = (d + 1) * width + k;
+            fill_step_level(db, step, binding, counters, &mut arena[child])?;
+            cursors[child] = 0;
+            depth[k] = d + 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Root production for one probe: [`produce`] as planned, or the same
+/// index-probe path with the probe's own key substituted.
+fn produce_probe(
+    db: &Database,
+    root: &ClassAccess,
+    probe: &ProbeBinding,
+    counters: &mut CostCounters,
+    out: &mut Vec<ObjectId>,
+) -> Result<(), ExecError> {
+    match probe {
+        ProbeBinding::AsPlanned => produce(db, root, counters, out),
+        ProbeBinding::RootSet(set) => {
+            let AccessPath::Index { attr, .. } = &root.path else {
+                return Err(ExecError::RootOverrideNeedsIndex(root.class));
+            };
+            out.clear();
+            let index = db.index(*attr).ok_or(ExecError::MissingIndex(*attr))?;
+            let scan = index.probe(set).ok_or(ExecError::UnsupportedProbe(*attr))?;
+            counters.index_probes += 1;
+            counters.index_entries += scan.probes.saturating_sub(1);
+            out.extend(scan.oids);
+            retain_residual(db, root, counters, out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::executor::{execute_with, ExecScratch};
+    use crate::planner::plan_query;
+    use sqo_catalog::example::figure21;
+    use sqo_catalog::Value;
+    use sqo_query::{CompOp, Query, QueryBuilder};
+    use sqo_storage::IntegrityOptions;
+    use std::sync::Arc;
+
+    /// The executor test instance: 4 suppliers, 6 vehicles, 12 cargoes,
+    /// supplies/collects round-robin.
+    fn db() -> Database {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        let cargo = catalog.class_id("cargo").unwrap();
+        let vehicle = catalog.class_id("vehicle").unwrap();
+        for i in 0..4 {
+            b.insert(supplier, vec![Value::str(format!("s{i}")), Value::str("x")]).unwrap();
+        }
+        for i in 0..6 {
+            let desc = if i < 2 { "refrigerated truck" } else { "flatbed" };
+            b.insert(vehicle, vec![Value::Int(i), Value::str(desc), Value::Int(i % 3)]).unwrap();
+        }
+        for i in 0..12i64 {
+            let desc = if i % 2 == 0 { "frozen food" } else { "dry goods" };
+            b.insert(cargo, vec![Value::Int(i), Value::str(desc), Value::Int(i)]).unwrap();
+        }
+        let supplies = catalog.rel_id("supplies").unwrap();
+        let collects = catalog.rel_id("collects").unwrap();
+        for i in 0..12u32 {
+            b.link(supplies, ObjectId(i), ObjectId(i % 4)).unwrap();
+            b.link(collects, ObjectId(i), ObjectId(i % 6)).unwrap();
+        }
+        b.finalize(IntegrityOptions {
+            enforce_total_participation: false,
+            enforce_multiplicity: true,
+        })
+        .unwrap()
+    }
+
+    /// A large supplier extent so the planner roots at an index probe.
+    fn indexed_db() -> Database {
+        let catalog = Arc::new(figure21().unwrap());
+        let mut b = Database::builder(Arc::clone(&catalog));
+        let supplier = catalog.class_id("supplier").unwrap();
+        for i in 0..500 {
+            b.insert(supplier, vec![Value::str(format!("s{i}")), Value::str("x")]).unwrap();
+        }
+        b.finalize(IntegrityOptions {
+            enforce_total_participation: false,
+            enforce_multiplicity: true,
+        })
+        .unwrap()
+    }
+
+    fn assert_batch_matches_sequential(db: &Database, q: &Query, probes: &[ProbeBinding]) {
+        let plan = plan_query(db, q, &CostModel::default()).unwrap();
+        let batched = execute_batch_with(db, &plan, probes, &mut BatchExecScratch::new()).unwrap();
+        assert_eq!(batched.len(), probes.len());
+        let mut seq_scratch = ExecScratch::new();
+        for (probe, (rows, counters)) in probes.iter().zip(&batched) {
+            let solo = probe.apply(&plan).unwrap();
+            let (want_rows, want_counters) = execute_with(db, &solo, &mut seq_scratch).unwrap();
+            assert_eq!(rows.rows, want_rows.rows, "emission order must match the sequential path");
+            assert_eq!(counters, &want_counters, "per-probe counters must match");
+        }
+    }
+
+    #[test]
+    fn k1_degenerate_batch_matches_sequential() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        assert_batch_matches_sequential(&db, &q, &[ProbeBinding::AsPlanned]);
+    }
+
+    #[test]
+    fn duplicate_probes_each_match_sequential() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("vehicle.vehicle_no")
+            .select("cargo.desc")
+            .select("cargo.quantity")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .filter("supplier.name", CompOp::Eq, "s0")
+            .via("collects")
+            .via("supplies")
+            .build()
+            .unwrap();
+        let probes = vec![ProbeBinding::AsPlanned; 8];
+        assert_batch_matches_sequential(&db, &q, &probes);
+    }
+
+    #[test]
+    fn rekeyed_root_probes_match_their_standalone_plans() {
+        let db = indexed_db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("supplier.address")
+            .filter("supplier.name", CompOp::Eq, "s1")
+            .build()
+            .unwrap();
+        let plan = plan_query(&db, &q, &CostModel::default()).unwrap();
+        assert!(matches!(plan.root.path, AccessPath::Index { .. }), "fixture must root at index");
+        let probes: Vec<ProbeBinding> = (0..16)
+            .map(|i| ProbeBinding::RootSet(ValueSet::point(Value::str(format!("s{}", i * 7)))))
+            .collect();
+        assert_batch_matches_sequential(&db, &q, &probes);
+    }
+
+    #[test]
+    fn scratch_recycles_across_widths_and_shapes() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let chain = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .select("vehicle.vehicle_no")
+            .filter("vehicle.desc", CompOp::Eq, "refrigerated truck")
+            .via("collects")
+            .build()
+            .unwrap();
+        let single = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        let mut scratch = BatchExecScratch::new();
+        for (q, width) in [(&chain, 16), (&single, 3), (&chain, 1), (&single, 9)] {
+            let plan = plan_query(&db, q, &CostModel::default()).unwrap();
+            let probes = vec![ProbeBinding::AsPlanned; width];
+            let batched = execute_batch_with(&db, &plan, &probes, &mut scratch).unwrap();
+            let (want, _) = execute_with(&db, &plan, &mut ExecScratch::new()).unwrap();
+            for (rows, _) in &batched {
+                assert_eq!(rows.rows, want.rows);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_probe_list_is_empty() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog).select("cargo.code").build().unwrap();
+        let plan = plan_query(&db, &q, &CostModel::default()).unwrap();
+        assert!(execute_batch(&db, &plan, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn root_override_on_scan_root_errors() {
+        let db = db();
+        let catalog = db.catalog().clone();
+        let q = QueryBuilder::new(&catalog)
+            .select("cargo.code")
+            .filter("cargo.desc", CompOp::Eq, "frozen food")
+            .build()
+            .unwrap();
+        let plan = plan_query(&db, &q, &CostModel::default()).unwrap();
+        assert!(matches!(plan.root.path, AccessPath::SeqScan));
+        let probe = ProbeBinding::RootSet(ValueSet::point(Value::str("x")));
+        let err = execute_batch(&db, &plan, &[probe]).unwrap_err();
+        assert!(matches!(err, ExecError::RootOverrideNeedsIndex(_)));
+    }
+}

@@ -23,6 +23,9 @@ pub enum ExecError {
     /// The plan demands a probe shape (e.g. a range) the attribute's index
     /// cannot serve.
     UnsupportedProbe(AttrRef),
+    /// A batch probe re-keys the root index probe, but the plan's root is a
+    /// sequential scan — there is no probe key to override.
+    RootOverrideNeedsIndex(ClassId),
 }
 
 impl fmt::Display for ExecError {
@@ -38,6 +41,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::UnsupportedProbe(a) => {
                 write!(f, "index on {a} cannot serve the plan's probe set")
+            }
+            ExecError::RootOverrideNeedsIndex(c) => {
+                write!(f, "probe re-keys the root of {c} but the plan's root is a scan")
             }
         }
     }

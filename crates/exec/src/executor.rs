@@ -108,7 +108,7 @@ pub fn execute_with(
 
 /// Produces the candidate objects of the driving class access into `out`,
 /// counting work and applying the residual filter over the batch.
-fn produce(
+pub(crate) fn produce(
     db: &Database,
     access: &ClassAccess,
     counters: &mut CostCounters,
@@ -134,7 +134,7 @@ fn produce(
 
 /// Residual evaluation over a candidate slice: compacts `out` in place to
 /// the objects passing every residual predicate.
-fn retain_residual(
+pub(crate) fn retain_residual(
     db: &Database,
     access: &ClassAccess,
     counters: &mut CostCounters,
@@ -174,7 +174,7 @@ fn eval_residual(
 /// Fills `out` with the surviving bindings of one pointer-join step from the
 /// current parent binding: link traversal, then batch residual evaluation,
 /// then join and cycle-edge filters.
-fn fill_step_level(
+pub(crate) fn fill_step_level(
     db: &Database,
     step: &JoinStep,
     binding: &[(ClassId, ObjectId)],
@@ -261,7 +261,7 @@ fn value_of(
     Ok(db.value(attr, oid)?.clone())
 }
 
-fn emit(
+pub(crate) fn emit(
     db: &Database,
     plan: &PhysicalPlan,
     binding: &[(ClassId, ObjectId)],

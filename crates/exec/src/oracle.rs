@@ -20,8 +20,11 @@ use crate::planner::plan_query;
 /// How many recently-costed queries the oracle remembers. Formulation asks
 /// about overlapping `(with, without)` pairs — the `with` side of one
 /// decision is the `with` or `without` side of the previous one — so a tiny
-/// window already removes almost half of the planning work.
-const COST_MEMO: usize = 4;
+/// window already removes almost half of the planning work. The window is
+/// sized to cover one full formulation pass over a typical query (a class
+/// elimination round plus a handful of optional-predicate decisions), so a
+/// candidate revisited later in the same `optimize_with` call still hits.
+const COST_MEMO: usize = 8;
 
 /// Where the oracle reads data and statistics from.
 #[derive(Debug)]
@@ -87,15 +90,38 @@ impl<'db> CostBasedOracle<'db> {
         self.cost_of(query)
     }
 
-    fn cost_of(&self, q: &Query) -> Option<f64> {
+    /// Batch entry point: the memoized cost estimate of every query in
+    /// `queries`, in order. The snapshot is resolved **once** for the whole
+    /// batch — a versioned oracle otherwise re-resolves the current
+    /// snapshot per costing — and every estimate is computed against those
+    /// single coordinates, so the answers are mutually consistent even if
+    /// a writer publishes a new data epoch mid-call.
+    pub fn estimated_costs(&self, queries: &[&Query]) -> Vec<Option<f64>> {
         let mut hold: Option<Arc<Database>> = None;
-        let (db, version): (&Database, u64) = match self.src {
+        let (db, version) = self.resolve(&mut hold);
+        queries.iter().map(|q| self.cost_at(db, version, q)).collect()
+    }
+
+    /// The oracle's current snapshot and data version; `hold` keeps a
+    /// versioned handle's snapshot alive for the borrow.
+    fn resolve<'a>(&'a self, hold: &'a mut Option<Arc<Database>>) -> (&'a Database, u64) {
+        match self.src {
             DbSource::Fixed(db) => (db, db.data_version()),
             DbSource::Versioned(handle) => {
                 let snapshot = hold.insert(handle.snapshot());
-                (snapshot, snapshot.data_version())
+                (&**snapshot, snapshot.data_version())
             }
-        };
+        }
+    }
+
+    fn cost_of(&self, q: &Query) -> Option<f64> {
+        let mut hold: Option<Arc<Database>> = None;
+        let (db, version) = self.resolve(&mut hold);
+        self.cost_at(db, version, q)
+    }
+
+    /// One memoized costing against already-resolved coordinates.
+    fn cost_at(&self, db: &Database, version: u64, q: &Query) -> Option<f64> {
         let mut memo = self.memo.borrow_mut();
         // Estimates from older data epochs are garbage now; drop them.
         memo.retain(|(v, _, _)| *v == version);
@@ -356,6 +382,28 @@ mod tests {
             let b = o_rebuilt.estimated_cost(q).expect("plannable");
             assert_eq!(a, b, "estimates diverged between patched and rebuilt snapshots");
         }
+    }
+
+    #[test]
+    fn batch_costs_agree_with_single_costings() {
+        let db = fig_db();
+        let catalog = db.catalog().clone();
+        let full = fig23_query(&catalog);
+        let scan = parse_query(
+            r#"(SELECT {cargo.desc} {} {cargo.desc = "dry goods"} {} {cargo})"#,
+            &catalog,
+        )
+        .unwrap();
+        let broken = Query::new();
+        let batch_oracle = CostBasedOracle::new(&db);
+        let batched = batch_oracle.estimated_costs(&[&full, &scan, &broken, &full]);
+        let solo_oracle = CostBasedOracle::new(&db);
+        let solo: Vec<Option<f64>> =
+            [&full, &scan, &broken, &full].map(|q| solo_oracle.estimated_cost(q)).to_vec();
+        assert_eq!(batched, solo);
+        assert!(batched[0].is_some() && batched[1].is_some());
+        assert_eq!(batched[2], None);
+        assert_eq!(batched[0], batched[3], "repeat in one batch must hit the memo");
     }
 
     #[test]

@@ -62,6 +62,16 @@ fn step_link_filters<'q>(
 ///
 /// `query` must be valid (see `Query::validate`); the planner checks
 /// reachability as it goes and reports `Unreachable` otherwise.
+///
+/// Candidate costing is batched: one pass up front resolves every
+/// selective predicate's selectivity and every relationship's fan-out from
+/// the [`Database::stats`] snapshot into a per-query view, and all
+/// candidate evaluation below — root access choices, index alternatives,
+/// frontier steps — reads that view. A query with P predicates and R
+/// relationships touches the statistics P + R times total instead of once
+/// per (candidate × predicate) pair, and the chosen plan is bit-identical
+/// to costing each candidate directly (same values multiplied in the same
+/// order).
 pub fn plan_query(
     db: &Database,
     query: &Query,
@@ -73,20 +83,38 @@ pub fn plan_query(
         return Err(ExecError::EmptyQuery);
     }
 
-    // Selective predicates per class, by reference: candidates are *costed*
-    // without cloning predicates; only the winning access/step is ever
-    // materialized.
-    let preds_of = |class: ClassId| -> Vec<&SelPredicate> {
-        query.selective_predicates.iter().filter(|p| p.attr.class == class).collect()
+    // The shared stats view: selectivity per selective predicate and
+    // fan-out per relationship, each resolved exactly once.
+    let pred_sel: Vec<f64> =
+        query.selective_predicates.iter().map(|p| model.selectivity(stats, p)).collect();
+    let rel_fanout: Vec<(f64, f64)> = query
+        .relationships
+        .iter()
+        .map(|&rel| {
+            let rstats = stats.relationship(rel).cloned().unwrap_or_default();
+            (rstats.avg_left_fanout.max(0.0), rstats.avg_right_fanout.max(0.0))
+        })
+        .collect();
+
+    // Selective predicates per class as (view index, predicate) pairs:
+    // candidates are *costed* from the view without cloning predicates;
+    // only the winning access/step is ever materialized.
+    let preds_of = |class: ClassId| -> Vec<(usize, &SelPredicate)> {
+        query
+            .selective_predicates
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.attr.class == class)
+            .collect()
     };
     // Residual conjunction selectivity, optionally excluding the indexed
     // predicate (multiplication order matches `conjunction_selectivity`).
-    let residual_sel = |preds: &[&SelPredicate], skip: Option<usize>| -> f64 {
+    let residual_sel = |preds: &[(usize, &SelPredicate)], skip: Option<usize>| -> f64 {
         preds
             .iter()
             .enumerate()
             .filter(|(j, _)| Some(*j) != skip)
-            .map(|(_, p)| model.selectivity(stats, p))
+            .map(|(_, (gi, _))| pred_sel[*gi])
             .product::<f64>()
             .clamp(0.0, 1.0)
     };
@@ -98,14 +126,14 @@ pub fn plan_query(
             model.scan_estimate(stats, class, preds.len(), residual_sel(&preds, None));
         // `None` = sequential scan; `Some(i)` = probe the index on preds[i].
         let mut best: (Option<usize>, f64, f64) = (None, scan_cost, scan_rows);
-        for (i, p) in preds.iter().enumerate() {
+        for (i, (gi, p)) in preds.iter().enumerate() {
             let Some(index) = db.index(p.attr) else {
                 continue;
             };
             if !index.supports(&p.value_set()) {
                 continue;
             }
-            let sel = model.selectivity(stats, p);
+            let sel = pred_sel[*gi];
             let (cost, rows) = model.index_estimate(
                 stats,
                 class,
@@ -122,16 +150,16 @@ pub fn plan_query(
             None => ClassAccess {
                 class,
                 path: AccessPath::SeqScan,
-                residual: preds.iter().map(|&p| p.clone()).collect(),
+                residual: preds.iter().map(|(_, p)| (*p).clone()).collect(),
             },
             Some(i) => ClassAccess {
                 class,
-                path: AccessPath::Index { attr: preds[i].attr, set: preds[i].value_set() },
+                path: AccessPath::Index { attr: preds[i].1.attr, set: preds[i].1.value_set() },
                 residual: preds
                     .iter()
                     .enumerate()
                     .filter(|(j, _)| *j != i)
-                    .map(|(_, p)| (*p).clone())
+                    .map(|(_, (_, p))| (*p).clone())
                     .collect(),
             },
         };
@@ -163,7 +191,7 @@ pub fn plan_query(
         // are costed from counts alone; the winner's filter lists are
         // materialized once after the scan.
         let mut best: Option<(f64, f64, RelId, ClassId, ClassId)> = None;
-        for &rel in &query.relationships {
+        for (ri, &rel) in query.relationships.iter().enumerate() {
             if used_rels.contains(&rel) {
                 continue;
             }
@@ -176,14 +204,9 @@ pub fn plan_query(
             } else {
                 continue;
             };
-            // Fan-out seen from `from_class`.
-            let rstats = stats.relationship(rel).cloned().unwrap_or_default();
-            let fanout = if def.left.class == from_class {
-                rstats.avg_left_fanout
-            } else {
-                rstats.avg_right_fanout
-            }
-            .max(0.0);
+            // Fan-out seen from `from_class`, read from the shared view.
+            let fanout =
+                if def.left.class == from_class { rel_fanout[ri].0 } else { rel_fanout[ri].1 };
             let residual = preds_of(to_class);
             let join_filter_count =
                 step_join_filters(query, &applied_joins, &bound, to_class).count();
@@ -221,7 +244,7 @@ pub fn plan_query(
             access: ClassAccess {
                 class: to_class,
                 path: AccessPath::SeqScan, // pointer access; path unused
-                residual: preds_of(to_class).into_iter().cloned().collect(),
+                residual: preds_of(to_class).into_iter().map(|(_, p)| p.clone()).collect(),
             },
             join_filters,
             link_filters,
@@ -254,7 +277,10 @@ pub fn plan_query(
 /// [`plan_query`], delivered behind an [`Arc`](std::sync::Arc) so the plan can be cached and
 /// re-executed by many threads without re-planning: the executor only ever
 /// needs `&PhysicalPlan`, so one planning pass amortizes over every
-/// subsequent [`crate::execute`] call that clones the handle.
+/// subsequent [`crate::execute`] call that clones the handle. Like
+/// [`plan_query`], the pass costs all access and step candidates against
+/// one pre-resolved statistics view instead of re-touching the snapshot
+/// per candidate.
 pub fn plan_query_shared(
     db: &Database,
     query: &Query,

@@ -1,5 +1,11 @@
 //! The request frontend: admission control, load shedding, and the async
 //! task body that drives [`QueryService::try_run`]'s singleflight seam.
+//!
+//! The same seam carries the batch execution tier's temporal gather
+//! window: with `ServiceConfig::batch_window > 1` a warm duplicate that
+//! arrives while a hit's execution is in flight surfaces here as
+//! [`TryRun::Follower`], so [`run_one`]'s existing follower/abort/retry
+//! machinery fans grouped answers out without any frontend-specific code.
 
 use std::future::Future;
 use std::pin::Pin;

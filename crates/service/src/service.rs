@@ -2,6 +2,7 @@
 //! worker-pool batch front end.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -10,10 +11,10 @@ use parking_lot::RwLock;
 use sqo_constraints::{ConstraintStore, HornConstraint, StoreVersion};
 use sqo_core::{OptimizerConfig, OptimizerScratch, SemanticOptimizer};
 use sqo_exec::{
-    execute_with, plan_query_shared, CostBasedOracle, CostModel, ExecError, ExecScratch,
-    PhysicalPlan, ResultSet,
+    execute_batch_with, execute_with, plan_query_shared, BatchExecScratch, CostBasedOracle,
+    CostModel, ExecError, ExecScratch, PhysicalPlan, ProbeBinding, ResultSet,
 };
-use sqo_query::{Query, QueryError};
+use sqo_query::{Query, QueryError, QueryFingerprint};
 use sqo_snapshot::{
     LoadError, SnapshotBuilder, SnapshotFile, ValidationLevel, SEC_CONSTRAINTS, SEC_PLANSEEDS,
 };
@@ -27,8 +28,8 @@ thread_local! {
     /// Per-worker reusable optimizer + executor buffers: the cold path of
     /// every service thread runs allocation-free once warmed up, without
     /// any cross-thread coordination.
-    static WORKER_SCRATCH: RefCell<(OptimizerScratch, ExecScratch)> =
-        RefCell::new((OptimizerScratch::new(), ExecScratch::new()));
+    static WORKER_SCRATCH: RefCell<(OptimizerScratch, ExecScratch, BatchExecScratch)> =
+        RefCell::new((OptimizerScratch::new(), ExecScratch::new(), BatchExecScratch::new()));
 }
 
 /// Anything that can go wrong answering a query or applying a write.
@@ -102,6 +103,15 @@ pub struct ServiceConfig {
     /// Skip the cache entirely — every request re-optimizes, re-plans and
     /// re-executes. The cold path of the E9 benchmark.
     pub bypass_cache: bool,
+    /// Gather window of the batch execution tier: warm requests on the same
+    /// `(fingerprint, store version, data epoch)` coordinates are answered
+    /// by **one** shared execution, fanned back out to every member. In
+    /// [`QueryService::run_batch`] the window is explicit — up to this many
+    /// consecutive requests are gathered before grouping; in
+    /// [`QueryService::try_run`] it is temporal — duplicates arriving while
+    /// a hit's execution is in flight join it. `1` disables grouping
+    /// (singleflight still dedups *misses* regardless).
+    pub batch_window: usize,
     /// Semantic-optimizer configuration used for every miss.
     pub optimizer: OptimizerConfig,
 }
@@ -113,6 +123,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1024,
             cache_results: true,
             bypass_cache: false,
+            batch_window: 1,
             optimizer: OptimizerConfig::paper(),
         }
     }
@@ -209,6 +220,12 @@ pub struct ServiceStats {
     /// Misses that joined an already-in-flight optimization instead of
     /// running their own.
     pub singleflight_followers: u64,
+    /// Warm groups closed by the batch execution tier (each ran one shared
+    /// execution on behalf of every member).
+    pub batch_groups: u64,
+    /// Requests answered through a grouped execution, across all groups —
+    /// `batch_size / batch_groups` is the achieved mean gather width.
+    pub batch_size: u64,
     /// Current constraint-store epoch.
     pub epoch: u64,
     /// Current data epoch of the backing database.
@@ -272,6 +289,8 @@ pub struct QueryService {
     writes: AtomicU64,
     sf_leaders: AtomicU64,
     sf_followers: AtomicU64,
+    batch_groups: AtomicU64,
+    batch_size: AtomicU64,
 }
 
 impl QueryService {
@@ -308,6 +327,8 @@ impl QueryService {
             writes: AtomicU64::new(0),
             sf_leaders: AtomicU64::new(0),
             sf_followers: AtomicU64::new(0),
+            batch_groups: AtomicU64::new(0),
+            batch_size: AtomicU64::new(0),
         }
     }
 
@@ -484,6 +505,41 @@ impl QueryService {
         Ok((results, data_epoch))
     }
 
+    /// [`QueryService::execute_entry`] through the batch executor: a
+    /// gathered group's one shared execution runs as a width-1
+    /// [`ProbeBinding::AsPlanned`] batch via [`execute_batch_with`] — the
+    /// group members are *identical* queries, so one probe answers them all
+    /// and the result is `Arc`-fanned out — while exercising exactly the
+    /// interleaved machinery wider (re-keyed) batches use.
+    fn execute_entry_group(
+        &self,
+        entry: &CacheEntry,
+    ) -> Result<(Arc<ResultSet>, u64), ServiceError> {
+        let db = self.db.snapshot();
+        let data_epoch = db.data_version();
+        let memoize = self.config.cache_results && !self.config.bypass_cache;
+        if memoize {
+            if let Some(cached) = entry.memoized_results(data_epoch) {
+                return Ok((cached, data_epoch));
+            }
+        }
+        let results = if entry.provably_empty {
+            Arc::new(ResultSet::new(entry.columns.clone()))
+        } else {
+            let plan = entry.plan.as_ref().expect("non-empty entries carry a plan");
+            let mut batch = WORKER_SCRATCH.with(|s| {
+                execute_batch_with(&db, plan, &[ProbeBinding::AsPlanned], &mut s.borrow_mut().2)
+            })?;
+            let (res, _counters) = batch.pop().expect("width-1 batch yields one result");
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            Arc::new(res)
+        };
+        if memoize {
+            entry.publish_results(data_epoch, &results);
+        }
+        Ok((results, data_epoch))
+    }
+
     /// Prepare + execute in one call — the per-request entry point.
     pub fn run(&self, query: &Query) -> Result<ServiceResponse, ServiceError> {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -532,6 +588,9 @@ impl QueryService {
         }
         let fingerprint = canonical.fingerprint_canonical();
         if let Some(entry) = self.cache.get(fingerprint, &canonical, version) {
+            if self.config.batch_window > 1 {
+                return self.run_hit_grouped(entry, canonical, store, version, fingerprint);
+            }
             let (results, data_epoch) = self.execute_entry(&entry)?;
             return Ok(TryRun::Done(ServiceResponse {
                 results,
@@ -561,6 +620,65 @@ impl QueryService {
                 Ok(TryRun::Done(ServiceResponse {
                     results,
                     cache_hit: false,
+                    epoch: version.epoch,
+                    data_epoch,
+                }))
+            }
+        }
+    }
+
+    /// The temporal gather window of the batch tier: a warm hit (when
+    /// `batch_window > 1`) registers its `(fingerprint, store version,
+    /// data epoch)` coordinates in the singleflight table *before*
+    /// executing. The first arrival leads — it executes through the batch
+    /// executor, resolves the flight, and answers synchronously; duplicates
+    /// arriving during that execution become [`TryRun::Follower`]s and are
+    /// fanned the leader's `Arc`-shared answer through the exact machinery
+    /// miss followers already use. The window is the leader's execution
+    /// time: no timers, no added latency for unduplicated traffic.
+    ///
+    /// Hit flights bump `batch_groups`/`batch_size`, **not** the
+    /// `singleflight_*` counters, which keep meaning "deduplicated misses".
+    fn run_hit_grouped(
+        &self,
+        entry: Arc<CacheEntry>,
+        canonical: Query,
+        store: Arc<ConstraintStore>,
+        version: StoreVersion,
+        fingerprint: QueryFingerprint,
+    ) -> Result<TryRun, ServiceError> {
+        let key = FlightKey { fingerprint, version, data_epoch: self.db.data_epoch() };
+        match self.cache.flights().register(key, &canonical) {
+            Registered::Leader(flight) => {
+                let table = Arc::clone(self.cache.flights());
+                let guard = MissGuard::new(key, canonical, store, table, flight);
+                self.batch_groups.fetch_add(1, Ordering::Relaxed);
+                self.batch_size.fetch_add(1, Ordering::Relaxed);
+                let outcome = self.execute_entry_group(&entry).map(|(results, data_epoch)| {
+                    ServiceResponse { results, cache_hit: true, epoch: version.epoch, data_epoch }
+                });
+                match outcome {
+                    Ok(response) => {
+                        guard.finish(Ok(response.clone()));
+                        Ok(TryRun::Done(response))
+                    }
+                    Err(e) => {
+                        guard.finish(Err(FlightError::Failed(e.clone())));
+                        Err(e)
+                    }
+                }
+            }
+            Registered::Follower(flight) => {
+                self.batch_size.fetch_add(1, Ordering::Relaxed);
+                Ok(TryRun::Follower(MissWaiter::new(flight)))
+            }
+            Registered::Collision => {
+                // A fingerprint collision with the in-flight query: answer
+                // solo rather than share the wrong result.
+                let (results, data_epoch) = self.execute_entry(&entry)?;
+                Ok(TryRun::Done(ServiceResponse {
+                    results,
+                    cache_hit: true,
                     epoch: version.epoch,
                     data_epoch,
                 }))
@@ -606,12 +724,106 @@ impl QueryService {
     /// A worker panic poisons only the requests that worker had claimed:
     /// each surfaces as [`ServiceError::WorkerPanicked`], every other
     /// request completes normally, and the caller is never aborted.
+    ///
+    /// With `batch_window > 1` (and the cache enabled) the stream first
+    /// passes through the batch tier's explicit gather window: consecutive
+    /// windows of up to `batch_window` requests are grouped by
+    /// `(fingerprint, store version, data epoch)`, each group runs the
+    /// pipeline **once**, and its answer is `Arc`-fanned back to every
+    /// member — a duplicate-heavy warm stream costs one execution per
+    /// distinct query per window instead of one per request.
     pub fn run_batch(
         &self,
         queries: &[Query],
         workers: usize,
     ) -> Vec<Result<ServiceResponse, ServiceError>> {
+        if self.config.batch_window > 1 && !self.config.bypass_cache {
+            return self.run_batch_grouped(queries, workers);
+        }
         self.run_batch_with(queries, workers, |q| self.run(q))
+    }
+
+    /// The gather pass + worker loop behind grouped [`QueryService::run_batch`].
+    fn run_batch_grouped(
+        &self,
+        queries: &[Query],
+        workers: usize,
+    ) -> Vec<Result<ServiceResponse, ServiceError>> {
+        let window = self.config.batch_window.max(1);
+        // Gather pass: within each consecutive window, requests landing on
+        // the same (fingerprint, store version, data epoch) coordinates
+        // merge into one group. The group keeps the canonical query, and a
+        // canonical-equality check guards against fingerprint collisions —
+        // a colliding request simply opens its own (unindexed) group.
+        let mut groups: Vec<(Query, Vec<usize>)> = Vec::new();
+        let mut open: HashMap<(QueryFingerprint, StoreVersion, u64), usize> = HashMap::new();
+        for (i, query) in queries.iter().enumerate() {
+            if i % window == 0 {
+                open.clear();
+            }
+            let canonical = query.canonical();
+            let key =
+                (canonical.fingerprint_canonical(), self.store().version(), self.db.data_epoch());
+            match open.get(&key) {
+                Some(&g) if groups[g].0 == canonical => groups[g].1.push(i),
+                Some(_) => groups.push((canonical, vec![i])),
+                None => {
+                    open.insert(key, groups.len());
+                    groups.push((canonical, vec![i]));
+                }
+            }
+        }
+        let workers = workers.clamp(1, groups.len().max(1));
+        let next = AtomicUsize::new(0);
+        let mut out: Vec<Result<ServiceResponse, ServiceError>> =
+            (0..queries.len()).map(|_| Err(ServiceError::WorkerPanicked)).collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let groups = &groups;
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
+                        let g = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((canonical, members)) = groups.get(g) else { break };
+                        let _ = tx.send((g, self.run_group(canonical, members.len())));
+                    })
+                })
+                .collect();
+            drop(tx);
+            for (g, response) in rx {
+                for &i in &groups[g].1 {
+                    out[i] = response.clone();
+                }
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        });
+        out
+    }
+
+    /// One gathered group: resolve the cache entry once (building it on a
+    /// miss), run one shared execution through the batch executor, and
+    /// account all `size` members.
+    fn run_group(&self, canonical: &Query, size: usize) -> Result<ServiceResponse, ServiceError> {
+        self.requests.fetch_add(size as u64, Ordering::Relaxed);
+        let store = self.store();
+        let version = store.version();
+        let fingerprint = canonical.fingerprint_canonical();
+        let (entry, cache_hit) = match self.cache.get(fingerprint, canonical, version) {
+            Some(entry) => (entry, true),
+            None => {
+                let entry = Arc::new(self.build_entry(canonical.clone(), &store)?);
+                self.cache.insert(fingerprint, version, Arc::clone(&entry));
+                (entry, false)
+            }
+        };
+        let (results, data_epoch) = self.execute_entry_group(&entry)?;
+        self.batch_groups.fetch_add(1, Ordering::Relaxed);
+        self.batch_size.fetch_add(size as u64, Ordering::Relaxed);
+        Ok(ServiceResponse { results, cache_hit, epoch: version.epoch, data_epoch })
     }
 
     /// [`QueryService::run_batch`] generic over the per-query closure, so
@@ -758,6 +970,8 @@ impl QueryService {
             writes: self.writes.load(Ordering::Relaxed),
             singleflight_leaders: self.sf_leaders.load(Ordering::Relaxed),
             singleflight_followers: self.sf_followers.load(Ordering::Relaxed),
+            batch_groups: self.batch_groups.load(Ordering::Relaxed),
+            batch_size: self.batch_size.load(Ordering::Relaxed),
             epoch: self.epoch(),
             data_epoch: self.data_epoch(),
             cache,
@@ -1028,6 +1242,117 @@ mod tests {
         let response = service.complete_miss(guard).unwrap();
         assert!(!response.cache_hit);
         assert!(matches!(service.try_run(&queries[0]).unwrap(), TryRun::Done(r) if r.cache_hit));
+    }
+
+    #[test]
+    fn grouped_run_batch_matches_ungrouped_and_shares_executions() {
+        let s = paper_scenario(DbSize::Db1, 42);
+        let store = Arc::new(s.store);
+        let db = Arc::new(s.db);
+        // Result memoization off so the executions counter counts real
+        // plan executions — the quantity grouping is meant to shrink.
+        let grouped = QueryService::with_config(
+            Arc::clone(&store),
+            Arc::clone(&db),
+            ServiceConfig { cache_results: false, batch_window: 8, ..Default::default() },
+        );
+        let reference = QueryService::with_config(
+            store,
+            db,
+            ServiceConfig { cache_results: false, ..Default::default() },
+        );
+        // Duplicate-heavy stream: 16 copies of one query.
+        let batch: Vec<Query> = std::iter::repeat_with(|| s.queries[0].clone()).take(16).collect();
+        // One worker: the two groups run in order, so the second is
+        // deterministically a plan-cache hit.
+        let out = grouped.run_batch(&batch, 1);
+        let baseline = reference.run_batch(&batch, 2);
+        for (r, b) in out.iter().zip(&baseline) {
+            let (r, b) = (r.as_ref().unwrap(), b.as_ref().unwrap());
+            assert!(r.results.same_multiset(&b.results));
+            assert_eq!(r.data_epoch, b.data_epoch);
+        }
+        let stats = grouped.stats();
+        assert_eq!(stats.requests, 16);
+        assert_eq!(stats.batch_groups, 2, "two gather windows => two groups: {stats:?}");
+        assert_eq!(stats.batch_size, 16, "every request was answered through a group");
+        assert_eq!(stats.executions, 2, "one shared execution per group");
+        assert_eq!(stats.optimizations, 1, "the second group hits the plan cache");
+        assert_eq!(reference.stats().executions, 16, "ungrouped re-executes per request");
+        // Group answers are Arc-fanned: members of one group share storage.
+        let first = out[0].as_ref().unwrap();
+        assert!(Arc::ptr_eq(&first.results, &out[7].as_ref().unwrap().results));
+        assert!(!first.cache_hit, "first group built the entry");
+        assert!(out[15].as_ref().unwrap().cache_hit, "second group hit it");
+    }
+
+    #[test]
+    fn grouped_run_batch_mixes_distinct_queries_per_window() {
+        let (_, queries) = service();
+        let s = paper_scenario(DbSize::Db1, 42);
+        let service = QueryService::with_config(
+            Arc::new(s.store),
+            Arc::new(s.db),
+            ServiceConfig { cache_results: false, batch_window: 4, ..Default::default() },
+        );
+        // Window of 4 holding two distinct queries => two groups per window.
+        let batch: Vec<Query> =
+            [0usize, 0, 1, 1, 0, 1, 0, 1].into_iter().map(|i| queries[i].clone()).collect();
+        let out = service.run_batch(&batch, 1);
+        for (q, r) in batch.iter().zip(&out) {
+            let solo = service.run(q).unwrap();
+            assert!(r.as_ref().unwrap().results.same_multiset(&solo.results));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.batch_groups, 4, "{stats:?}");
+        assert_eq!(stats.batch_size, 8, "{stats:?}");
+    }
+
+    #[test]
+    fn warm_hit_flight_gathers_duplicates() {
+        let s = paper_scenario(DbSize::Db1, 42);
+        let service = QueryService::with_config(
+            Arc::new(s.store),
+            Arc::new(s.db),
+            ServiceConfig { batch_window: 4, ..Default::default() },
+        );
+        let query = &s.queries[0];
+        let _ = service.run(query).unwrap(); // warm the plan cache
+        let canonical = query.canonical();
+        let key = FlightKey {
+            fingerprint: canonical.fingerprint_canonical(),
+            version: service.store().version(),
+            data_epoch: service.versioned_db().data_epoch(),
+        };
+        // Pin the hit's coordinates open, as if another thread's hit leader
+        // were mid-execution: a concurrent warm duplicate must *follow*.
+        let Registered::Leader(flight) = service.cache.flights().register(key, &canonical) else {
+            panic!("manual registration must lead")
+        };
+        let TryRun::Follower(waiter) = service.try_run(query).unwrap() else {
+            panic!("warm duplicate of an open hit flight must follow")
+        };
+        // The pinned leader aborts; the follower retries per protocol.
+        let guard = MissGuard::new(
+            key,
+            canonical,
+            service.store(),
+            Arc::clone(service.cache.flights()),
+            flight,
+        );
+        drop(guard);
+        assert!(matches!(waiter.wait(), Err(FlightError::Aborted)));
+        // Uncontended retry: the hit leads its own flight, executes inline,
+        // and answers synchronously.
+        let TryRun::Done(hit) = service.try_run(query).unwrap() else {
+            panic!("uncontended warm hit must answer synchronously")
+        };
+        assert!(hit.cache_hit);
+        let stats = service.stats();
+        assert_eq!(stats.batch_groups, 1, "{stats:?}");
+        assert_eq!(stats.batch_size, 2, "one follower + one leader: {stats:?}");
+        assert_eq!(stats.singleflight_leaders, 0, "hit flights are not miss dedup");
+        assert_eq!(stats.singleflight_followers, 0, "{stats:?}");
     }
 
     #[test]
