@@ -1,0 +1,241 @@
+//! `sqo-analyze`: workspace-wide static analysis enforcing the engine's
+//! concurrency, panic-freedom, and epoch-discipline invariants.
+//!
+//! The paper's optimizer became a concurrent serving engine over the
+//! last several PRs (shared caches, singleflight miss dedup, a
+//! hand-rolled reactor), and its correctness now rests on conventions a
+//! type checker cannot see: every relaxed atomic needs a stated
+//! happens-before argument, library code must not abort a worker,
+//! locks must be acquired in hierarchy order, and store identities must
+//! flow through the blessed `StoreVersion` constructors. This crate is
+//! the executable form of those conventions — a zero-dependency lexer +
+//! rule engine that runs in CI (`cargo run -p sqo-analyze -- --deny`)
+//! and fails the build when an invariant regresses.
+//!
+//! Rules and their suppression syntax are documented in
+//! `docs/ANALYSIS.md`; the facts they check against (lock hierarchy,
+//! panic budgets, epoch-blessed files) live in `analyze.toml` at the
+//! workspace root.
+
+pub mod config;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod toml;
+
+use config::Config;
+use findings::{Finding, Report, RuleId};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A failure to run the analysis at all (as opposed to findings).
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// `analyze.toml` missing at the workspace root.
+    MissingConfig(PathBuf),
+    Config(config::ConfigError),
+    Io(PathBuf, std::io::Error),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::MissingConfig(p) => {
+                write!(f, "missing config: {} (run from the workspace root)", p.display())
+            }
+            AnalyzeError::Config(e) => write!(f, "{e}"),
+            AnalyzeError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Directory names never descended into: build output, vendored shims,
+/// VCS metadata, and test-support trees (integration tests, benches,
+/// examples and this crate's own violation fixtures), which are exempt
+/// from the production-code rules by definition.
+const SKIP_DIRS: [&str; 6] = ["target", "vendor", ".git", "tests", "benches", "examples"];
+
+/// Loads `analyze.toml` from `root` and analyzes the workspace under it.
+pub fn run(root: &Path) -> Result<Report, AnalyzeError> {
+    let config_path = root.join("analyze.toml");
+    let source = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(_) => return Err(AnalyzeError::MissingConfig(config_path)),
+    };
+    let cfg = Config::parse(&source).map_err(AnalyzeError::Config)?;
+    analyze_workspace(root, &cfg)
+}
+
+/// Analyzes every production `.rs` file under `root` against `cfg`.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<Report, AnalyzeError> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in &files {
+        let full = root.join(rel);
+        let source =
+            std::fs::read_to_string(&full).map_err(|e| AnalyzeError::Io(full.clone(), e))?;
+        analyze_source(rel, &source, cfg, &mut report);
+    }
+    report.files_scanned = files.len();
+    apply_panic_budgets(cfg, &mut report);
+    Ok(report)
+}
+
+/// Runs every rule over one file's source. Public so the fixture tests
+/// can drive single files without a workspace on disk.
+pub fn analyze_source(rel_path: &str, source: &str, cfg: &Config, report: &mut Report) {
+    let lexed = lexer::lex(source);
+    rules::ordering::check(rel_path, &lexed, report);
+    rules::epochs::check(rel_path, &lexed, report, &cfg.epoch_allow_files);
+    rules::locks::check(rel_path, &lexed, report, cfg);
+    let sites = rules::panics::scan(&lexed, &RuleId::Panic.allow_marker());
+    if !sites.is_empty() {
+        report.panic_counts.insert(rel_path.to_string(), sites.len());
+    }
+    let budgeted = cfg.panic_budgets.contains_key(rel_path);
+    if !budgeted {
+        for site in sites {
+            report.findings.push(Finding {
+                rule: RuleId::Panic,
+                file: rel_path.to_string(),
+                line: site.line,
+                message: format!(
+                    "`{}` in library code: return a typed error, or prove the site \
+                     unreachable with an `// invariant:` comment",
+                    site.what
+                ),
+            });
+        }
+    }
+}
+
+/// Compares the scan's per-file panic counts against the committed
+/// budgets. The budgets must match *exactly*: over is a regression,
+/// under means the budget is stale and must shrink in the same change —
+/// that is what keeps the allowlist monotonically burning down. Public
+/// so the fixture tests can drive budget checks without a workspace.
+pub fn apply_panic_budgets(cfg: &Config, report: &mut Report) {
+    for (file, budget) in &cfg.panic_budgets {
+        let actual = report.panic_counts.get(file).copied().unwrap_or(0) as i64;
+        if actual > *budget {
+            report.findings.push(Finding {
+                rule: RuleId::PanicBudget,
+                file: file.clone(),
+                line: 0,
+                message: format!(
+                    "{actual} unjustified panic sites exceed the budget of {budget}: \
+                     fix the new sites, do not raise the budget"
+                ),
+            });
+        } else if actual < *budget {
+            report.findings.push(Finding {
+                rule: RuleId::PanicBudget,
+                file: file.clone(),
+                line: 0,
+                message: format!(
+                    "only {actual} unjustified panic sites but the budget allows {budget}: \
+                     shrink the [[panics.allow]] count in analyze.toml to {actual}"
+                ),
+            });
+        }
+    }
+    let budget_sum: i64 = cfg.panic_budgets.values().sum();
+    if cfg.panic_initial_scan > 0 && budget_sum >= cfg.panic_initial_scan {
+        report.findings.push(Finding {
+            rule: RuleId::PanicBudget,
+            file: "analyze.toml".to_string(),
+            line: 0,
+            message: format!(
+                "budget sum {budget_sum} has not burned down below the initial scan of {}",
+                cfg.panic_initial_scan
+            ),
+        });
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+}
+
+/// Recursively collects production `.rs` files as workspace-relative,
+/// forward-slash paths.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), AnalyzeError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(toml_src: &str) -> Config {
+        Config::parse(toml_src).unwrap()
+    }
+
+    #[test]
+    fn unbudgeted_panics_are_per_site_findings() {
+        let mut r = Report::default();
+        analyze_source("a.rs", "fn f() { x.unwrap(); y.unwrap(); }\n", &cfg(""), &mut r);
+        let panics: Vec<_> = r.findings.iter().filter(|f| f.rule == RuleId::Panic).collect();
+        assert_eq!(panics.len(), 2);
+        assert_eq!(r.panic_counts.get("a.rs"), Some(&2));
+    }
+
+    #[test]
+    fn exact_budgets_pass_and_stale_or_exceeded_budgets_fail() {
+        let c = cfg("[panics]\ninitial_scan = 9\n[[panics.allow]]\nfile = \"a.rs\"\ncount = 2\n");
+        let src = "fn f() { x.unwrap(); y.unwrap(); }\n";
+        let mut exact = Report::default();
+        analyze_source("a.rs", src, &c, &mut exact);
+        apply_panic_budgets(&c, &mut exact);
+        assert!(exact.findings.is_empty(), "{:?}", exact.findings);
+
+        let mut over = Report::default();
+        analyze_source("a.rs", "fn f() { x.unwrap(); y.unwrap(); z.unwrap(); }\n", &c, &mut over);
+        apply_panic_budgets(&c, &mut over);
+        assert!(over
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::PanicBudget && f.message.contains("exceed")));
+
+        let mut stale = Report::default();
+        analyze_source("a.rs", "fn f() { x.unwrap(); }\n", &c, &mut stale);
+        apply_panic_budgets(&c, &mut stale);
+        assert!(stale
+            .findings
+            .iter()
+            .any(|f| f.rule == RuleId::PanicBudget && f.message.contains("shrink")));
+    }
+
+    #[test]
+    fn budget_sum_must_stay_below_initial_scan() {
+        let c = cfg("[panics]\ninitial_scan = 2\n[[panics.allow]]\nfile = \"a.rs\"\ncount = 2\n");
+        let mut r = Report::default();
+        analyze_source("a.rs", "fn f() { x.unwrap(); y.unwrap(); }\n", &c, &mut r);
+        apply_panic_budgets(&c, &mut r);
+        assert!(r.findings.iter().any(|f| f.message.contains("burned down")));
+    }
+}

@@ -1,0 +1,121 @@
+//! Epoch-discipline rules.
+//!
+//! The two-epoch model (PR 4) makes `StoreVersion { generation, epoch }`
+//! the only valid constraint-store identity: a bare epoch is ambiguous
+//! across `reset()` generations, and hand-rolled `epoch() ± 1` arithmetic
+//! is how the PR 4 collision bug happened. Outside the blessed
+//! constructor file(s) listed in `[epochs] allow_files`, non-test code
+//! must not:
+//!
+//! - apply `+` / `-` arithmetic to an `.epoch()` result, or
+//! - construct a `StoreVersion { … }` literal.
+//!
+//! Comparisons (`==`, `<`) and pass-through uses stay legal.
+
+use crate::findings::{Finding, Report, RuleId};
+use crate::lexer::LexedFile;
+use crate::rules::{find_all, ident_before};
+
+pub(crate) fn check(file: &str, lexed: &LexedFile, report: &mut Report, allow_files: &[String]) {
+    if allow_files.iter().any(|f| f == file) {
+        return;
+    }
+    let allow = RuleId::Epoch.allow_marker();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let flag = |message: String, report: &mut Report| {
+            if !lexed.justified(idx, &allow) {
+                report.findings.push(Finding {
+                    rule: RuleId::Epoch,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message,
+                });
+            }
+        };
+
+        for pos in find_all(&line.code, ".epoch()") {
+            let after = line.code[pos + ".epoch()".len()..].trim_start();
+            // `+` / `-` arithmetic on the result (but not `+=`-style
+            // compound tokens, which can't follow an rvalue, and not
+            // `->`/`=>` which start with other chars anyway).
+            if after.starts_with('+') || after.starts_with('-') {
+                flag(
+                    "raw arithmetic on `.epoch()`: derive identities through the blessed \
+                     StoreVersion constructors instead of hand-rolled epoch math"
+                        .to_string(),
+                    report,
+                );
+            }
+        }
+
+        for pos in find_all(&line.code, "StoreVersion") {
+            if ident_before(&line.code, pos) {
+                continue;
+            }
+            let after = line.code[pos + "StoreVersion".len()..].trim_start();
+            // A literal is `StoreVersion {`; skip paths
+            // (`StoreVersion::`), the type's own definition, and type
+            // positions (`fn f() -> StoreVersion {` opens a body, not a
+            // literal).
+            if after.starts_with('{')
+                && !line.code.contains("struct ")
+                && !line.code.contains("impl ")
+                && !line.code.contains("fn ")
+            {
+                flag(
+                    "bare `StoreVersion { .. }` literal: only the blessed constructors may \
+                     assemble a store identity (a mismatched generation/epoch pair revives \
+                     the PR 4 collision bug)"
+                        .to_string(),
+                    report,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str, allow: &[&str]) -> Report {
+        let mut r = Report::default();
+        let allow: Vec<String> = allow.iter().map(|s| s.to_string()).collect();
+        check("f.rs", &lex(src), &mut r, &allow);
+        r
+    }
+
+    #[test]
+    fn epoch_arithmetic_is_flagged() {
+        let r = run("let next = old.epoch() + 1;\n", &[]);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, RuleId::Epoch);
+    }
+
+    #[test]
+    fn comparisons_and_passthrough_are_fine() {
+        let r = run("if a.epoch() == b.epoch() { f(store.epoch()); }\n", &[]);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn literals_are_flagged_but_defs_and_tests_are_not() {
+        let r = run(
+            "pub struct StoreVersion { pub epoch: u64 }\nlet v = StoreVersion { generation: g, epoch: e };\npub fn version(&self) -> StoreVersion {\n#[cfg(test)]\nmod tests { fn t() { let v = StoreVersion { generation: 0, epoch: 1 }; } }\n",
+            &[],
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 2);
+    }
+
+    #[test]
+    fn allow_files_and_allow_marker_suppress() {
+        assert!(run("let n = e.epoch() + 1;\n", &["f.rs"]).findings.is_empty());
+        let r = run("let n = e.epoch() + 1; // analyze: allow(epoch)\n", &[]);
+        assert!(r.findings.is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! Lock-discipline check.
+//!
+//! `analyze.toml` declares the workspace lock hierarchy: every lock gets
+//! a name, a *rank*, the receiver expressions that acquire it, and the
+//! files it lives in. The rule walks each covered file with a lexical
+//! guard tracker and enforces:
+//!
+//! - **lock-order** — a lock may only be acquired while every live guard
+//!   has a strictly lower rank (the hierarchy is a total order, so
+//!   ascending acquisition can never deadlock);
+//! - **lock-cross** — configured cross-module call patterns (which take
+//!   locks of at least `min_rank` internally, or must run lock-free like
+//!   waker invocations) must not execute while a guard of rank >=
+//!   `min_rank` is live;
+//! - **lock-unknown** — in a covered file, a `.lock()` / `.read()` /
+//!   `.write()` whose receiver matches no declaration is flagged, so the
+//!   hierarchy map cannot silently rot as code grows.
+//!
+//! Guard lifetimes are tracked lexically: a `let name = <acquire>;`
+//! guard lives until its enclosing brace closes or an explicit
+//! `drop(name)`; an unbound acquisition is a temporary that dies at the
+//! end of its statement (or with the block it heads, for
+//! `match x.read() { … }`-style lines). This models the block-scoping
+//! and `drop()` patterns the codebase already uses to keep critical
+//! sections short.
+
+use crate::config::Config;
+use crate::findings::{Finding, Report, RuleId};
+use crate::lexer::LexedFile;
+use crate::rules::find_all;
+
+/// A live guard.
+#[derive(Debug, Clone)]
+struct Guard {
+    /// Binding name for `drop(name)` tracking; `None` for temporaries.
+    name: Option<String>,
+    lock: String,
+    rank: i64,
+    /// Dead once brace depth drops below this.
+    dies_below: i32,
+    /// Still waiting for its statement terminator (`;` / `,` / `{`).
+    statement_pending: bool,
+}
+
+/// A positional event inside one line, processed left to right.
+#[derive(Debug)]
+enum Event {
+    Open,
+    Close,
+    Drop(String),
+    // Named `Take` (not `Acquire`) so the variant path cannot collide
+    // with the ordering rule's `::Acquire` token when this crate audits
+    // itself.
+    Take { lock: String, rank: i64, name: Option<String> },
+    Unknown { receiver: String },
+    Module { name: String, min_rank: i64 },
+}
+
+const LOCK_METHODS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+pub(crate) fn check(file: &str, lexed: &LexedFile, report: &mut Report, cfg: &Config) {
+    let decls = cfg.locks_for(file);
+    let covered = !decls.is_empty();
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let code = &line.code;
+        let mut events: Vec<(usize, Event)> = Vec::new();
+
+        // Braces always count, even in test code, to keep depth honest.
+        for (pos, c) in code.char_indices() {
+            match c {
+                '{' => events.push((pos, Event::Open)),
+                '}' => events.push((pos, Event::Close)),
+                _ => {}
+            }
+        }
+
+        if !line.in_test {
+            for pos in find_all(code, "drop(") {
+                if crate::rules::ident_before(code, pos) {
+                    continue; // e.g. `airdrop(` is not a drop; `mem::drop(` still matches
+                }
+                let arg: String = code[pos + "drop(".len()..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !arg.is_empty() && code[pos + "drop(".len() + arg.len()..].starts_with(')') {
+                    events.push((pos, Event::Drop(arg)));
+                }
+            }
+
+            for method in LOCK_METHODS {
+                for pos in find_all(code, method) {
+                    let receiver = receiver_before(code, pos);
+                    if receiver.is_empty() {
+                        continue;
+                    }
+                    match resolve_lock(&decls, &receiver) {
+                        Some((lock, rank)) => {
+                            let end = pos + method.len();
+                            let name = binding_name(code, &receiver, pos, end);
+                            events.push((pos, Event::Take { lock, rank, name }));
+                        }
+                        None if covered => {
+                            events.push((pos, Event::Unknown { receiver }));
+                        }
+                        None => {}
+                    }
+                }
+            }
+
+            for module in &cfg.modules {
+                for pattern in &module.patterns {
+                    for pos in find_all(code, pattern) {
+                        events.push((
+                            pos,
+                            Event::Module { name: module.name.clone(), min_rank: module.min_rank },
+                        ));
+                    }
+                }
+            }
+        }
+
+        events.sort_by_key(|(pos, _)| *pos);
+
+        let mut opened_this_line = false;
+        for (_, event) in events {
+            match event {
+                Event::Open => {
+                    depth += 1;
+                    opened_this_line = true;
+                }
+                Event::Close => {
+                    depth -= 1;
+                    // A `}` ends any statement still pending from an earlier
+                    // line — in particular a tail-expression acquisition
+                    // (`fn f() { self.x.lock().get() }` has no `;`), which
+                    // must not leak into the next function.
+                    guards.retain(|g| !g.statement_pending && g.dies_below <= depth);
+                }
+                Event::Drop(name) => {
+                    guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+                }
+                Event::Take { lock, rank, name } => {
+                    for g in &guards {
+                        if g.rank >= rank {
+                            push_unless_allowed(
+                                report,
+                                lexed,
+                                idx,
+                                RuleId::LockOrder,
+                                file,
+                                format!(
+                                    "`{lock}` (rank {rank}) acquired while holding `{}` \
+                                     (rank {}): the hierarchy requires strictly \
+                                     ascending acquisition",
+                                    g.lock, g.rank
+                                ),
+                            );
+                        }
+                    }
+                    let named = name.is_some();
+                    guards.push(Guard {
+                        name,
+                        lock,
+                        rank,
+                        // Named guards die with the enclosing block; the
+                        // terminator pass below finalizes temporaries.
+                        dies_below: depth,
+                        statement_pending: !named,
+                    });
+                }
+                Event::Unknown { receiver } => {
+                    push_unless_allowed(
+                        report,
+                        lexed,
+                        idx,
+                        RuleId::LockUnknown,
+                        file,
+                        format!(
+                            "lock-style acquisition on `{receiver}` matches no declared lock: \
+                             add it to the [[locks.lock]] hierarchy in analyze.toml"
+                        ),
+                    );
+                }
+                Event::Module { name, min_rank } => {
+                    for g in &guards {
+                        if g.rank >= min_rank {
+                            push_unless_allowed(
+                                report,
+                                lexed,
+                                idx,
+                                RuleId::LockCross,
+                                file,
+                                format!(
+                                    "call into locking module `{name}` (min rank {min_rank}) \
+                                     while holding `{}` (rank {}): scope the guard out \
+                                     (block or drop()) before crossing the module boundary",
+                                    g.lock, g.rank
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Statement-terminator pass: temporaries die at `;` / `,`, or
+        // become block-scoped when the line opens the block they head.
+        let last = code.trim_end().chars().next_back();
+        match last {
+            Some(';') | Some(',') => guards.retain(|g| !g.statement_pending),
+            Some('{') if opened_this_line => {
+                for g in &mut guards {
+                    if g.statement_pending {
+                        g.statement_pending = false;
+                        g.dies_below = depth;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn push_unless_allowed(
+    report: &mut Report,
+    lexed: &LexedFile,
+    idx: usize,
+    rule: RuleId,
+    file: &str,
+    message: String,
+) {
+    if lexed.justified(idx, &rule.allow_marker()) {
+        return;
+    }
+    report.findings.push(Finding { rule, file: file.to_string(), line: idx + 1, message });
+}
+
+/// Extracts the receiver expression ending just before `pos` (the dot of
+/// the lock method): identifier paths with `.` separators and balanced
+/// call parens, e.g. `self.shard_of(fingerprint)` or `task.future`.
+fn receiver_before(code: &str, pos: usize) -> String {
+    let bytes = code.as_bytes();
+    let mut i = pos;
+    while i > 0 {
+        let c = bytes[i - 1] as char;
+        if c.is_alphanumeric() || c == '_' || c == '.' {
+            i -= 1;
+        } else if c == ')' {
+            // Balance back to the matching `(`.
+            let mut depth = 0i32;
+            while i > 0 {
+                let c = bytes[i - 1] as char;
+                i -= 1;
+                if c == ')' {
+                    depth += 1;
+                } else if c == '(' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    code[i..pos].trim_start_matches('.').to_string()
+}
+
+/// Matches a receiver against the declared locks: exact receiver match,
+/// or prefix match for patterns ending in `(` (computed receivers like
+/// `self.shard_of(`).
+fn resolve_lock(decls: &[&crate::config::LockDecl], receiver: &str) -> Option<(String, i64)> {
+    for decl in decls {
+        for pat in &decl.receivers {
+            let hit = if pat.ends_with('(') {
+                receiver.starts_with(pat.as_str())
+            } else {
+                receiver == pat
+            };
+            if hit {
+                return Some((decl.name.clone(), decl.rank));
+            }
+        }
+    }
+    None
+}
+
+/// When the acquisition is the whole RHS of a simple `let` binding
+/// (allowing `.expect(…)` / `.unwrap()` / `.unwrap_or_else(…)` tails —
+/// the last is the poison-recovery idiom), returns the bound name;
+/// otherwise the guard is a temporary.
+fn binding_name(code: &str, receiver: &str, pos: usize, end: usize) -> Option<String> {
+    // The receiver text sits immediately before `pos`.
+    let recv_start = pos.checked_sub(receiver.len())?;
+    let before = code[..recv_start].trim_end();
+    let before = before.strip_suffix('=')?.trim_end();
+    let let_pos = before.rfind("let ")?;
+    let mut pat = before[let_pos + "let ".len()..].trim();
+    pat = pat.strip_prefix("mut ").unwrap_or(pat).trim();
+    if pat.is_empty() || !pat.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    // Tail may chain `.expect(…)` / `.unwrap()` / `.unwrap_or_else(…)`
+    // and must end the statement.
+    let mut rest = &code[end..];
+    loop {
+        if let Some(after) = rest.strip_prefix(".unwrap()") {
+            rest = after;
+        } else if let Some(after) =
+            rest.strip_prefix(".expect(").or_else(|| rest.strip_prefix(".unwrap_or_else("))
+        {
+            let mut depth = 1i32;
+            let mut cut = None;
+            for (i, c) in after.char_indices() {
+                match c {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            cut = Some(i + 1);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            rest = &after[cut?..];
+        } else {
+            break;
+        }
+    }
+    rest.trim_start().starts_with(';').then(|| pat.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg() -> Config {
+        Config::parse(
+            r#"
+[[locks.lock]]
+name = "outer"
+rank = 10
+receivers = ["self.outer"]
+files = ["f.rs"]
+
+[[locks.lock]]
+name = "inner"
+rank = 20
+receivers = ["self.inner", "self.shard_of("]
+files = ["f.rs"]
+
+[[locks.module]]
+name = "wakers"
+min_rank = 0
+patterns = [".wake()"]
+"#,
+        )
+        .unwrap()
+    }
+
+    fn run(src: &str) -> Report {
+        let mut r = Report::default();
+        check("f.rs", &lex(src), &mut r, &cfg());
+        r
+    }
+
+    #[test]
+    fn ascending_order_passes_descending_fails() {
+        let ok =
+            run("fn f(&self) {\n let a = self.outer.lock();\n let b = self.inner.lock();\n}\n");
+        assert!(ok.findings.is_empty(), "{:?}", ok.findings);
+        let bad =
+            run("fn f(&self) {\n let b = self.inner.lock();\n let a = self.outer.lock();\n}\n");
+        assert_eq!(bad.findings.len(), 1);
+        assert_eq!(bad.findings[0].rule, RuleId::LockOrder);
+        assert_eq!(bad.findings[0].line, 3);
+    }
+
+    #[test]
+    fn block_scoping_and_drop_end_guard_lifetimes() {
+        let scoped = run(
+            "fn f(&self) {\n {\n  let b = self.inner.lock();\n  b.push(1);\n }\n let a = self.outer.lock();\n}\n",
+        );
+        assert!(scoped.findings.is_empty(), "{:?}", scoped.findings);
+        let dropped = run(
+            "fn f(&self) {\n let b = self.inner.lock();\n drop(b);\n let a = self.outer.lock();\n}\n",
+        );
+        assert!(dropped.findings.is_empty(), "{:?}", dropped.findings);
+    }
+
+    #[test]
+    fn tail_expression_guard_dies_with_its_function() {
+        let r = run(
+            "fn peek(&self) -> usize {\n self.inner.lock().len()\n}\nfn f(&self) {\n let a = self.outer.lock();\n}\n",
+        );
+        assert!(r.findings.is_empty(), "tail guard must not leak into f: {:?}", r.findings);
+    }
+
+    #[test]
+    fn poison_recovery_tail_still_binds_the_guard() {
+        let r = run(
+            "fn f(&self) {\n let b = self.inner.lock().unwrap_or_else(PoisonError::into_inner);\n let a = self.outer.lock();\n}\n",
+        );
+        assert_eq!(
+            r.findings.len(),
+            1,
+            "guard must stay live past its statement: {:?}",
+            r.findings
+        );
+        assert_eq!(r.findings[0].rule, RuleId::LockOrder);
+    }
+
+    #[test]
+    fn temporaries_die_at_statement_end_but_block_heads_persist() {
+        let temp = run(
+            "fn f(&self) {\n let n = self.inner.lock().len();\n let a = self.outer.lock();\n}\n",
+        );
+        assert!(temp.findings.is_empty(), "{:?}", temp.findings);
+        let head = run(
+            "fn f(&self) {\n match self.inner.lock().first() {\n  Some(_) => { let a = self.outer.lock(); }\n  None => {}\n }\n}\n",
+        );
+        assert_eq!(head.findings.len(), 1, "guard heading a match lives to its close brace");
+        assert_eq!(head.findings[0].rule, RuleId::LockOrder);
+    }
+
+    #[test]
+    fn computed_receivers_unknown_locks_and_wakers() {
+        let computed = run(
+            "fn f(&self) {\n let s = self.shard_of(fp).read();\n let a = self.outer.lock();\n}\n",
+        );
+        assert_eq!(computed.findings.len(), 1, "shard (20) then outer (10) inverts");
+        let unknown = run("fn f(&self) {\n let g = self.mystery.lock();\n}\n");
+        assert_eq!(unknown.findings.len(), 1);
+        assert_eq!(unknown.findings[0].rule, RuleId::LockUnknown);
+        let woke = run("fn f(&self) {\n let a = self.outer.lock();\n waker.wake();\n}\n");
+        assert_eq!(woke.findings.len(), 1);
+        assert_eq!(woke.findings[0].rule, RuleId::LockCross);
+        let clean = run("fn f(&self) {\n { let a = self.outer.lock(); }\n waker.wake();\n}\n");
+        assert!(clean.findings.is_empty(), "{:?}", clean.findings);
+    }
+
+    #[test]
+    fn test_code_is_exempt_but_braces_still_balance() {
+        let r = run(
+            "#[cfg(test)]\nmod tests {\n fn t(&self) { let b = self.inner.lock(); let a = self.outer.lock(); }\n}\nfn lib(&self) {\n let a = self.outer.lock();\n}\n",
+        );
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+}

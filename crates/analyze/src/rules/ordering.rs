@@ -1,0 +1,146 @@
+//! Atomic-ordering audit.
+//!
+//! Every `Ordering::<Kind>` token in non-test code must carry an
+//! `// ordering: <why>` justification on the same line or in the
+//! contiguous comment block directly above. All sites — justified or
+//! not, test or not — are collected into the inventory that
+//! `docs/ANALYSIS.md` reproduces.
+//!
+//! Matching is on the path-final segment (`::Relaxed`, `::AcqRel`, …) so
+//! aliased imports (`use std::sync::atomic::Ordering as AtomicOrdering`)
+//! are still caught, while `std::cmp::Ordering`'s variants (`Less`,
+//! `Equal`, `Greater`) never collide.
+
+use crate::findings::{Finding, OrderingSite, Report, RuleId};
+use crate::lexer::LexedFile;
+use crate::rules::{find_all, ident_after};
+
+/// The five memory-ordering kinds, as path-final tokens.
+const KINDS: [&str; 5] = ["Relaxed", "SeqCst", "Acquire", "Release", "AcqRel"];
+
+/// The justification marker the comment channel must carry.
+pub const MARKER: &str = "ordering:";
+
+pub(crate) fn check(file: &str, lexed: &LexedFile, report: &mut Report) {
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        for kind in KINDS {
+            let needle = format!("::{kind}");
+            for pos in find_all(&line.code, &needle) {
+                if ident_after(&line.code, pos + needle.len()) {
+                    continue; // e.g. `::AcquireToken`
+                }
+                let justified = lexed.justified(idx, MARKER);
+                let justification =
+                    if justified { extract_justification(lexed, idx) } else { None };
+                report.ordering_inventory.push(OrderingSite {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    kind: kind.to_string(),
+                    justification,
+                    in_test: line.in_test,
+                });
+                if line.in_test || justified {
+                    continue;
+                }
+                if lexed.justified(idx, &RuleId::Ordering.allow_marker()) {
+                    continue;
+                }
+                report.findings.push(Finding {
+                    rule: RuleId::Ordering,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "Ordering::{kind} without an `// ordering:` justification \
+                         (state the happens-before edge or why none is needed)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The text after the `ordering:` marker, from the same line or the
+/// nearest line of the comment block above.
+fn extract_justification(lexed: &LexedFile, line: usize) -> Option<String> {
+    let grab = |i: usize| -> Option<String> {
+        let c = &lexed.lines.get(i)?.comment;
+        let pos = c.find(MARKER)?;
+        let text = c[pos + MARKER.len()..].trim();
+        (!text.is_empty()).then(|| text.to_string())
+    };
+    if let Some(j) = grab(line) {
+        return Some(j);
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        let l = &lexed.lines[i];
+        let comment_only = l.code.trim().is_empty() && !l.comment.trim().is_empty();
+        if let Some(j) = grab(i) {
+            if comment_only || i + 1 == line {
+                return Some(j);
+            }
+        }
+        if !comment_only {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Report {
+        let mut r = Report::default();
+        check("f.rs", &lex(src), &mut r);
+        r
+    }
+
+    #[test]
+    fn unjustified_sites_are_flagged_and_inventoried() {
+        let r = run("x.load(Ordering::Relaxed);\n");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 1);
+        assert_eq!(r.ordering_inventory.len(), 1);
+        assert!(r.ordering_inventory[0].justification.is_none());
+    }
+
+    #[test]
+    fn justified_and_aliased_sites_pass() {
+        let r = run("x.load(AtomicOrdering::AcqRel); // ordering: pairs with the store in put()\n");
+        assert!(r.findings.is_empty());
+        assert_eq!(
+            r.ordering_inventory[0].justification.as_deref(),
+            Some("pairs with the store in put()")
+        );
+    }
+
+    #[test]
+    fn cmp_ordering_variants_and_test_code_are_ignored() {
+        let r = run(
+            "match a.cmp(&b) { Ordering::Less => {} Ordering::Equal => {} Ordering::Greater => {} }\n\
+             #[cfg(test)]\nmod tests {\n fn t() { x.load(Ordering::SeqCst); }\n}\n",
+        );
+        assert!(r.findings.is_empty());
+        assert_eq!(r.ordering_inventory.len(), 1, "test sites still inventoried");
+        assert!(r.ordering_inventory[0].in_test);
+    }
+
+    #[test]
+    fn block_justification_covers_only_adjacent_site() {
+        let r = run(
+            "// ordering: counters are monotonic, read for display only\nx.fetch_add(1, Ordering::Relaxed);\ny.fetch_add(1, Ordering::Relaxed);\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 3);
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let r = run("x.load(Ordering::Relaxed); // analyze: allow(ordering)\n");
+        assert!(r.findings.is_empty());
+    }
+}

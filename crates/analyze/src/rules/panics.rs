@@ -1,0 +1,109 @@
+//! Panic-freedom lint.
+//!
+//! A serving engine must not abort a worker because one request hit an
+//! unexpected state: non-test library code may not call `.unwrap()` /
+//! `.expect(…)` or expand `panic!` / `unreachable!` / `todo!` /
+//! `unimplemented!` unless the site carries an `// invariant: <why>`
+//! comment proving the failure is impossible (or the file has a budget
+//! in `analyze.toml`, the burn-down allowlist that only ever shrinks).
+
+use crate::lexer::LexedFile;
+use crate::rules::{find_all, ident_after, ident_before};
+
+/// The justification marker for a provably-unreachable site.
+pub const MARKER: &str = "invariant:";
+
+/// Method-call patterns (matched verbatim in the code channel).
+const METHODS: [&str; 2] = [".unwrap()", ".expect("];
+
+/// Panic-family macros (matched with an identifier boundary before).
+const MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+/// One panic-family site that is neither test code nor justified.
+#[derive(Debug, Clone)]
+pub(crate) struct Site {
+    /// 1-based line.
+    pub line: usize,
+    /// The matched pattern, for the finding message.
+    pub what: &'static str,
+}
+
+/// Scans one lexed file for unjustified panic-family sites. Budget
+/// bookkeeping (allowlist comparison) happens in the caller, which sees
+/// the whole workspace.
+pub(crate) fn scan(lexed: &LexedFile, allow_marker: &str) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut hits: Vec<&'static str> = Vec::new();
+        for pat in METHODS {
+            for _ in find_all(&line.code, pat) {
+                hits.push(pat);
+            }
+        }
+        for pat in MACROS {
+            for pos in find_all(&line.code, pat) {
+                if !ident_before(&line.code, pos) && !ident_after(&line.code, pos + pat.len() - 1) {
+                    hits.push(pat);
+                }
+            }
+        }
+        if hits.is_empty() {
+            continue;
+        }
+        if lexed.justified(idx, MARKER) || lexed.justified(idx, allow_marker) {
+            continue;
+        }
+        for what in hits {
+            sites.push(Site { line: idx + 1, what });
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Site> {
+        scan(&lex(src), "analyze: allow(panic)")
+    }
+
+    #[test]
+    fn methods_and_macros_are_caught() {
+        let sites = run(
+            "let a = x.unwrap();\nlet b = y.expect(\"msg\");\npanic!(\"boom\");\nunreachable!();\n",
+        );
+        assert_eq!(sites.len(), 4);
+        assert_eq!(sites[0].what, ".unwrap()");
+        assert_eq!(sites[2].what, "panic!");
+    }
+
+    #[test]
+    fn lookalikes_do_not_match() {
+        let sites = run(
+            "let a = x.unwrap_or(0);\nlet b = y.unwrap_or_default();\nlet c = z.expect_err(\"e\");\nmy_panic!(\"no\");\n",
+        );
+        assert!(sites.is_empty(), "{sites:?}");
+    }
+
+    #[test]
+    fn strings_tests_and_justified_sites_are_exempt() {
+        let sites = run("let m = \"call panic!() or .unwrap()\";\n\
+             // invariant: the queue is non-empty, checked two lines up\n\
+             let v = q.pop().unwrap();\n\
+             let w = r.pop().unwrap(); // analyze: allow(panic)\n\
+             #[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }\n");
+        assert!(sites.is_empty(), "{sites:?}");
+    }
+
+    #[test]
+    fn one_line_can_carry_multiple_sites() {
+        let sites = run("let a = x.unwrap().parse().unwrap();\n");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].line, 1);
+    }
+}

@@ -1,0 +1,52 @@
+// Fixture: realistic production code every rule must stay silent on.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Counters {
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl Counters {
+    pub fn record_hit(&self) {
+        // ordering: Relaxed lookup count first; the hit below publishes
+        // with Release so snapshots never see hits > lookups.
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Release); // ordering: pairs with stats()
+    }
+
+    pub fn stats(&self) -> (u64, u64) {
+        // ordering: Acquire pairs with record_hit's Release increment.
+        let hits = self.hits.load(Ordering::Acquire);
+        let lookups = self.lookups.load(Ordering::Relaxed); // ordering: see above
+        (hits, lookups)
+    }
+
+    pub fn ratio(&self) -> Option<f64> {
+        let (hits, lookups) = self.stats();
+        if lookups == 0 {
+            return None;
+        }
+        Some(hits as f64 / lookups as f64)
+    }
+}
+
+impl Fixture {
+    fn hierarchy_respected(&self) {
+        let a = self.outer.lock();
+        let b = self.inner.lock();
+        b.merge(&a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_are_free() {
+        let c = Counters { hits: AtomicU64::new(0), lookups: AtomicU64::new(0) };
+        c.record_hit();
+        assert_eq!(c.stats().0, 1);
+        None::<u32>.unwrap_or(7);
+    }
+}

@@ -1,0 +1,31 @@
+// Fixture: epoch-discipline violations and exemptions. Never compiled.
+fn raw_epoch_arithmetic(store: &ConstraintStore) -> u64 {
+    store.epoch() + 1
+}
+
+fn forged_version(generation: u64, epoch: u64) -> StoreVersion {
+    StoreVersion { generation, epoch }
+}
+
+fn blessed_call(store: &ConstraintStore) -> StoreVersion {
+    store.store_version()
+}
+
+struct StoreVersion {
+    generation: u64,
+    epoch: u64,
+}
+
+impl StoreVersion {
+    fn current(&self) -> u64 {
+        self.epoch
+    }
+}
+
+pub fn returns_a_version(store: &ConstraintStore) -> StoreVersion {
+    store.version()
+}
+
+fn allowed(generation: u64, epoch: u64) -> StoreVersion {
+    StoreVersion { generation, epoch } // analyze: allow(epoch): fixture
+}

@@ -1,0 +1,51 @@
+// Fixture: lock-discipline violations and exemptions. Never compiled.
+// The fixture config ranks outer=10 < inner=20 and bans `.wake()` while
+// holding any guard.
+impl Fixture {
+    fn descending(&self) {
+        let b = self.inner.lock();
+        let a = self.outer.lock();
+    }
+
+    fn ascending(&self) {
+        let a = self.outer.lock();
+        let b = self.inner.lock();
+    }
+
+    fn scoped_then_reversed(&self) {
+        {
+            let b = self.inner.lock();
+            b.touch();
+        }
+        let a = self.outer.lock();
+    }
+
+    fn dropped_then_reversed(&self) {
+        let b = self.inner.lock();
+        drop(b);
+        let a = self.outer.lock();
+    }
+
+    fn wake_under_guard(&self, waker: &Waker) {
+        let a = self.outer.lock();
+        waker.wake_by_ref();
+    }
+
+    fn wake_lock_free(&self, waker: Waker) {
+        {
+            let a = self.outer.lock();
+            a.touch();
+        }
+        waker.wake();
+    }
+
+    fn unknown_receiver(&self) {
+        let g = self.mystery.lock();
+    }
+
+    fn temporary_dies_at_statement(&self) -> usize {
+        let n = self.inner.lock().len();
+        let a = self.outer.lock();
+        n
+    }
+}

@@ -1,0 +1,38 @@
+// Fixture: every flavor of atomic-ordering violation and exemption.
+// Never compiled — lexed by tests/fixtures.rs. Line numbers matter.
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering as AtomicOrdering;
+
+fn unjustified(n: &AtomicU64) -> u64 {
+    n.load(Ordering::Relaxed)
+}
+
+fn justified(n: &AtomicU64) -> u64 {
+    // ordering: display counter, no cross-data ordering needed.
+    n.load(Ordering::Relaxed)
+}
+
+fn inline_justified(n: &AtomicU64) {
+    n.fetch_add(1, Ordering::Release); // ordering: publishes the batch above
+}
+
+fn aliased(n: &AtomicU64) -> u64 {
+    n.load(AtomicOrdering::Acquire)
+}
+
+fn not_an_atomic(a: u64, b: u64) -> std::cmp::Ordering {
+    // cmp::Ordering variants must not match the atomic rule.
+    if a < b { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater }
+}
+
+fn in_a_string() -> &'static str {
+    "Ordering::SeqCst inside a string is not code"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_inventoried_but_not_flagged() {
+        N.store(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,40 @@
+// Fixture: panic-freedom violations and exemptions. Never compiled.
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u32>) -> u32 {
+    x.expect("fixture")
+}
+
+fn panics() {
+    panic!("fixture");
+}
+
+fn unreachable_macro() {
+    unreachable!("fixture");
+}
+
+fn justified(q: &mut Vec<u32>) -> u32 {
+    // invariant: the caller pushed one element two lines up.
+    q.pop().unwrap()
+}
+
+fn allowed(q: &mut Vec<u32>) -> u32 {
+    q.pop().unwrap() // analyze: allow(panic): fixture exercising the marker
+}
+
+fn lookalikes(x: Option<u32>) -> u32 {
+    let s = "panic! and .unwrap() in a string";
+    let _ = s;
+    my_panic!("not the macro");
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        None::<u32>.unwrap();
+    }
+}

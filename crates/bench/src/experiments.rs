@@ -410,8 +410,10 @@ pub fn grouping(seed: u64) -> (Vec<Headline>, String) {
             scanned += store.len(); // what the ungrouped baseline would touch
         }
         let m = store.metrics();
+        // ordering: post-run metric reads; the single-threaded driver
+        // already synchronized with the store via `relevant_for` returns.
         let retrieved = m.retrieved.load(std::sync::atomic::Ordering::Relaxed);
-        let relevant = m.relevant.load(std::sync::atomic::Ordering::Relaxed);
+        let relevant = m.relevant.load(std::sync::atomic::Ordering::Relaxed); // ordering: see above
         t.row(vec![
             format!("{policy:?}"),
             retrieved.to_string(),
@@ -919,6 +921,8 @@ pub fn mutable_serving(seed: u64, smoke: bool) -> (Vec<E11Row>, String) {
                         scope.spawn(move || {
                             let mut lat = Vec::with_capacity(ops.len() / threads + 1);
                             loop {
+                                // ordering: work-stealing ticket; each index is claimed
+                                // exactly once by RMW atomicity, no payload to publish.
                                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                 let Some(op) = ops.get(i) else { break };
                                 let t = Instant::now();

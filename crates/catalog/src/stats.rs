@@ -163,12 +163,15 @@ impl AccessTracker {
     pub fn record<I: IntoIterator<Item = ClassId>>(&self, classes: I) {
         for c in classes {
             if let Some(n) = self.counts.get(c.index()) {
+                // ordering: independent frequency counter; grouping reads
+                // tolerate any interleaving, no cross-data ordering needed.
                 n.fetch_add(1, AtomicOrdering::Relaxed);
             }
         }
     }
 
     pub fn count(&self, class: ClassId) -> u64 {
+        // ordering: advisory read of a monotone counter.
         self.counts.get(class.index()).map(|n| n.load(AtomicOrdering::Relaxed)).unwrap_or(0)
     }
 
@@ -176,6 +179,8 @@ impl AccessTracker {
     /// policy has signal before the first query runs.
     pub fn seed(&self, class: ClassId, count: u64) {
         if let Some(n) = self.counts.get(class.index()) {
+            // ordering: pre-warm write; racing readers may see either
+            // value and both are valid advisory signals.
             n.store(count, AtomicOrdering::Relaxed);
         }
     }

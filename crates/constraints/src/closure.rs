@@ -176,6 +176,8 @@ pub fn transitive_closure(
                     (Some(&c), Some(&p)) => c.min(p),
                     (Some(&c), None) => c,
                     (None, Some(&p)) => p,
+                    // invariant: the loop condition holds ci or pi in
+                    // bounds, so at least one side is Some.
                     (None, None) => unreachable!(),
                 };
                 let as_consumer = consumers.get(ci) == Some(&j);

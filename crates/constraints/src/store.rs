@@ -91,11 +91,13 @@ impl RetrievalMetrics {
     /// Fraction of retrieved constraints that were irrelevant, over the
     /// store's lifetime.
     pub fn waste_ratio(&self) -> f64 {
+        // ordering: advisory ratio over monotone counters; a slightly
+        // stale numerator/denominator pair is still a valid estimate.
         let retrieved = self.retrieved.load(Ordering::Relaxed);
         if retrieved == 0 {
             return 0.0;
         }
-        let relevant = self.relevant.load(Ordering::Relaxed);
+        let relevant = self.relevant.load(Ordering::Relaxed); // ordering: see above
         1.0 - relevant as f64 / retrieved as f64
     }
 }
@@ -123,6 +125,8 @@ pub struct StoreVersion {
 /// Allocates a process-globally unique store generation.
 fn next_generation() -> u64 {
     static NEXT_GENERATION: AtomicU64 = AtomicU64::new(0);
+    // ordering: uniqueness comes from RMW atomicity alone; generation
+    // ids carry no payload that needs publishing.
     NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -254,6 +258,8 @@ impl ConstraintStore {
     /// occurred **on this instance**, so any optimization derived in between
     /// is still valid. Cross-instance comparisons need [`ConstraintStore::version`].
     pub fn epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the AcqRel epoch bumps so an
+        // observed epoch implies the store mutation that produced it.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -271,6 +277,8 @@ impl ConstraintStore {
     /// decisions consult (e.g. a refreshed catalog snapshot), bumping the
     /// epoch so cached rewrites are re-derived. Returns the new epoch.
     pub fn note_statistics_change(&self) -> u64 {
+        // ordering: AcqRel keeps statistics bumps in the epoch's single
+        // total modification order; pairs with the Acquire in epoch().
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
@@ -280,7 +288,16 @@ impl ConstraintStore {
     /// identity does not depend on it (the rebuilt store already has its own
     /// generation, so its versions can never collide with the old store's).
     pub fn raise_epoch_to(&self, floor: u64) {
+        // ordering: AcqRel keeps the monotone fetch_max totally ordered with
+        // the epoch bumps in note_*_change; pairs with the Acquire in epoch().
         self.epoch.fetch_max(floor, Ordering::AcqRel);
+    }
+
+    /// Raises the epoch strictly past `other`'s current epoch (the blessed
+    /// form of `raise_epoch_to(other.epoch() + 1)`, which callers must not
+    /// hand-roll — see the epoch-discipline rules in `docs/ANALYSIS.md`).
+    pub fn raise_epoch_above(&self, other: &ConstraintStore) {
+        self.raise_epoch_to(other.epoch().saturating_add(1));
     }
 
     /// Appends one constraint to the store in place, compiling it into the
@@ -317,6 +334,8 @@ impl ConstraintStore {
         if let Some(home) = home {
             self.groups.write()[home.index()].push(id);
         }
+        // ordering: Release half publishes the insertion above to
+        // epoch() readers; Acquire half orders it after prior bumps.
         self.epoch.fetch_add(1, Ordering::AcqRel);
         id
     }
@@ -435,14 +454,16 @@ impl ConstraintStore {
     /// Updates retrieval metrics and the access-frequency counters.
     pub fn relevant_for(&self, query: &Query) -> Vec<ConstraintId> {
         let candidates = self.retrieve_candidates(query);
+        // ordering: retrieval metrics are advisory counters read only
+        // by waste_ratio / reports; no cross-data ordering needed.
         self.metrics.queries.fetch_add(1, Ordering::Relaxed);
-        self.metrics.retrieved.fetch_add(candidates.len() as u64, Ordering::Relaxed);
+        self.metrics.retrieved.fetch_add(candidates.len() as u64, Ordering::Relaxed); // ordering: see above
         self.access.record(query.classes.iter().copied());
         let relevant: Vec<ConstraintId> = candidates
             .into_iter()
             .filter(|id| self.constraints[id.index()].relevant_to(query))
             .collect();
-        self.metrics.relevant.fetch_add(relevant.len() as u64, Ordering::Relaxed);
+        self.metrics.relevant.fetch_add(relevant.len() as u64, Ordering::Relaxed); // ordering: see above
         relevant
     }
 

@@ -188,6 +188,9 @@ impl TransformationTable {
                 // the cost model will reject it, but chaining through it is
                 // legitimate).
                 ColumnPresence::Implied | ColumnPresence::Absent => CellState::AbsentConsequent,
+                // invariant: `presence` is freshly derived from the query in
+                // this constructor; Introduced only appears via later
+                // `introduce` calls on the built table.
                 ColumnPresence::Introduced => unreachable!("nothing introduced at init"),
             };
         }

@@ -26,6 +26,11 @@ pub enum ExecError {
     /// A batch probe re-keys the root index probe, but the plan's root is a
     /// sequential scan — there is no probe key to override.
     RootOverrideNeedsIndex(ClassId),
+    /// The plan violated a planner/executor contract (e.g. a join step
+    /// whose `from_class` was never bound). Always a bug in the planner
+    /// or a stale cached plan — surfaced as an error so one corrupt plan
+    /// cannot abort a serving worker.
+    MalformedPlan(&'static str),
 }
 
 impl fmt::Display for ExecError {
@@ -45,6 +50,7 @@ impl fmt::Display for ExecError {
             ExecError::RootOverrideNeedsIndex(c) => {
                 write!(f, "probe re-keys the root of {c} but the plan's root is a scan")
             }
+            ExecError::MalformedPlan(what) => write!(f, "malformed plan: {what}"),
         }
     }
 }

@@ -70,6 +70,8 @@ pub fn execute_with(
     let depths = plan.steps.len() + 1;
     scratch.reset(depths);
     let ExecScratch { levels, cursors, binding } = scratch;
+    // invariant: depths = plan.steps.len() + 1 >= 1, so the slice split
+    // always yields a first element.
     let (root_level, step_levels) = levels[..depths].split_first_mut().expect("depths >= 1");
 
     // Root candidates: batch-produce, residual-filter the batch.
@@ -184,7 +186,7 @@ pub(crate) fn fill_step_level(
     let &(_, from_oid) = binding
         .iter()
         .find(|(c, _)| *c == step.from_class)
-        .expect("planner binds from_class before the step");
+        .ok_or(ExecError::MalformedPlan("join step's from_class is not bound"))?;
     let targets = db.traverse(step.rel, step.from_class, from_oid)?;
     counters.link_traversals += targets.len() as u64;
     out.clear();
@@ -221,13 +223,15 @@ pub(crate) fn fill_step_level(
                 } else if b == step.access.class {
                     (b, oid)
                 } else {
-                    unreachable!("link filter must involve the step's class")
+                    return Err(ExecError::MalformedPlan(
+                        "link filter does not involve the step's class",
+                    ));
                 };
                 let other_class = if pivot_class == a { b } else { a };
                 let &(_, other_oid) = binding
                     .iter()
                     .find(|(c, _)| *c == other_class)
-                    .expect("other endpoint bound earlier");
+                    .ok_or(ExecError::MalformedPlan("link filter endpoint is not bound"))?;
                 counters.link_traversals += 1;
                 let neigh = db.traverse(rel, pivot_class, pivot_oid)?;
                 if !neigh.contains(&other_oid) {
@@ -256,7 +260,7 @@ fn value_of(
             .iter()
             .find(|(c, _)| *c == attr.class)
             .map(|(_, o)| *o)
-            .expect("join filter endpoints are bound")
+            .ok_or(ExecError::MalformedPlan("join filter endpoint is not bound"))?
     };
     Ok(db.value(attr, oid)?.clone())
 }
@@ -290,7 +294,7 @@ fn project_value(
     let (_, oid) = binding
         .iter()
         .find(|(c, _)| *c == projection.attr.class)
-        .expect("projection classes are part of the plan");
+        .ok_or(ExecError::MalformedPlan("projection class is not bound"))?;
     Ok(db.value(projection.attr, *oid)?.clone())
 }
 

@@ -178,7 +178,7 @@ pub fn plan_query(
             root_choice = Some(cand);
         }
     }
-    let (root, mut total_cost, mut current_rows) = root_choice.expect("non-empty class list");
+    let (root, mut total_cost, mut current_rows) = root_choice.ok_or(ExecError::EmptyQuery)?;
 
     // Greedy expansion over relationships.
     let mut bound: Vec<ClassId> = vec![root.class];
@@ -224,12 +224,15 @@ pub fn plan_query(
             }
         }
         let Some((out_rows, step_cost, rel, from_class, to_class)) = best else {
+            // invariant: `bound` holds distinct members of query.classes
+            // and the loop condition has bound.len() < classes.len(), so
+            // an unbound class must exist.
             let missing = query
                 .classes
                 .iter()
                 .copied()
                 .find(|c| !bound.contains(c))
-                .expect("loop condition guarantees a missing class");
+                .expect("loop condition guarantees a missing class"); // invariant: see above
             return Err(ExecError::Unreachable(missing));
         };
         // Materialize the winning step from the same candidate sets the

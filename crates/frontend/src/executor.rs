@@ -31,7 +31,7 @@ use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
@@ -62,6 +62,8 @@ impl Wake for Task {
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
+        // ordering: Acquire observes the poll outcome the state encodes;
+        // pairs with the Release stores in worker_loop/complete.
         let mut state = self.state.load(Ordering::Acquire);
         loop {
             let target = match state {
@@ -71,11 +73,14 @@ impl Wake for Task {
                 // one) or complete (nothing left to run).
                 _ => return,
             };
+            // ordering: AcqRel on success makes the transition visible to
+            // the worker that pops the queue entry this wake produces;
+            // Acquire on failure re-reads a coherent state to retry on.
             match self.state.compare_exchange_weak(
                 state,
                 target,
-                Ordering::AcqRel,
-                Ordering::Acquire,
+                Ordering::AcqRel, // ordering: success edge, justified in block above
+                Ordering::Acquire, // ordering: failure re-read, justified in block above
             ) {
                 Ok(_) => {
                     // Exactly the IDLE→QUEUED winner pushes — one queue
@@ -99,6 +104,7 @@ impl std::fmt::Debug for Task {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Task")
             .field("index", &self.index)
+            // ordering: debug display only; no decision is made on it.
             .field("state", &self.state.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -123,50 +129,60 @@ struct ExecInner {
 
 impl ExecInner {
     fn push_ready(&self, index: usize) {
-        self.ready.lock().expect("ready queue never poisoned").push_back(index);
+        self.ready.lock().unwrap_or_else(PoisonError::into_inner).push_back(index);
         self.wakeup.notify_one();
     }
 
     /// The next ready task, or `None` once draining and nothing is live.
     fn next_ready(&self) -> Option<Arc<Task>> {
-        let mut ready = self.ready.lock().expect("ready queue never poisoned");
+        let mut ready = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(index) = ready.pop_front() {
-                let arena = self.arena.lock().expect("arena never poisoned");
+                let arena = self.arena.lock().unwrap_or_else(PoisonError::into_inner);
                 if let Some(task) = arena.slots.get(index).and_then(|s| s.clone()) {
                     return Some(task);
                 }
                 // Slot already retired; keep looking.
                 continue;
             }
-            let draining = *self.draining.lock().expect("drain flag never poisoned");
+            let draining = *self.draining.lock().unwrap_or_else(PoisonError::into_inner);
+            // ordering: Acquire pairs with complete()'s AcqRel decrement —
+            // observing 0 implies every task's completion fully happened.
             if draining && self.live.load(Ordering::Acquire) == 0 {
                 // Pass the shutdown baton to the next parked worker.
                 self.wakeup.notify_one();
                 return None;
             }
-            ready = self.wakeup.wait(ready).expect("ready queue never poisoned");
+            ready = self.wakeup.wait(ready).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     fn complete(&self, task: &Arc<Task>) {
+        // ordering: Release publishes the task's final effects to any
+        // racing waker that Acquire-loads COMPLETE and bails out.
         task.state.store(COMPLETE, Ordering::Release);
         {
-            let mut arena = self.arena.lock().expect("arena never poisoned");
+            let mut arena = self.arena.lock().unwrap_or_else(PoisonError::into_inner);
             arena.slots[task.index] = None;
             arena.free.push(task.index);
         }
+        // ordering: AcqRel chains completions so the thread that takes the
+        // count to zero has observed all of them; pairs with the Acquire
+        // load in next_ready's drain check.
         if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last live task gone: wake drain waiters and parked workers.
-            drop(self.ready.lock().expect("ready queue never poisoned"));
+            drop(self.ready.lock().unwrap_or_else(PoisonError::into_inner));
             self.wakeup.notify_all();
         }
     }
 
     fn worker_loop(&self) {
         while let Some(task) = self.next_ready() {
+            // ordering: Release so a waker that reads RUNNING (and parks a
+            // NOTIFIED) sees the queue pop that preceded it.
             task.state.store(RUNNING, Ordering::Release);
-            let Some(mut future) = task.future.lock().expect("future slot never poisoned").take()
+            let Some(mut future) =
+                task.future.lock().unwrap_or_else(PoisonError::into_inner).take()
             else {
                 self.complete(&task);
                 continue;
@@ -178,14 +194,19 @@ impl ExecInner {
                     // Future back first, *then* resolve the state: a waker
                     // firing in between parks the wake as NOTIFIED and the
                     // CAS below re-queues — never a lost wake-up.
-                    *task.future.lock().expect("future slot never poisoned") = Some(future);
+                    *task.future.lock().unwrap_or_else(PoisonError::into_inner) = Some(future);
+                    // ordering: AcqRel resolves the poll-vs-wake race: a
+                    // successful RUNNING→IDLE publishes the restored future
+                    // to the next waker; failure Acquire-observes NOTIFIED.
                     if task
                         .state
-                        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                        .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire) // ordering: justified in block above
                         .is_err()
                     {
                         // A wake landed during the poll (NOTIFIED): the
                         // waker deferred the push to us.
+                        // ordering: Release publishes the restored future
+                        // before the queue entry that hands the task over.
                         task.state.store(QUEUED, Ordering::Release);
                         self.push_ready(task.index);
                     }
@@ -221,12 +242,20 @@ impl Executor {
             draining: Mutex::new(false),
         });
         let workers = (0..workers.max(1))
-            .map(|i| {
+            .filter_map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("sqo-frontend-{i}"))
-                    .spawn(move || inner.worker_loop())
-                    .expect("spawn frontend worker")
+                    .spawn(move || inner.worker_loop());
+                match spawned {
+                    Ok(handle) => Some(handle),
+                    // analyze: allow(panic): a pool that cannot start even
+                    // one worker cannot serve at all — submitted requests
+                    // would wait forever. Failures past the first merely
+                    // degrade capacity.
+                    Err(e) if i == 0 => panic!("spawn first frontend worker: {e}"),
+                    Err(_) => None,
+                }
             })
             .collect();
         Self { inner, workers }
@@ -236,7 +265,7 @@ impl Executor {
     /// worker is free.
     pub(crate) fn spawn(&self, future: impl Future<Output = ()> + Send + 'static) {
         let index = {
-            let mut arena = self.inner.arena.lock().expect("arena never poisoned");
+            let mut arena = self.inner.arena.lock().unwrap_or_else(PoisonError::into_inner);
             let index = arena.free.pop().unwrap_or_else(|| {
                 arena.slots.push(None);
                 arena.slots.len() - 1
@@ -250,6 +279,8 @@ impl Executor {
             arena.slots[index] = Some(task);
             index
         };
+        // ordering: AcqRel, same chain as complete()'s decrement — join()
+        // can never observe a zero that misses this spawn.
         self.inner.live.fetch_add(1, Ordering::AcqRel);
         self.inner.push_ready(index);
     }
@@ -257,10 +288,10 @@ impl Executor {
     /// Drains and joins: every already-spawned task runs to completion,
     /// then the workers exit.
     pub(crate) fn join(mut self) {
-        *self.inner.draining.lock().expect("drain flag never poisoned") = true;
+        *self.inner.draining.lock().unwrap_or_else(PoisonError::into_inner) = true;
         {
             // Lock/unlock pairs the flag write with the workers' wait.
-            drop(self.inner.ready.lock().expect("ready queue never poisoned"));
+            drop(self.inner.ready.lock().unwrap_or_else(PoisonError::into_inner));
         }
         self.inner.wakeup.notify_all();
         for handle in self.workers.drain(..) {

@@ -10,7 +10,7 @@
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::task::{Context, Poll};
 use std::time::Instant;
 
@@ -91,17 +91,17 @@ pub struct ResponseHandle {
 impl ResponseHandle {
     /// The completion if the request has finished, without blocking.
     pub fn try_take(&self) -> Option<Completion> {
-        self.slot.completion.lock().expect("slot never poisoned").take()
+        self.slot.completion.lock().unwrap_or_else(PoisonError::into_inner).take()
     }
 
     /// Blocks the calling thread until the request completes.
     pub fn wait(self) -> Completion {
-        let mut completion = self.slot.completion.lock().expect("slot never poisoned");
+        let mut completion = self.slot.completion.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(done) = completion.take() {
                 return done;
             }
-            completion = self.slot.done.wait(completion).expect("slot never poisoned");
+            completion = self.slot.done.wait(completion).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -132,7 +132,7 @@ impl LatencyEstimator {
     }
 
     fn record(&self, latency_us: u64) {
-        let mut w = self.window.lock().expect("latency window never poisoned");
+        let mut w = self.window.lock().unwrap_or_else(PoisonError::into_inner);
         let next = w.next;
         w.ring[next] = latency_us;
         w.next = (next + 1) % WINDOW;
@@ -141,7 +141,7 @@ impl LatencyEstimator {
 
     /// The windowed p99 estimate, once enough samples exist.
     fn p99_us(&self) -> Option<u64> {
-        let w = self.window.lock().expect("latency window never poisoned");
+        let w = self.window.lock().unwrap_or_else(PoisonError::into_inner);
         if w.filled < MIN_SAMPLES {
             return None;
         }
@@ -220,22 +220,33 @@ impl Frontend {
     /// [`Overload`]. Reject-newest: an admitted request is never
     /// abandoned, the marginal arrival is the one refused.
     pub fn submit(&self, query: &Query) -> Result<ResponseHandle, Overload> {
+        // ordering: Acquire pairs with shutdown()'s Release store.
         if self.draining.load(Ordering::Acquire) {
             return Err(Overload::ShuttingDown);
         }
         if let Some(bound) = self.config.p99_bound_us {
             if self.shared.latency.p99_us().is_some_and(|p99| p99 > bound) {
+                // ordering: monotone shed counter, read for display only.
                 self.shared.shed_latency.fetch_add(1, Ordering::Relaxed);
                 return Err(Overload::LatencyBound);
             }
         }
         // Claim a queue slot; back off if the claim overshoots the bound.
+        // ordering: AcqRel makes claim/back-off edges a total order across
+        // admitters, so concurrent claims can never all read the same
+        // pre-claim value and jointly overshoot the bound.
         let claimed = self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
         if claimed >= self.config.queue_depth {
+            // ordering: AcqRel, same RMW chain as the claim above.
             self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            // ordering: monotone shed counter, read for display only.
             self.shared.shed_queue_full.fetch_add(1, Ordering::Relaxed);
             return Err(Overload::QueueFull);
         }
+        // ordering: bounded above by `completed`'s Release/Acquire pair —
+        // stats() reads `completed` first, and this increment
+        // happens-before the task's `completed` increment via the spawn
+        // queue's mutex, so any observed completion implies its admission.
         self.shared.admitted.fetch_add(1, Ordering::Relaxed);
         let slot = Arc::new(Slot::default());
         let shared = Arc::clone(&self.shared);
@@ -246,9 +257,16 @@ impl Frontend {
             let result = run_one(&shared.service, &query).await;
             let latency_us = admitted_at.elapsed().as_micros() as u64;
             shared.latency.record(latency_us);
-            shared.completed.fetch_add(1, Ordering::Relaxed);
+            // ordering: Release pairs with the Acquire load in stats() /
+            // shutdown(): observing this increment also observes the
+            // admission that preceded it (via the spawn-queue mutex), so
+            // `completed <= admitted` holds in every snapshot — Relaxed
+            // only held on x86's TSO by accident.
+            shared.completed.fetch_add(1, Ordering::Release);
+            // ordering: AcqRel, same RMW chain as submit()'s claim.
             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-            let mut completion = task_slot.completion.lock().expect("slot never poisoned");
+            let mut completion =
+                task_slot.completion.lock().unwrap_or_else(PoisonError::into_inner);
             *completion = Some(Completion { result, latency_us });
             task_slot.done.notify_all();
         });
@@ -258,11 +276,19 @@ impl Frontend {
     /// Current frontend counters (the driven service's own stats are on
     /// [`Frontend::service`]).
     pub fn stats(&self) -> FrontendStats {
+        // Struct literals evaluate top to bottom: `completed` is read
+        // strictly before `admitted`, and with Acquire, so a snapshot can
+        // never observe `completed > admitted` (regression-tested by
+        // tests/frontend.rs::stats_completed_never_exceeds_admitted).
         FrontendStats {
+            // ordering: Acquire pairs with the task's Release fetch_add.
+            completed: self.shared.completed.load(Ordering::Acquire),
+            // ordering: bounded below by `completed` via the Acquire above.
             admitted: self.shared.admitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
+            // ordering: monotone shed counter, read for display only.
             shed_queue_full: self.shared.shed_queue_full.load(Ordering::Relaxed),
-            shed_latency: self.shared.shed_latency.load(Ordering::Relaxed),
+            shed_latency: self.shared.shed_latency.load(Ordering::Relaxed), // ordering: display counter
+            // ordering: pairs with the AcqRel claim RMWs in submit().
             in_flight: self.shared.in_flight.load(Ordering::Acquire),
         }
     }
@@ -276,13 +302,21 @@ impl Frontend {
     /// [`Overload::ShuttingDown`]), runs every already-admitted request to
     /// completion, then joins the worker pool.
     pub fn shutdown(self) -> FrontendStats {
+        // ordering: Release pairs with submit()'s Acquire load — an
+        // admitter that misses the drain flag fully completes its claim
+        // before join() observes it.
         self.draining.store(true, Ordering::Release);
         self.executor.join();
         FrontendStats {
+            // ordering: Acquire pairs with the task's Release fetch_add
+            // (read before `admitted`, as in stats()).
+            completed: self.shared.completed.load(Ordering::Acquire),
+            // ordering: bounded below by `completed` via the Acquire above.
             admitted: self.shared.admitted.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
+            // ordering: monotone shed counter, read for display only.
             shed_queue_full: self.shared.shed_queue_full.load(Ordering::Relaxed),
-            shed_latency: self.shared.shed_latency.load(Ordering::Relaxed),
+            shed_latency: self.shared.shed_latency.load(Ordering::Relaxed), // ordering: display counter
+            // ordering: pairs with the AcqRel claim RMWs in submit().
             in_flight: self.shared.in_flight.load(Ordering::Acquire),
         }
     }

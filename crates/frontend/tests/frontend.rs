@@ -192,6 +192,55 @@ fn service_stats_stay_consistent_under_concurrent_load() {
     frontend.shutdown();
 }
 
+/// Regression test for the `completed <= admitted` snapshot invariant:
+/// the task body publishes `completed` with Release and stats() reads it
+/// first with Acquire, so observing a completion implies observing its
+/// admission. The sites used to be Relaxed with an unordered read pair,
+/// which held only on x86's strong memory model.
+#[test]
+fn stats_completed_never_exceeds_admitted() {
+    let (service, queries) = service(17);
+    let frontend = Frontend::new(
+        Arc::clone(&service),
+        FrontendConfig { workers: 4, queue_depth: 4096, p99_bound_us: None },
+    );
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let snapshots = std::thread::scope(|scope| {
+        let watcher = scope.spawn(|| {
+            let mut last_completed = 0u64;
+            let mut snapshots = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let s = frontend.stats();
+                assert!(
+                    s.completed <= s.admitted,
+                    "torn snapshot: completed {} > admitted {}",
+                    s.completed,
+                    s.admitted
+                );
+                assert!(s.completed >= last_completed, "completed must be monotone");
+                last_completed = s.completed;
+                snapshots += 1;
+            }
+            snapshots
+        });
+        for round in 0..6 {
+            let handles: Vec<_> = (0..256)
+                .filter_map(|i| frontend.submit(&queries[(round + i) % queries.len()]).ok())
+                .collect();
+            for handle in handles {
+                let _ = handle.wait();
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        watcher.join().expect("observer never tripped an assertion")
+    });
+    assert!(snapshots > 0);
+    let last = frontend.shutdown();
+    assert_eq!(last.completed, last.admitted, "drained frontend has no stragglers");
+    assert_eq!(last.in_flight, 0);
+}
+
 /// With `batch_window > 1` a warm burst gathers through *hit flights*:
 /// each duplicate either leads one shared execution or follows it, so the
 /// whole burst is accounted by the batch counters — and the singleflight

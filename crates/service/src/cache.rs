@@ -222,14 +222,24 @@ impl ShardedCache {
         canonical: &Query,
         version: StoreVersion,
     ) -> Option<Arc<CacheEntry>> {
-        // `lookups` first: `hits <= lookups` must hold at every instant so
-        // a concurrent stats() snapshot stays self-consistent.
+        // `lookups` first: `hits <= lookups` must hold in every stats()
+        // snapshot. Program order alone does not give a concurrent reader
+        // that guarantee — the Release on `hits` below and the Acquire load
+        // in stats() do.
+        // ordering: counter visible via the Release fence on `hits`; no
+        // reader orders on `lookups` alone.
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(fingerprint).read();
         match shard.get(&fingerprint) {
             Some(slot) if slot.version == version && slot.entry.canonical == *canonical => {
+                // ordering: LRU timestamp; approximate recency is fine.
                 slot.last_used.store(self.tick(), Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                // ordering: Release pairs with the Acquire load in stats().
+                // A reader that observes this increment also observes the
+                // `lookups` increment above (release sequence over the RMW
+                // chain), so `hits <= lookups` holds on weak memory too —
+                // Relaxed here only held on x86's TSO by accident.
+                self.hits.fetch_add(1, Ordering::Release);
                 Some(Arc::clone(&slot.entry))
             }
             _ => None,
@@ -248,14 +258,20 @@ impl ShardedCache {
         if !shard.contains_key(&fingerprint) && shard.len() >= self.per_shard_capacity {
             if let Some(victim) = shard
                 .iter()
+                // ordering: LRU timestamps are heuristic; the shard write
+                // lock already serializes this scan against get()'s bumps
+                // up to a benign race on in-flight Relaxed stores.
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| *k)
             {
                 shard.remove(&victim);
+                // ordering: monotone display counter; no reader derives
+                // cross-counter invariants from it.
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         let slot = Slot { entry, version, last_used: AtomicU64::new(self.tick()) };
+        // ordering: monotone display counter.
         self.insertions.fetch_add(1, Ordering::Relaxed);
         shard.insert(fingerprint, slot);
     }
@@ -275,15 +291,18 @@ impl ShardedCache {
                     return true;
                 }
                 if slot.version != prev {
+                    // ordering: monotone display counter.
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
                 let overlaps = slot.entry.canonical.classes.iter().any(|c| touched.contains(c));
                 if overlaps {
+                    // ordering: monotone display counter.
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
                     false
                 } else {
                     slot.version = next;
+                    // ordering: monotone display counter.
                     self.revalidations.fetch_add(1, Ordering::Relaxed);
                     true
                 }
@@ -301,6 +320,7 @@ impl ShardedCache {
             let before = shard.len();
             shard.retain(|_, slot| slot.version == current);
             let dropped = before - shard.len();
+            // ordering: monotone display counter.
             self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
         }
     }
@@ -330,25 +350,32 @@ impl ShardedCache {
         // One read-lock pass: `entries` is derived from the same snapshot
         // as `shard_sizes`, so the two never disagree.
         let shard_sizes: Vec<usize> = self.shards.iter().map(|s| s.read().len()).collect();
-        // Read `hits` strictly before `lookups`: increments go the other
-        // way (`lookups` first), so `hits <= lookups` in this snapshot and
-        // the derived `misses` can never underflow (see [`CacheStats`]).
-        let hits = self.hits.load(Ordering::Relaxed);
+        // Read `hits` strictly before `lookups`, and with Acquire:
+        // observing a hit increment (Release in get()) then also observes
+        // its preceding lookup increment, so `hits <= lookups` in this
+        // snapshot and the derived `misses` can never underflow (see
+        // [`CacheStats`] and tests::stats_hits_never_exceed_lookups).
+        // ordering: Acquire pairs with the Release fetch_add in get().
+        let hits = self.hits.load(Ordering::Acquire);
+        // ordering: bounded below by `hits` via the Acquire above.
         let lookups = self.lookups.load(Ordering::Relaxed);
         CacheStats {
             lookups,
             hits,
             misses: lookups - hits,
+            // ordering: monotone display counter, no cross-counter invariant.
             insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            revalidations: self.revalidations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed), // ordering: display counter
+            invalidations: self.invalidations.load(Ordering::Relaxed), // ordering: display counter
+            revalidations: self.revalidations.load(Ordering::Relaxed), // ordering: display counter
             entries: shard_sizes.iter().sum(),
             shard_sizes,
         }
     }
 
     fn tick(&self) -> u64 {
+        // ordering: LRU clock only needs per-RMW atomicity (uniqueness),
+        // not cross-thread ordering — ties merely approximate recency.
         self.clock.fetch_add(1, Ordering::Relaxed)
     }
 }
@@ -479,5 +506,39 @@ mod tests {
         assert_eq!(ShardedCache::new(3, 16).shard_count(), 4);
         assert_eq!(ShardedCache::new(0, 16).shard_count(), 1);
         assert!(ShardedCache::new(8, 1).capacity() >= 8);
+    }
+
+    /// Regression test for the `hits <= lookups` snapshot invariant: the
+    /// Release on `hits` in get() and the Acquire (read-first) in stats()
+    /// are what guarantee it — the sites used to be Relaxed, which held
+    /// only on x86's strong memory model. Mid-flight snapshots must never
+    /// tear (`hits > lookups` would underflow `misses`).
+    #[test]
+    fn stats_hits_never_exceed_lookups() {
+        let cache = Arc::new(ShardedCache::new(4, 64));
+        let q = Query::new();
+        cache.insert(fp(7), v(0, 0), entry(&q));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let lookers: Vec<_> = (0..3)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let q = q.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = cache.get(fp(7), &q, v(0, 0));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20_000 {
+            let s = cache.stats();
+            assert!(s.hits <= s.lookups, "torn snapshot: {} > {}", s.hits, s.lookups);
+            assert_eq!(s.hits + s.misses, s.lookups);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in lookers {
+            t.join().expect("looker thread never panics");
+        }
     }
 }

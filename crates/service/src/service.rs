@@ -369,6 +369,7 @@ impl QueryService {
     /// recomputed lazily because their data-epoch gate no longer matches.
     pub fn write(&self, writes: &[DataWrite]) -> Result<WriteOutcome, ServiceError> {
         let outcome = self.db.write(writes)?;
+        // ordering: monotone display counter.
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(outcome)
     }
@@ -416,7 +417,7 @@ impl QueryService {
     pub fn replace_store(&self, next: Arc<ConstraintStore>) -> u64 {
         let _writing = self.writer.lock();
         let old = self.store();
-        next.raise_epoch_to(old.epoch() + 1);
+        next.raise_epoch_above(&old);
         let version = next.version();
         *self.store.write() = next;
         self.cache.purge_stale(version);
@@ -457,6 +458,7 @@ impl QueryService {
         let oracle = CostBasedOracle::with_model(&db, self.model);
         let out = WORKER_SCRATCH
             .with(|s| optimizer.optimize_with(&canonical, &oracle, &mut s.borrow_mut().0))?;
+        // ordering: monotone display counter.
         self.optimizations.fetch_add(1, Ordering::Relaxed);
         let provably_empty = out.report.provably_empty;
         let (plan, columns) = if provably_empty {
@@ -496,6 +498,7 @@ impl QueryService {
             let plan = entry.plan.as_ref().expect("non-empty entries carry a plan");
             let (res, _counters) =
                 WORKER_SCRATCH.with(|s| execute_with(&db, plan, &mut s.borrow_mut().1))?;
+            // ordering: monotone display counter.
             self.executions.fetch_add(1, Ordering::Relaxed);
             Arc::new(res)
         };
@@ -531,6 +534,7 @@ impl QueryService {
                 execute_batch_with(&db, plan, &[ProbeBinding::AsPlanned], &mut s.borrow_mut().2)
             })?;
             let (res, _counters) = batch.pop().expect("width-1 batch yields one result");
+            // ordering: monotone display counter.
             self.executions.fetch_add(1, Ordering::Relaxed);
             Arc::new(res)
         };
@@ -542,6 +546,8 @@ impl QueryService {
 
     /// Prepare + execute in one call — the per-request entry point.
     pub fn run(&self, query: &Query) -> Result<ServiceResponse, ServiceError> {
+        // ordering: monotone display counter; `accepted` consistency is
+        // carried by the cache's lookups/hits pair, not this one.
         self.requests.fetch_add(1, Ordering::Relaxed);
         let prepared = self.prepare(query)?;
         let (results, data_epoch) = self.execute_entry(&prepared.entry)?;
@@ -572,6 +578,8 @@ impl QueryService {
     ///   means the leader dropped its guard without completing — call
     ///   `try_run` again; the retry re-checks the cache and may lead.
     pub fn try_run(&self, query: &Query) -> Result<TryRun, ServiceError> {
+        // ordering: monotone display counter; `accepted` consistency is
+        // carried by the cache's lookups/hits pair, not this one.
         self.requests.fetch_add(1, Ordering::Relaxed);
         let canonical = query.canonical();
         let store = self.store();
@@ -602,11 +610,13 @@ impl QueryService {
         let key = FlightKey { fingerprint, version, data_epoch: self.db.data_epoch() };
         match self.cache.flights().register(key, &canonical) {
             Registered::Leader(flight) => {
+                // ordering: monotone display counter.
                 self.sf_leaders.fetch_add(1, Ordering::Relaxed);
                 let table = Arc::clone(self.cache.flights());
                 Ok(TryRun::Leader(MissGuard::new(key, canonical, store, table, flight)))
             }
             Registered::Follower(flight) => {
+                // ordering: monotone display counter.
                 self.sf_followers.fetch_add(1, Ordering::Relaxed);
                 Ok(TryRun::Follower(MissWaiter::new(flight)))
             }
@@ -652,8 +662,9 @@ impl QueryService {
             Registered::Leader(flight) => {
                 let table = Arc::clone(self.cache.flights());
                 let guard = MissGuard::new(key, canonical, store, table, flight);
+                // ordering: monotone display counters.
                 self.batch_groups.fetch_add(1, Ordering::Relaxed);
-                self.batch_size.fetch_add(1, Ordering::Relaxed);
+                self.batch_size.fetch_add(1, Ordering::Relaxed); // ordering: display counter
                 let outcome = self.execute_entry_group(&entry).map(|(results, data_epoch)| {
                     ServiceResponse { results, cache_hit: true, epoch: version.epoch, data_epoch }
                 });
@@ -669,6 +680,7 @@ impl QueryService {
                 }
             }
             Registered::Follower(flight) => {
+                // ordering: monotone display counter.
                 self.batch_size.fetch_add(1, Ordering::Relaxed);
                 Ok(TryRun::Follower(MissWaiter::new(flight)))
             }
@@ -785,6 +797,8 @@ impl QueryService {
                     let groups = &groups;
                     let tx = tx.clone();
                     scope.spawn(move || loop {
+                        // ordering: work-index claim; RMW atomicity alone makes indexes
+                        // unique, and scope join orders results after all claims.
                         let g = next.fetch_add(1, Ordering::Relaxed);
                         let Some((canonical, members)) = groups.get(g) else { break };
                         let _ = tx.send((g, self.run_group(canonical, members.len())));
@@ -808,6 +822,7 @@ impl QueryService {
     /// miss), run one shared execution through the batch executor, and
     /// account all `size` members.
     fn run_group(&self, canonical: &Query, size: usize) -> Result<ServiceResponse, ServiceError> {
+        // ordering: monotone display counter.
         self.requests.fetch_add(size as u64, Ordering::Relaxed);
         let store = self.store();
         let version = store.version();
@@ -821,8 +836,9 @@ impl QueryService {
             }
         };
         let (results, data_epoch) = self.execute_entry_group(&entry)?;
+        // ordering: monotone display counters.
         self.batch_groups.fetch_add(1, Ordering::Relaxed);
-        self.batch_size.fetch_add(size as u64, Ordering::Relaxed);
+        self.batch_size.fetch_add(size as u64, Ordering::Relaxed); // ordering: display counter
         Ok(ServiceResponse { results, cache_hit, epoch: version.epoch, data_epoch })
     }
 
@@ -851,6 +867,8 @@ impl QueryService {
                     let run = &run;
                     let tx = tx.clone();
                     scope.spawn(move || loop {
+                        // ordering: work-index claim; RMW atomicity alone makes indexes
+                        // unique, and scope join orders results after all claims.
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(query) = queries.get(i) else { break };
                         let _ = tx.send((i, run(query)));
@@ -963,15 +981,18 @@ impl QueryService {
     pub fn stats(&self) -> ServiceStats {
         let cache = self.cache.stats();
         ServiceStats {
+            // ordering: monotone display counter; the `accepted ==
+            // hits + misses` snapshot invariant rides on the cache's
+            // Release/Acquire lookups-hits pair, read in `cache` above.
             requests: self.requests.load(Ordering::Relaxed),
             accepted: cache.lookups,
-            optimizations: self.optimizations.load(Ordering::Relaxed),
-            executions: self.executions.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            singleflight_leaders: self.sf_leaders.load(Ordering::Relaxed),
-            singleflight_followers: self.sf_followers.load(Ordering::Relaxed),
-            batch_groups: self.batch_groups.load(Ordering::Relaxed),
-            batch_size: self.batch_size.load(Ordering::Relaxed),
+            optimizations: self.optimizations.load(Ordering::Relaxed), // ordering: display counter
+            executions: self.executions.load(Ordering::Relaxed),       // ordering: display counter
+            writes: self.writes.load(Ordering::Relaxed),               // ordering: display counter
+            singleflight_leaders: self.sf_leaders.load(Ordering::Relaxed), // ordering: display counter
+            singleflight_followers: self.sf_followers.load(Ordering::Relaxed), // ordering: display counter
+            batch_groups: self.batch_groups.load(Ordering::Relaxed), // ordering: display counter
+            batch_size: self.batch_size.load(Ordering::Relaxed),     // ordering: display counter
             epoch: self.epoch(),
             data_epoch: self.data_epoch(),
             cache,

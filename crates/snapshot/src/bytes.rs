@@ -122,6 +122,15 @@ impl<'a> ByteReader<'a> {
         Ok(())
     }
 
+    /// Reads exactly `N` bytes as a fixed-width array. `take(N)` returns
+    /// an `N`-byte slice by construction, so the conversion maps its
+    /// impossible failure into the same malformed-input error instead of
+    /// panicking.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], LoadError> {
+        let bytes = self.take(N)?;
+        bytes.try_into().map_err(|_| self.malformed("fixed-width field"))
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
         if self.remaining() < n {
             return Err(self.malformed(format!(
@@ -148,7 +157,7 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// [`LoadError::Malformed`] on a short read.
     pub fn u16(&mut self) -> Result<u16, LoadError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u32`.
@@ -156,7 +165,7 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// [`LoadError::Malformed`] on a short read.
     pub fn u32(&mut self) -> Result<u32, LoadError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
@@ -164,7 +173,7 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// [`LoadError::Malformed`] on a short read.
     pub fn u64(&mut self) -> Result<u64, LoadError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `i64`.
@@ -172,7 +181,7 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// [`LoadError::Malformed`] on a short read.
     pub fn i64(&mut self) -> Result<i64, LoadError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// Reads an `f64` from the little-endian bytes of its IEEE-754 bit

@@ -85,6 +85,9 @@ impl VersionedDatabase {
     /// one; use `snapshot().data_version()` when the epoch must match a
     /// specific snapshot.
     pub fn data_epoch(&self) -> u64 {
+        // ordering: Acquire pairs with the Release store in `write`,
+        // so an observed epoch implies the snapshot that produced it is
+        // already visible through `current`.
         self.data_epoch.load(Ordering::Acquire)
     }
 
@@ -98,6 +101,8 @@ impl VersionedDatabase {
         let epoch = db.data_version();
         let snapshot = Arc::new(db);
         *self.current.write() = Arc::clone(&snapshot);
+        // ordering: Release publishes the snapshot swap above to any
+        // thread that Acquire-loads this epoch.
         self.data_epoch.store(epoch, Ordering::Release);
         Ok(WriteOutcome { epoch, snapshot, receipt })
     }

@@ -167,12 +167,16 @@ pub fn copyable_rels(catalog: &Catalog, class: ClassId) -> Vec<RelId> {
 /// the E12 experiment, `benches/writepath.rs`).
 pub fn dup_insert(db: &Database, class: ClassId, source_rank: u32, rels: &[RelId]) -> DataWrite {
     let source = ObjectId(source_rank % db.cardinality(class).max(1) as u32);
+    // invariant: the modulo keeps `source` under the cardinality, and
+    // dup-safe classes are generated non-empty.
     let tuple = db.tuple(class, source).expect("source rank in range").to_vec();
     let links: Vec<(RelId, ObjectId)> = rels
         .iter()
         .flat_map(|&rel| {
+            // invariant: `rels` comes from copyable_rels(catalog, class),
+            // every member of which has `class` as an endpoint.
             db.traverse(rel, class, source)
-                .expect("copyable rel touches class")
+                .expect("copyable rel touches class") // invariant: see above
                 .iter()
                 .map(move |&other| (rel, other))
         })
@@ -311,10 +315,14 @@ impl MixedApplier {
     /// receipt's swap-remove moves (in order).
     pub fn confirm(&mut self, class: ClassId, victim: Option<ObjectId>, receipt: &WriteReceipt) {
         match victim {
+            // invariant: the applier submits single-insert batches only,
+            // so a no-victim receipt carries exactly one inserted id.
             None => self.live[class.index()]
-                .push(*receipt.inserted.first().expect("insert batches insert exactly one object")),
+                .push(*receipt.inserted.first().expect("insert batches insert exactly one object")), // invariant: see above
             Some(v) => {
                 let live = &mut self.live[class.index()];
+                // invariant: victims are drawn from `self.live` and each
+                // is deleted (and thus retired here) at most once.
                 let at = live.iter().position(|&o| o == v).expect("victim was a live duplicate");
                 live.remove(at);
             }
